@@ -1,0 +1,87 @@
+// Experiment E20 (ablation) -- move rules and activation schedulers.
+//
+// The dynamics engine exposes three design choices the paper's theory
+// motivates but does not fix: the move rule (exact best response vs the GE
+// single-move set vs the UMFL 3-approximate response) and the activation
+// scheduler (round-robin, random order, max-gain).  This ablation measures,
+// per combination: convergence rate, moves to convergence, quality of the
+// reached state (social cost relative to the best rule), and wall time --
+// quantifying the trade-off between the exponential exact rule and the
+// polynomial approximations that the library uses at scale.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/dynamics.hpp"
+#include "core/equilibrium.hpp"
+#include "metric/host_graph.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+using namespace gncg;
+
+int main() {
+  print_banner(std::cout,
+               "E20 (ablation) | move rules x schedulers on M-GNCG (n=9)");
+  Rng rng(2020);
+
+  const struct {
+    const char* name;
+    MoveRule rule;
+  } rules[] = {{"best-response", MoveRule::kBestResponse},
+               {"single-move", MoveRule::kBestSingleMove},
+               {"umfl-approx", MoveRule::kUmflResponse}};
+  const struct {
+    const char* name;
+    SchedulerKind kind;
+  } schedulers[] = {{"round-robin", SchedulerKind::kRoundRobin},
+                    {"random", SchedulerKind::kRandomOrder},
+                    {"max-gain", SchedulerKind::kMaxGain}};
+
+  // Shared instance set so all combinations face identical games.
+  std::vector<Game> games;
+  std::vector<StrategyProfile> starts;
+  for (int i = 0; i < 6; ++i) {
+    games.emplace_back(random_metric_host(9, rng), 1.0);
+    starts.push_back(random_profile(games.back(), rng));
+  }
+
+  ConsoleTable table({"rule", "scheduler", "converged", "avg moves",
+                      "avg cost", "greedy-stable", "avg ms"});
+  for (const auto& rule : rules) {
+    for (const auto& sched : schedulers) {
+      RunningStats moves, costs, millis;
+      int converged = 0, stable = 0;
+      for (std::size_t i = 0; i < games.size(); ++i) {
+        DynamicsOptions options;
+        options.rule = rule.rule;
+        options.scheduler = sched.kind;
+        options.max_moves = 2000;
+        options.seed = 1000 + i;
+        Stopwatch timer;
+        const auto run = run_dynamics(games[i], starts[i], options);
+        millis.add(timer.millis());
+        if (!run.converged) continue;
+        ++converged;
+        moves.add(static_cast<double>(run.moves));
+        costs.add(social_cost(games[i], run.final_profile));
+        if (is_greedy_equilibrium(games[i], run.final_profile)) ++stable;
+      }
+      table.begin_row()
+          .add(rule.name)
+          .add(sched.name)
+          .add(std::to_string(converged) + "/" + std::to_string(games.size()))
+          .add(moves.count() ? moves.mean() : 0.0, 1)
+          .add(costs.count() ? costs.mean() : 0.0, 2)
+          .add(std::to_string(stable) + "/" + std::to_string(converged))
+          .add(millis.mean(), 2);
+    }
+  }
+  table.print(std::cout);
+  std::cout
+      << "Reading: the exact best-response rule pays exponential per-move\n"
+         "cost for slightly better equilibria; the single-move (GE) rule\n"
+         "converges fastest; the UMFL rule scales polynomially and still\n"
+         "lands on greedy-stable states -- the trade-offs the library's\n"
+         "large-instance defaults are built on.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Experiment E8 -- Figure 8 / Theorem 17 (no FIP for the 1-norm Rd-GNCG).
+//
+// Paper claim: the ten exact points a0=(3,0) ... a9=(1,0) under the 1-norm
+// admit a best-response cycle, so the Rd-GNCG with the 1-norm has no FIP.
+//
+// Reproduction: best-response dynamics with profile-revisit detection on
+// exactly those ten points; a found cycle is replay-verified move by move
+// (every step a strict improvement AND an exact best response).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "constructions/cycle_instances.hpp"
+#include "core/fip.hpp"
+
+using namespace gncg;
+
+int main() {
+  print_banner(std::cout,
+               "E8 | Figure 8 / Theorem 17: BR cycle on the paper's points");
+  ConsoleTable table({"alpha", "BR cycle found", "cycle length",
+                      "strict improvements", "exact best responses"});
+  bool any = false;
+  for (double alpha : {0.5, 1.0, 2.0, 3.0}) {
+    const auto result = search_theorem17_cycle({alpha}, 24, 777);
+    std::string strict = "-";
+    std::string exact = "-";
+    if (result.found) {
+      any = true;
+      const Game game(HostGraph::from_points(theorem17_points(), 1.0), alpha);
+      strict = verify_improvement_cycle(game, result.analysis.cycle_start,
+                                        result.analysis.cycle, false)
+                   ? "all"
+                   : "NO";
+      exact = verify_improvement_cycle(game, result.analysis.cycle_start,
+                                       result.analysis.cycle, true)
+                  ? "all"
+                  : "NO";
+    }
+    table.begin_row()
+        .add(alpha, 2)
+        .add(result.found)
+        .add(static_cast<long long>(result.analysis.cycle.size()))
+        .add(strict)
+        .add(exact);
+  }
+  table.print(std::cout);
+
+  // Print the moves of the alpha = 1 cycle for the record.
+  const auto result = search_theorem17_cycle({1.0}, 24, 777);
+  if (result.found) {
+    std::cout << "\nReplay of the alpha=1 best-response cycle (agent: old "
+                 "strategy -> new strategy):\n";
+    for (const auto& step : result.analysis.cycle) {
+      std::cout << "  a" << step.agent << ": {";
+      bool first = true;
+      step.old_strategy.for_each([&](int v) {
+        std::cout << (first ? "" : ",") << "a" << v;
+        first = false;
+      });
+      std::cout << "} -> {";
+      first = true;
+      step.new_strategy.for_each([&](int v) {
+        std::cout << (first ? "" : ",") << "a" << v;
+        first = false;
+      });
+      std::cout << "}  cost " << format_double(step.old_cost, 3) << " -> "
+                << format_double(step.new_cost, 3) << "\n";
+    }
+  }
+  std::cout << (any ? "Shape check: a verified best-response cycle exists on "
+                      "the paper's exact\npoint set -- the Rd-GNCG with the "
+                      "1-norm has no FIP (Theorem 17).\n"
+                    : "No cycle found within budget -- increase attempts.\n");
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Experiment E18 -- substrate kernel throughput (google-benchmark).
+//
+// Microbenchmarks for the primitives everything else is built on: Dijkstra
+// and APSP, cost evaluation, exact and approximate best responses,
+// single-move scans, Algorithm 1, spanner construction and NE enumeration.
+// These are the knobs that determine how far the laptop-scale experiments
+// reach (repro band: pure graph algorithms, fast equilibrium search).
+#include <benchmark/benchmark.h>
+
+#include "core/best_response.hpp"
+#include "core/dynamics.hpp"
+#include "core/equilibrium_search.hpp"
+#include "core/facility_location.hpp"
+#include "core/social_optimum.hpp"
+#include "graph/apsp.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/spanner.hpp"
+#include "metric/host_graph.hpp"
+#include "support/rng.hpp"
+
+namespace gncg {
+namespace {
+
+WeightedGraph random_connected_graph(int n, double p, Rng& rng) {
+  WeightedGraph g(n);
+  for (int v = 1; v < n; ++v)
+    g.add_edge(static_cast<int>(rng.uniform_below(static_cast<std::uint64_t>(v))), v,
+               rng.uniform_real(1.0, 10.0));
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v)
+      if (!g.has_edge(u, v) && rng.bernoulli(p))
+        g.add_edge(u, v, rng.uniform_real(1.0, 10.0));
+  return g;
+}
+
+void BM_Dijkstra(benchmark::State& state) {
+  Rng rng(1);
+  const auto g = random_connected_graph(static_cast<int>(state.range(0)), 0.1, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(distance_sum(g, 0));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Dijkstra)->Arg(64)->Arg(256)->Arg(1024)->Complexity();
+
+void BM_Apsp(benchmark::State& state) {
+  Rng rng(2);
+  const auto g = random_connected_graph(static_cast<int>(state.range(0)), 0.1, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(apsp(g));
+}
+BENCHMARK(BM_Apsp)->Arg(64)->Arg(256);
+
+void BM_FloydWarshall(benchmark::State& state) {
+  Rng rng(3);
+  const auto host = random_metric_host(static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    DistanceMatrix m = host.weights();
+    floyd_warshall(m);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_FloydWarshall)->Arg(64)->Arg(128);
+
+void BM_SocialCost(benchmark::State& state) {
+  Rng rng(4);
+  const Game game(random_metric_host(static_cast<int>(state.range(0)), rng), 1.0);
+  const auto profile = random_profile(game, rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(social_cost(game, profile));
+}
+BENCHMARK(BM_SocialCost)->Arg(16)->Arg(64);
+
+void BM_ExactBestResponse(benchmark::State& state) {
+  Rng rng(5);
+  const Game game(random_metric_host(static_cast<int>(state.range(0)), rng), 2.0);
+  const auto profile = random_profile(game, rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(exact_best_response(game, profile, 0));
+}
+BENCHMARK(BM_ExactBestResponse)->Arg(10)->Arg(14)->Arg(18);
+
+void BM_BestSingleMove(benchmark::State& state) {
+  Rng rng(6);
+  const Game game(random_metric_host(static_cast<int>(state.range(0)), rng), 1.0);
+  const auto profile = random_profile(game, rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(best_single_move(game, profile, 0));
+}
+BENCHMARK(BM_BestSingleMove)->Arg(16)->Arg(64);
+
+void BM_UmflBestResponse(benchmark::State& state) {
+  Rng rng(7);
+  const Game game(random_metric_host(static_cast<int>(state.range(0)), rng), 1.0);
+  const auto profile = random_profile(game, rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(approx_best_response_umfl(game, profile, 0));
+}
+BENCHMARK(BM_UmflBestResponse)->Arg(16)->Arg(32);
+
+void BM_Algorithm1(benchmark::State& state) {
+  Rng rng(8);
+  const Game game(
+      random_one_two_host(static_cast<int>(state.range(0)), 0.5, rng), 0.8);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(algorithm1_one_two(game));
+}
+BENCHMARK(BM_Algorithm1)->Arg(32)->Arg(128);
+
+void BM_GreedySpanner(benchmark::State& state) {
+  Rng rng(9);
+  const auto host = random_metric_host(static_cast<int>(state.range(0)), rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(greedy_spanner(host.weights(), 2.0));
+}
+BENCHMARK(BM_GreedySpanner)->Arg(32)->Arg(64);
+
+void BM_EnumerateEquilibria(benchmark::State& state) {
+  Rng rng(10);
+  const Game game(random_one_two_host(4, 0.5, rng), 1.0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(enumerate_nash_equilibria(game));
+}
+BENCHMARK(BM_EnumerateEquilibria);
+
+void BM_ExactOptimum(benchmark::State& state) {
+  Rng rng(11);
+  const Game game(random_metric_host(static_cast<int>(state.range(0)), rng), 1.0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(exact_social_optimum(game));
+}
+BENCHMARK(BM_ExactOptimum)->Arg(5)->Arg(6);
+
+void BM_BestResponseDynamics(benchmark::State& state) {
+  Rng rng(12);
+  const Game game(random_metric_host(static_cast<int>(state.range(0)), rng), 1.0);
+  for (auto _ : state) {
+    DynamicsOptions options;
+    options.max_moves = 1000;
+    options.seed = 42;
+    Rng start_rng(7);
+    benchmark::DoNotOptimize(
+        run_dynamics(game, random_profile(game, start_rng), options));
+  }
+}
+BENCHMARK(BM_BestResponseDynamics)->Arg(8)->Arg(12);
+
+}  // namespace
+}  // namespace gncg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Experiment E15 -- Lemmas 1 + 2 and the Theorem 1 sigma analysis.
+//
+// Paper claims: any Add-only Equilibrium is an (alpha+1)-spanner of the
+// host (Lemma 1); the social optimum is an (alpha/2+1)-spanner (Lemma 2);
+// on metric hosts the per-pair sigma ratio between any NE and OPT is at
+// most (alpha+2)/2 (the Theorem 1 proof engine).
+//
+// Reproduction: random hosts across model classes; measured max stretch
+// and max sigma against the three bounds.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/dynamics.hpp"
+#include "core/equilibrium.hpp"
+#include "core/poa.hpp"
+#include "core/social_optimum.hpp"
+#include "core/spanner_bounds.hpp"
+#include "metric/host_graph.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+using namespace gncg;
+
+int main() {
+  print_banner(std::cout,
+               "E15 | Lemmas 1+2, Theorem 1: spanner and sigma bounds");
+  Rng rng(15);
+
+  ConsoleTable table({"model", "alpha", "AE stretch (max)", "bound a+1",
+                      "OPT stretch (max)", "bound a/2+1", "NE sigma (max)",
+                      "bound (a+2)/2", "verdicts"});
+  for (double alpha : {0.5, 1.0, 2.0, 4.0}) {
+    for (int flavor = 0; flavor < 2; ++flavor) {
+      const std::string model = flavor == 0 ? "M-GNCG" : "1-2-GNCG";
+      RunningStats ae_stretch, opt_stretch, ne_sigma;
+      for (int trial = 0; trial < 4; ++trial) {
+        const Game game(flavor == 0
+                            ? random_metric_host(6, rng)
+                            : random_one_two_host(6, 0.5, rng),
+                        alpha);
+        // Add-only equilibrium from a connected start (Lemma 1 domain).
+        DynamicsOptions add_only;
+        add_only.rule = MoveRule::kBestAddition;
+        add_only.max_moves = 5000;
+        add_only.seed = rng();
+        const auto ae =
+            run_dynamics(game, random_profile(game, rng), add_only);
+        if (ae.converged)
+          ae_stretch.add(profile_stretch(game, ae.final_profile));
+
+        const auto opt = exact_social_optimum(game);
+        opt_stretch.add(network_stretch(game, opt.edges));
+
+        DynamicsOptions best_response;
+        best_response.max_moves = 4000;
+        best_response.seed = rng();
+        const auto ne =
+            run_dynamics(game, random_profile(game, rng), best_response);
+        if (ne.converged && is_nash_equilibrium(game, ne.final_profile))
+          ne_sigma.add(max_pair_sigma(game, ne.final_profile, opt.edges));
+      }
+      const std::string verdicts =
+          bench::bound_verdict(ae_stretch.max(), alpha + 1.0) + "/" +
+          bench::bound_verdict(opt_stretch.max(), alpha / 2.0 + 1.0) + "/" +
+          (ne_sigma.count() > 0
+               ? bench::bound_verdict(ne_sigma.max(), paper::metric_poa(alpha))
+               : "n/a");
+      table.begin_row()
+          .add(model)
+          .add(alpha, 2)
+          .add(ae_stretch.max(), 4)
+          .add(alpha + 1.0, 2)
+          .add(opt_stretch.max(), 4)
+          .add(alpha / 2.0 + 1.0, 2)
+          .add(ne_sigma.count() > 0 ? ne_sigma.max() : 0.0, 4)
+          .add(paper::metric_poa(alpha), 2)
+          .add(verdicts);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "Shape check: every measured stretch/sigma stays under its\n"
+               "paper bound (Lemma 1, Lemma 2, Theorem 1 respectively).\n";
+  return 0;
+}

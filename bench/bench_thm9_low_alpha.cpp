@@ -1,0 +1,72 @@
+// Experiment E3 -- Theorem 9 (PoA = 1 for the 1-2-GNCG with alpha < 1/2).
+//
+// Paper claim: for alpha < 1/2 every NE of the 1-2-GNCG equals the
+// Algorithm 1 optimum (complete graph minus 1-1-2-triangle 2-edges), so
+// selfishness costs nothing.
+//
+// Reproduction: (a) exhaustive NE enumeration on small random 1-2 hosts --
+// every equilibrium must cost exactly the Algorithm 1 optimum; (b) sampled
+// best-response dynamics on larger hosts -- every converged NE must match
+// the optimum cost as well.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/equilibrium_search.hpp"
+#include "core/social_optimum.hpp"
+#include "metric/host_graph.hpp"
+#include "support/rng.hpp"
+
+using namespace gncg;
+
+int main() {
+  print_banner(std::cout, "E3 | Theorem 9: PoA = 1 for alpha < 1/2 (1-2)");
+  Rng rng(9);
+
+  std::cout << "\n(a) Exhaustive enumeration (n = 4..5):\n";
+  ConsoleTable exhaustive({"n", "alpha", "#NE", "OPT cost", "worst NE",
+                           "exact PoA", "paper", "verdict"});
+  for (int n : {4, 5}) {
+    for (int trial = 0; trial < 3; ++trial) {
+      const double alpha = rng.uniform_real(0.05, 0.49);
+      const Game game(random_one_two_host(n, 0.5, rng), alpha);
+      const auto equilibria = enumerate_nash_equilibria(game);
+      const auto opt = algorithm1_one_two(game);
+      const auto estimate = estimate_poa(equilibria, opt.cost.total(), true);
+      exhaustive.begin_row()
+          .add(n)
+          .add(alpha, 3)
+          .add(static_cast<long long>(equilibria.profiles.size()))
+          .add(opt.cost.total(), 2)
+          .add(equilibria.max_cost(), 2)
+          .add(estimate.poa, 6)
+          .add(1.0, 1)
+          .add(bench::verdict(estimate.poa, 1.0));
+    }
+  }
+  exhaustive.print(std::cout);
+
+  std::cout << "\n(b) Sampled dynamics (n = 8..10):\n";
+  ConsoleTable sampled({"n", "alpha", "#NE sampled", "all match OPT cost"});
+  for (int n : {8, 10}) {
+    const double alpha = rng.uniform_real(0.1, 0.45);
+    const Game game(random_one_two_host(n, 0.5, rng), alpha);
+    SamplingOptions options;
+    options.attempts = 10;
+    options.seed = rng();
+    options.verify_exact_ne = n <= 8;
+    const auto equilibria = sample_equilibria(game, options);
+    const auto opt = algorithm1_one_two(game);
+    bool all_match = true;
+    for (double cost : equilibria.social_costs)
+      all_match &= std::abs(cost - opt.cost.total()) < 1e-6;
+    sampled.begin_row()
+        .add(n)
+        .add(alpha, 3)
+        .add(static_cast<long long>(equilibria.profiles.size()))
+        .add(all_match);
+  }
+  sampled.print(std::cout);
+  std::cout << "Shape check: every equilibrium costs exactly the Algorithm 1\n"
+               "optimum -- PoA = 1 below alpha = 1/2, as Theorem 9 proves.\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+// PoA explorer -- a small CLI over the equilibrium-search machinery.
+//
+// Usage:
+//   poa_explorer [model] [n] [alpha] [seeds]
+//     model : one-two | one-inf | tree | plane | metric | general (default
+//             metric)
+//     n     : number of agents (default 5; exact enumeration needs n <= 5)
+//     alpha : edge price factor (default 1.0)
+//     seeds : number of random instances (default 3)
+//
+// For each sampled instance the tool reports the exact (or sampled) Price
+// of Anarchy and Stability next to the paper's bound for that model class.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/equilibrium_search.hpp"
+#include "core/poa.hpp"
+#include "core/social_optimum.hpp"
+#include "metric/host_graph.hpp"
+#include "metric/tree.hpp"
+#include "support/table.hpp"
+
+using namespace gncg;
+
+namespace {
+
+Game sample_game(const std::string& model, int n, double alpha, Rng& rng) {
+  if (model == "one-two") return Game(random_one_two_host(n, 0.5, rng), alpha);
+  if (model == "one-inf")
+    return Game(random_one_inf_host(n, 0.6, rng), alpha);
+  if (model == "tree")
+    return Game(HostGraph::from_tree(random_tree(n, rng, 1.0, 8.0)), alpha);
+  if (model == "plane")
+    return Game(HostGraph::from_points(uniform_points(n, 2, 10.0, rng), 2.0),
+                alpha);
+  if (model == "general") return Game(random_general_host(n, rng), alpha);
+  return Game(random_metric_host(n, rng), alpha);
+}
+
+double paper_bound(const std::string& model, double alpha) {
+  if (model == "general" || model == "one-inf")
+    return paper::general_poa_upper(alpha);
+  return paper::metric_poa(alpha);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string model = argc > 1 ? argv[1] : "metric";
+  const int n = argc > 2 ? std::atoi(argv[2]) : 5;
+  const double alpha = argc > 3 ? std::atof(argv[3]) : 1.0;
+  const int seeds = argc > 4 ? std::atoi(argv[4]) : 3;
+  if (n < 2 || alpha <= 0.0 || seeds < 1) {
+    std::cerr << "usage: poa_explorer [one-two|one-inf|tree|plane|metric|"
+                 "general] [n>=2] [alpha>0] [seeds>=1]\n";
+    return 1;
+  }
+  const bool exact = n <= 5;
+
+  print_banner(std::cout, "PoA explorer: " + model + ", n=" +
+                              std::to_string(n) + ", alpha=" +
+                              format_double(alpha, 2));
+  std::cout << (exact ? "mode: exhaustive NE enumeration + exact optimum\n"
+                      : "mode: sampled dynamics + heuristic optimum (n > 5)\n");
+
+  ConsoleTable table({"seed", "#NE", "OPT cost", "PoA", "PoS", "paper bound",
+                      "bound holds"});
+  Rng rng(20190416);
+  for (int seed = 0; seed < seeds; ++seed) {
+    const Game game = sample_game(model, n, alpha, rng);
+    EquilibriumSet equilibria;
+    double opt_cost = 0.0;
+    if (exact) {
+      equilibria = enumerate_nash_equilibria(game);
+      opt_cost = exact_social_optimum(game).cost.total();
+    } else {
+      SamplingOptions options;
+      options.attempts = 20;
+      options.seed = rng();
+      options.verify_exact_ne = n <= 9;
+      equilibria = sample_equilibria(game, options);
+      opt_cost = local_search_optimum(game).cost.total();
+    }
+    const auto estimate = estimate_poa(equilibria, opt_cost, exact);
+    table.begin_row()
+        .add(seed)
+        .add(static_cast<long long>(equilibria.profiles.size()))
+        .add(opt_cost, 3)
+        .add(estimate.poa, 4)
+        .add(estimate.pos, 4)
+        .add(paper_bound(model, alpha), 4)
+        .add(equilibria.empty()
+                 ? "no NE found"
+                 : (estimate.poa <= paper_bound(model, alpha) + 1e-6
+                        ? "yes"
+                        : "NO"));
+  }
+  table.print(std::cout);
+  return 0;
+}

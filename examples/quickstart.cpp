@@ -1,0 +1,67 @@
+// Quickstart: the library in ~60 lines.
+//
+//   1. Place agents as points in the plane (a geometric host graph).
+//   2. Pick the edge-price parameter alpha.
+//   3. Run best-response dynamics to an equilibrium.
+//   4. Inspect the equilibrium: cost split, structure, stability, and how
+//      far it is from the social optimum (the Price of Anarchy sample).
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+#include <iostream>
+
+#include "core/dynamics.hpp"
+#include "core/equilibrium.hpp"
+#include "core/social_optimum.hpp"
+#include "core/spanner_bounds.hpp"
+#include "graph/graph_algos.hpp"
+#include "metric/host_graph.hpp"
+#include "support/table.hpp"
+
+using namespace gncg;
+
+int main() {
+  // 1. Twelve agents at fixed planar coordinates, Euclidean distances.
+  const PointSet cities({{0, 0},  {4, 1},  {1, 5},  {6, 4},  {9, 1},  {3, 9},
+                         {8, 7},  {12, 3}, {11, 9}, {2, 12}, {7, 12}, {13, 12}});
+  const HostGraph host = HostGraph::from_points(cities, /*p=*/2.0);
+
+  // 2. alpha trades edge price against distance cost.
+  const double alpha = 3.0;
+  const Game game(host, alpha);
+
+  // 3. Best-response dynamics from a random connected profile.
+  Rng rng(2019);
+  DynamicsOptions options;
+  options.rule = MoveRule::kBestResponse;
+  options.max_moves = 5000;
+  const auto run = run_dynamics(game, random_profile(game, rng), options);
+  std::cout << "dynamics: " << (run.converged ? "converged" : "stopped")
+            << " after " << run.moves << " moves in " << run.rounds
+            << " rounds\n";
+
+  // 4. Inspect the outcome.
+  const auto& equilibrium = run.final_profile;
+  const auto cost = social_cost_breakdown(game, equilibrium);
+  const auto network = built_graph(game, equilibrium);
+  std::cout << "equilibrium: " << network.edge_count() << " edges, "
+            << (is_tree(network) ? "a tree" : "not a tree")
+            << ", diameter " << format_double(diameter(network), 2) << "\n";
+  std::cout << "social cost: " << format_double(cost.total(), 2) << "  (edges "
+            << format_double(cost.edge_cost, 2) << " + distances "
+            << format_double(cost.dist_cost, 2) << ")\n";
+  std::cout << "stability : exact NE? "
+            << (is_nash_equilibrium(game, equilibrium) ? "yes" : "no")
+            << ", host stretch "
+            << format_double(profile_stretch(game, equilibrium), 3)
+            << " (Lemma 1 bound " << format_double(alpha + 1.0, 1) << ")\n";
+
+  // Compare with a social-optimum heuristic (exact OPT is exponential).
+  const auto heuristic = local_search_optimum(game);
+  std::cout << "optimum (local-search heuristic): "
+            << format_double(heuristic.cost.total(), 2)
+            << "  -> equilibrium / optimum = "
+            << format_double(cost.total() / heuristic.cost.total(), 4)
+            << "  (paper bound (alpha+2)/2 = "
+            << format_double((alpha + 2.0) / 2.0, 2) << ")\n";
+  return 0;
+}

@@ -1,0 +1,212 @@
+#include "constructions/hardness_gadgets.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "metric/points.hpp"
+#include "metric/tree.hpp"
+#include "support/assert.hpp"
+
+namespace gncg {
+
+namespace {
+
+void check_params(const SetCoverInstance& instance,
+                  const SetCoverGadgetParams& params) {
+  GNCG_CHECK(instance.universe_size >= 1 && instance.set_count() >= 1,
+             "degenerate set-cover instance");
+  GNCG_CHECK(params.L / 3.0 > params.beta,
+             "gadget requires beta < L/3");
+  GNCG_CHECK(params.beta > 2.0 * instance.universe_size * params.eps,
+             "gadget requires beta > 2 k eps (got beta="
+                 << params.beta << ", k=" << instance.universe_size
+                 << ", eps=" << params.eps << ")");
+  for (const auto& set : instance.sets)
+    GNCG_CHECK(!set.empty(), "gadget requires non-empty sets");
+}
+
+/// First set covering element e (the tree attachment point of p_e).
+int first_covering_set(const SetCoverInstance& instance, int element) {
+  for (std::size_t s = 0; s < instance.set_count(); ++s)
+    for (int e : instance.sets[s])
+      if (e == element) return static_cast<int>(s);
+  GNCG_CHECK(false, "element " << element << " is uncovered");
+  return -1;
+}
+
+/// Shared: install the fixed (non-u) strategies of both gadgets.
+///   b_i buys (b_i, u) and (b_i, a_i); a_i buys (a_i, p_j) for p_j in X_i.
+void buy_gadget_edges(StrategyProfile& profile, const SetCoverInstance& sc,
+                      int node_u, const std::vector<int>& b_nodes,
+                      const std::vector<int>& a_nodes,
+                      const std::vector<int>& p_nodes) {
+  for (std::size_t i = 0; i < sc.set_count(); ++i) {
+    profile.add_buy(b_nodes[i], node_u);
+    profile.add_buy(b_nodes[i], a_nodes[i]);
+    for (int e : sc.sets[i]) {
+      profile.add_buy(a_nodes[i], p_nodes[static_cast<std::size_t>(e)]);
+    }
+  }
+}
+
+}  // namespace
+
+SetCoverGadget theorem13_gadget(const SetCoverInstance& instance,
+                                const SetCoverGadgetParams& params) {
+  check_params(instance, params);
+  const int m = static_cast<int>(instance.set_count());
+  const int k = instance.universe_size;
+  // Layout: u = 0, c = 1, a_i = 2 + i, b_i = 2 + m + i, p_j = 2 + 2m + j.
+  const int node_u = 0;
+  const int node_c = 1;
+  auto a_node = [&](int i) { return 2 + i; };
+  auto b_node = [&](int i) { return 2 + m + i; };
+  auto p_node = [&](int j) { return 2 + 2 * m + j; };
+  const int n = 2 + 2 * m + k;
+
+  std::vector<Edge> tree_edges;
+  tree_edges.push_back({node_u, node_c, params.L - params.eps});
+  for (int i = 0; i < m; ++i) {
+    tree_edges.push_back({node_c, a_node(i), params.eps});
+    tree_edges.push_back({node_u, b_node(i), (params.L - params.beta) / 2.0});
+  }
+  for (int j = 0; j < k; ++j)
+    tree_edges.push_back({a_node(first_covering_set(instance, j)), p_node(j),
+                          params.L});
+  const WeightedTree tree(n, std::move(tree_edges));
+  Game game(HostGraph::from_tree(tree), /*alpha=*/1.0);
+
+  SetCoverGadget gadget{Game(game), StrategyProfile(n), node_u, {}, {},
+                        instance};
+  for (int i = 0; i < m; ++i) gadget.set_nodes.push_back(a_node(i));
+  for (int j = 0; j < k; ++j) gadget.element_nodes.push_back(p_node(j));
+  gadget.profile.add_buy(node_c, node_u);
+  buy_gadget_edges(gadget.profile, instance, node_u,
+                   [&] {
+                     std::vector<int> b;
+                     for (int i = 0; i < m; ++i) b.push_back(b_node(i));
+                     return b;
+                   }(),
+                   gadget.set_nodes, gadget.element_nodes);
+  return gadget;
+}
+
+SetCoverGadget theorem16_gadget(const SetCoverInstance& instance, double p,
+                                const SetCoverGadgetParams& params) {
+  check_params(instance, params);
+  const int m = static_cast<int>(instance.set_count());
+  const int k = instance.universe_size;
+  // Layout: u = 0, a_i = 1 + i, b_i = 1 + m + i, p_j = 1 + 2m + j.
+  const int node_u = 0;
+  auto a_node = [&](int i) { return 1 + i; };
+  auto b_node = [&](int i) { return 1 + m + i; };
+  auto p_node = [&](int j) { return 1 + 2 * m + j; };
+  const int n = 1 + 2 * m + k;
+
+  PointSet points(n, 2);
+  const double L = params.L;
+  for (int i = 0; i < m; ++i) {
+    // Set nodes on an eps-long arc of the radius-L circle.
+    const double angle =
+        m == 1 ? 0.0 : (params.eps / L) * (static_cast<double>(i) / (m - 1));
+    points.set_coord(a_node(i), 0, L * std::cos(angle));
+    points.set_coord(a_node(i), 1, L * std::sin(angle));
+    // Blockers on the ray OPPOSITE a_i at distance (L - beta)/2, so the path
+    // u -> b_i -> a_i has length (L-beta)/2 + ((L-beta)/2 + L) = 2L - beta.
+    const double scale = -((L - params.beta) / 2.0) / L;
+    points.set_coord(b_node(i), 0, scale * points.coord(a_node(i), 0));
+    points.set_coord(b_node(i), 1, scale * points.coord(a_node(i), 1));
+  }
+  for (int j = 0; j < k; ++j) {
+    const double angle =
+        k == 1 ? 0.0
+               : (params.eps / (2.0 * L)) * (static_cast<double>(j) / (k - 1));
+    points.set_coord(p_node(j), 0, 2.0 * L * std::cos(angle));
+    points.set_coord(p_node(j), 1, 2.0 * L * std::sin(angle));
+  }
+  Game game(HostGraph::from_points(points, p), /*alpha=*/1.0);
+
+  SetCoverGadget gadget{Game(game), StrategyProfile(n), node_u, {}, {},
+                        instance};
+  for (int i = 0; i < m; ++i) gadget.set_nodes.push_back(a_node(i));
+  for (int j = 0; j < k; ++j) gadget.element_nodes.push_back(p_node(j));
+  buy_gadget_edges(gadget.profile, instance, node_u,
+                   [&] {
+                     std::vector<int> b;
+                     for (int i = 0; i < m; ++i) b.push_back(b_node(i));
+                     return b;
+                   }(),
+                   gadget.set_nodes, gadget.element_nodes);
+  return gadget;
+}
+
+std::vector<int> gadget_strategy_to_cover(const SetCoverGadget& gadget,
+                                          const NodeSet& strategy) {
+  std::vector<int> cover;
+  strategy.for_each([&](int node) {
+    for (std::size_t i = 0; i < gadget.set_nodes.size(); ++i) {
+      if (gadget.set_nodes[i] == node) {
+        cover.push_back(static_cast<int>(i));
+        return;
+      }
+    }
+    GNCG_CHECK(false, "strategy buys non-set node " << node);
+  });
+  return cover;
+}
+
+VertexCoverGadget theorem4_gadget(const VertexCoverInstance& instance,
+                                  const std::vector<int>& cover) {
+  GNCG_CHECK(is_vertex_cover(instance, cover),
+             "theorem4_gadget requires a valid vertex cover");
+  const int N = instance.n;
+  const int m = static_cast<int>(instance.edges.size());
+  // Layout: a_i = i, p_j = N + 2j, p'_j = N + 2j + 1, u last.
+  auto p_node = [&](int j, bool prime) { return N + 2 * j + (prime ? 1 : 0); };
+  const int node_u = N + 2 * m;
+  const int n = node_u + 1;
+
+  DistanceMatrix weights(n, 2.0);
+  for (int i = 0; i < N; ++i)
+    for (int j = i + 1; j < N; ++j) weights.set_symmetric(i, j, 1.0);
+  for (int j = 0; j < m; ++j) {
+    const auto& [x, y] = instance.edges[static_cast<std::size_t>(j)];
+    for (bool prime : {false, true}) {
+      weights.set_symmetric(x, p_node(j, prime), 1.0);
+      weights.set_symmetric(y, p_node(j, prime), 1.0);
+    }
+  }
+  Game game(HostGraph::from_weights(std::move(weights), ModelClass::kOneTwo),
+            /*alpha=*/1.0);
+
+  // Fixed profile: every 1-edge bought by its smaller endpoint; u buys
+  // 2-edges towards the cover's vertex nodes.
+  StrategyProfile profile(n);
+  for (int i = 0; i < N; ++i)
+    for (int j = i + 1; j < N; ++j) profile.add_buy(i, j);
+  for (int j = 0; j < m; ++j) {
+    const auto& [x, y] = instance.edges[static_cast<std::size_t>(j)];
+    for (bool prime : {false, true}) {
+      profile.add_buy(std::min(x, y), p_node(j, prime));
+      profile.add_buy(std::max(x, y), p_node(j, prime));
+    }
+  }
+  for (int v : cover) profile.add_buy(node_u, v);
+
+  VertexCoverGadget gadget{std::move(game), std::move(profile), node_u,
+                           {},        {},   instance,           cover};
+  for (int i = 0; i < N; ++i) gadget.vertex_nodes.push_back(i);
+  for (int j = 0; j < m; ++j) {
+    gadget.edge_nodes.push_back(p_node(j, false));
+    gadget.edge_nodes.push_back(p_node(j, true));
+  }
+  return gadget;
+}
+
+double theorem4_agent_cost_formula(const VertexCoverInstance& instance,
+                                   int bought) {
+  return 3.0 * instance.n + 6.0 * static_cast<double>(instance.edges.size()) +
+         static_cast<double>(bought);
+}
+
+}  // namespace gncg

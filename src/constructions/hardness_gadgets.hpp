@@ -1,0 +1,81 @@
+// NP-hardness gadgets, run forwards: the paper reduces Minimum Set Cover to
+// best-response computation (Theorem 13 on tree metrics, Theorem 16 in the
+// plane) and Minimum Vertex Cover to the NE decision problem of the
+// 1-2-GNCG (Theorem 4).  These builders materialize the reductions so the
+// experiments can check, against exact combinatorial solvers, that the
+// game-theoretic optimum (agent u's best response) coincides with the
+// covering optimum.
+#pragma once
+
+#include <vector>
+
+#include "core/game.hpp"
+#include "npc/set_cover.hpp"
+#include "npc/vertex_cover.hpp"
+
+namespace gncg {
+
+/// A best-response instance whose solution encodes a minimum set cover.
+struct SetCoverGadget {
+  Game game;
+  StrategyProfile profile;  ///< everyone but `agent` plays the fixed gadget role
+  int agent = 0;            ///< the node u whose best response is in question
+  std::vector<int> set_nodes;      ///< node id of a_i, one per set
+  std::vector<int> element_nodes;  ///< node id of p_j, one per element
+  SetCoverInstance instance;       ///< the encoded set-cover instance
+};
+
+/// Parameters shared by both gadget geometries.  Defaults satisfy the
+/// paper's constraints L >> eps and L/3 > beta > 2 k eps.
+struct SetCoverGadgetParams {
+  double L = 100.0;
+  double beta = 1.0;
+  double eps = 1e-3;
+};
+
+/// Theorem 13 / Figure 4: the gadget as a tree metric.  Nodes: u, the hub c
+/// (edge L-eps from u), set nodes a_i hanging off c at eps, blocker nodes
+/// b_i at (L-beta)/2 from u, and element nodes p_j at L below their first
+/// covering set node.  The fixed profile buys (c,u), (b_i,u), (b_i,a_i) and
+/// every (a_i, p_j) with p_j in X_i; agent u owns nothing.  alpha = 1.
+SetCoverGadget theorem13_gadget(const SetCoverInstance& instance,
+                                const SetCoverGadgetParams& params = {});
+
+/// Theorem 16 / Figure 7: the same logical gadget embedded in R^2 under any
+/// p-norm: u at the origin, set nodes on an eps-arc of the radius-L circle,
+/// element nodes on an eps-arc of the radius-2L circle, and blockers on the
+/// *opposite* ray at (L-beta)/2 so that d_G(u, a_i) = 2L - beta.  alpha = 1.
+SetCoverGadget theorem16_gadget(const SetCoverInstance& instance, double p,
+                                const SetCoverGadgetParams& params = {});
+
+/// Extracts the set-cover choice encoded by a strategy of the gadget agent:
+/// the indices of sets whose a_i node the strategy buys.  Contract-fails if
+/// the strategy buys any non-set node (the paper proves best responses
+/// never do).
+std::vector<int> gadget_strategy_to_cover(const SetCoverGadget& gadget,
+                                          const NodeSet& strategy);
+
+/// Theorem 4 / Figure 2: the NE-decision gadget of the 1-2-GNCG (alpha=1).
+struct VertexCoverGadget {
+  Game game;
+  StrategyProfile profile;        ///< 1-edges owned canonically; u buys `cover`
+  int agent = 0;                  ///< u
+  std::vector<int> vertex_nodes;  ///< a_i per instance vertex
+  std::vector<int> edge_nodes;    ///< p_j, p'_j interleaved per instance edge
+  VertexCoverInstance instance;
+  std::vector<int> cover;         ///< the cover u's strategy encodes
+};
+
+/// Builds the gadget with u buying 2-edges to `cover` (must be a vertex
+/// cover of `instance`).  Host: vertex nodes form a 1-clique; (a_i, p_j)
+/// and (a_i, p'_j) are 1-edges iff v_i is an endpoint of e_j; all other
+/// weights (including all of u's edges) are 2.
+VertexCoverGadget theorem4_gadget(const VertexCoverInstance& instance,
+                                  const std::vector<int>& cover);
+
+/// The cost formula from the Theorem 4 proof: cost(u) = 3N + 6m + k' where
+/// N = #vertices, m = #edges and k' = #vertex nodes u buys.
+double theorem4_agent_cost_formula(const VertexCoverInstance& instance,
+                                   int bought);
+
+}  // namespace gncg

@@ -1,0 +1,156 @@
+#include "constructions/ratio_constructions.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "core/poa.hpp"
+#include "metric/points.hpp"
+#include "metric/tree.hpp"
+#include "support/assert.hpp"
+
+namespace gncg {
+
+RatioConstruction theorem8_construction(int N, double alpha) {
+  GNCG_CHECK(N >= 2, "construction needs N >= 2");
+  GNCG_CHECK(alpha >= 0.5 && alpha <= 1.0,
+             "Theorem 8 covers 1/2 <= alpha <= 1");
+  const bool u_joins_leaves = alpha == 1.0;
+
+  // Layout: centers 0..N-1, leaf (i, j) = N + i*N + j, u last.
+  const int centers = N;
+  const int leaves = N * N;
+  const int node_u = centers + leaves;
+  const int n = node_u + 1;
+  auto leaf_id = [&](int center, int j) { return N + center * N + j; };
+
+  DistanceMatrix weights(n, 2.0);
+  for (int i = 0; i < N; ++i) {
+    for (int j = i + 1; j < N; ++j) weights.set_symmetric(i, j, 1.0);  // clique
+    for (int j = 0; j < N; ++j) weights.set_symmetric(i, leaf_id(i, j), 1.0);
+    weights.set_symmetric(node_u, i, 1.0);
+  }
+  if (u_joins_leaves)
+    for (int i = 0; i < N; ++i)
+      for (int j = 0; j < N; ++j)
+        weights.set_symmetric(node_u, leaf_id(i, j), 1.0);
+
+  Game game(HostGraph::from_weights(std::move(weights), ModelClass::kOneTwo),
+            alpha);
+
+  // Equilibrium: every 1-edge except u-to-leaf ones.
+  std::vector<Edge> ne_edges;
+  for (int i = 0; i < N; ++i) {
+    for (int j = i + 1; j < N; ++j) ne_edges.push_back({i, j, 1.0});
+    for (int j = 0; j < N; ++j)
+      ne_edges.push_back({i, leaf_id(i, j), 1.0});
+    ne_edges.push_back({i, node_u, 1.0});
+  }
+  StrategyProfile equilibrium = profile_from_edges(game, ne_edges);
+
+  NetworkDesign opt = algorithm1_one_two(game);
+  RatioConstruction result{std::move(game), std::move(equilibrium),
+                           std::move(opt.edges),
+                           std::numeric_limits<double>::quiet_NaN(),
+                           alpha == 1.0 ? 1.5 : 3.0 / (alpha + 2.0)};
+  return result;
+}
+
+RatioConstruction theorem15_construction(int n, double alpha) {
+  GNCG_CHECK(n >= 3, "construction needs n >= 3");
+  // Tree: center 0, special leaf 1 at weight 1, leaves 2..n-1 at 2/alpha.
+  std::vector<Edge> tree_edges;
+  tree_edges.push_back({0, 1, 1.0});
+  for (int v = 2; v < n; ++v) tree_edges.push_back({0, v, 2.0 / alpha});
+  const WeightedTree tree(n, std::move(tree_edges));
+  Game game(HostGraph::from_tree(tree), alpha);
+
+  StrategyProfile equilibrium = star_profile(game, /*center=*/1);
+  std::vector<Edge> optimum = tree.edges();
+
+  RatioConstruction result{std::move(game), std::move(equilibrium),
+                           std::move(optimum),
+                           paper::theorem15_ratio(n, alpha),
+                           paper::metric_poa(alpha)};
+  return result;
+}
+
+RatioConstruction lemma8_construction(int nodes, double alpha) {
+  GNCG_CHECK(nodes >= 3, "construction needs at least 3 nodes");
+  // Positions: prefix sums of the geometric gaps; w(v0, vi) = (1+2/a)^(i-1).
+  std::vector<double> positions(static_cast<std::size_t>(nodes), 0.0);
+  positions[1] = 1.0;
+  for (int i = 2; i < nodes; ++i)
+    positions[static_cast<std::size_t>(i)] =
+        positions[static_cast<std::size_t>(i - 1)] +
+        (2.0 / alpha) * std::pow(1.0 + 2.0 / alpha, i - 2);
+  const PointSet points = line_points(positions);
+  Game game(HostGraph::from_points(points, /*p=*/1.0), alpha);
+
+  StrategyProfile equilibrium = star_profile(game, /*center=*/0);
+  std::vector<Edge> path;
+  for (int i = 0; i + 1 < nodes; ++i)
+    path.push_back({i, i + 1, game.weight(i, i + 1)});
+
+  RatioConstruction result{std::move(game), std::move(equilibrium),
+                           std::move(path),
+                           std::numeric_limits<double>::quiet_NaN(),
+                           paper::metric_poa(alpha)};
+  return result;
+}
+
+RatioConstruction theorem18_construction(double alpha) {
+  RatioConstruction result = lemma8_construction(4, alpha);
+  result.expected_ratio = paper::theorem18_lower(alpha);
+  result.limit_ratio = paper::theorem18_lower(alpha);
+  return result;
+}
+
+RatioConstruction theorem19_construction(int d, double alpha) {
+  GNCG_CHECK(d >= 1, "dimension must be positive");
+  const int n = 2 * d + 1;
+  PointSet points(n, d);
+  // v_0 = origin; v_1 = e_1; v_2 = -(2/a) e_1; then +-(2/a) e_j, j >= 2.
+  points.set_coord(1, 0, 1.0);
+  points.set_coord(2, 0, -2.0 / alpha);
+  int next = 3;
+  for (int axis = 1; axis < d; ++axis) {
+    points.set_coord(next++, axis, 2.0 / alpha);
+    points.set_coord(next++, axis, -2.0 / alpha);
+  }
+  GNCG_CHECK(next == n, "cross-polytope layout mismatch");
+  Game game(HostGraph::from_points(points, /*p=*/1.0), alpha);
+
+  StrategyProfile equilibrium = star_profile(game, /*center=*/1);
+  std::vector<Edge> optimum;
+  for (int v = 1; v < n; ++v) optimum.push_back({0, v, game.weight(0, v)});
+
+  RatioConstruction result{std::move(game), std::move(equilibrium),
+                           std::move(optimum),
+                           paper::theorem19_lower(alpha, d),
+                           paper::metric_poa(alpha)};
+  return result;
+}
+
+RatioConstruction theorem20_remark_construction(double alpha) {
+  // Nodes: a = 0, b = 1, c = 2; the heavy edge (a, c) has weight (a+2)/2,
+  // which violates the triangle inequality through b for every alpha > 0.
+  const double heavy = (alpha + 2.0) / 2.0;
+  DistanceMatrix weights(3, 0.0);
+  weights.set_symmetric(0, 1, 0.0);
+  weights.set_symmetric(1, 2, 1.0);
+  weights.set_symmetric(0, 2, heavy);
+  Game game(HostGraph::from_weights(std::move(weights), ModelClass::kGeneral),
+            alpha);
+
+  StrategyProfile equilibrium(3);
+  equilibrium.add_buy(0, 1);  // a buys the 0-edge to b
+  equilibrium.add_buy(0, 2);  // a buys the heavy edge to c
+
+  std::vector<Edge> optimum{{0, 1, 0.0}, {1, 2, 1.0}};
+  RatioConstruction result{std::move(game), std::move(equilibrium),
+                           std::move(optimum), paper::metric_poa(alpha),
+                           paper::metric_poa(alpha)};
+  return result;
+}
+
+}  // namespace gncg

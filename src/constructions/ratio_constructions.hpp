@@ -1,0 +1,66 @@
+// Executable lower-bound constructions from the paper: each builder returns
+// a concrete game instance, the equilibrium profile the paper claims, the
+// optimum (or the paper's optimum baseline) and the closed-form ratio the
+// construction is supposed to realize.  Tests verify the equilibrium claims
+// exactly on small sizes; benches sweep the parameters and compare measured
+// ratios against the formulas.
+#pragma once
+
+#include <vector>
+
+#include "core/game.hpp"
+#include "core/social_optimum.hpp"
+
+namespace gncg {
+
+/// A construction consisting of a game, a claimed equilibrium, a reference
+/// optimum network and the paper's predicted cost ratio.
+struct RatioConstruction {
+  Game game;
+  StrategyProfile equilibrium;
+  std::vector<Edge> optimum;
+  double expected_ratio = 0.0;  ///< exact finite-size prediction (NaN if none)
+  double limit_ratio = 0.0;     ///< asymptotic claim the sweep approaches
+};
+
+/// Theorem 8 / Figure 3 (1-2-GNCG, 1/2 <= alpha <= 1).
+/// Host: an N-clique of star centers (1-edges), N leaves per center
+/// (1-edges), and an extra node u joined by 1-edges to every node when
+/// alpha == 1 and only to the centers when alpha < 1; all other weights 2.
+/// Equilibrium: all 1-edges except those between u and leaves.
+/// Optimum: Algorithm 1 (exact for alpha <= 1, Theorem 6).
+/// Ratio -> 3/2 for alpha = 1 and 3/(alpha+2) for 1/2 <= alpha < 1.
+RatioConstruction theorem8_construction(int N, double alpha);
+
+/// Theorem 15 / Figure 6 (T-GNCG).  Star tree: center u = node 0, one leaf
+/// v = node 1 at weight 1 and n-2 leaves at weight 2/alpha.  Equilibrium:
+/// the spanning star centered at v, all edges owned by v.  Optimum: the
+/// tree itself.  Exact ratio ((n-2)(1+2/a)+1)/((n-2)(2/a)+1) -> (a+2)/2.
+RatioConstruction theorem15_construction(int n, double alpha);
+
+/// Lemma 8 / Figure 9 (Rd-GNCG, 1-D points, any p-norm).  Geometric path
+/// v_0..v_{nodes-1} with gaps w(v0,v1)=1 and w(v_{i-1},v_i) =
+/// (2/a)(1+2/a)^(i-2); positions are the prefix sums, so w(v0,vi) =
+/// (1+2/a)^(i-1).  Equilibrium: spanning star centered at v_0 owned by v_0.
+/// Optimum baseline: the path.  Ratio > 1 for every n >= 2 intermediate
+/// node count (the lemma's statement).
+RatioConstruction lemma8_construction(int nodes, double alpha);
+
+/// Theorem 18: the 4-node restriction of the Lemma 8 construction; its
+/// exact ratio is (3a^3+24a^2+40a+24)/(a^3+10a^2+32a+24) under any p-norm.
+RatioConstruction theorem18_construction(double alpha);
+
+/// Theorem 19 / Figure 10 (Rd-GNCG, 1-norm, d dimensions, n = 2d+1 points):
+/// origin v_0, unit point v_1 = e_1, and points at +-(2/alpha) along the
+/// axes (the +e_1 slot replaced by v_1).  Equilibrium: star at v_1 owned by
+/// v_1; optimum: star at the origin.  Ratio = 1 + a/(2 + a/(2d-1)).
+RatioConstruction theorem19_construction(int d, double alpha);
+
+/// Section 4 remark after Theorem 20: the 3-cycle host with weights
+/// {0, 1, (alpha+2)/2}.  Equilibrium: node a buys the 0-edge to b and the
+/// heavy edge to c; optimum: the 0- and 1-edge path.  The social-cost ratio
+/// is (alpha+2)/2 while the per-pair sigma attains ((alpha+2)/2)^2 -- the
+/// instance showing the Theorem 20 proof technique cannot be improved.
+RatioConstruction theorem20_remark_construction(double alpha);
+
+}  // namespace gncg

@@ -1,0 +1,109 @@
+// Best-response computation.
+//
+// Computing a best response is NP-hard in every variant of the game
+// (Corollary 1, Theorems 13 and 16), so the exact solver is a pruned
+// exponential search over subsets of purchase targets:
+//   * candidates are sorted by edge weight;
+//   * a subtree is pruned when its admissible lower bound
+//       alpha * w(partial set) + sum_v d_H(u, v)
+//     cannot beat the incumbent (any built network's distances are bounded
+//     below by the host's shortest-path closure);
+//   * for equilibrium *checks* the incumbent is the agent's current cost and
+//     the search stops at the first strict improvement.
+//
+// Alongside the exact solver live the single-move evaluators (add / delete /
+// swap) that define Greedy and Add-only Equilibria (Lenzner'12 as cited by
+// the paper).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cost.hpp"
+#include "core/game.hpp"
+
+namespace gncg {
+
+/// The network seen by agent u when re-deciding its strategy: every edge
+/// bought by the *other* agents.  Evaluating a candidate S means one
+/// Dijkstra over (environment + edges from u to S).
+class AgentEnvironment {
+ public:
+  AgentEnvironment(const Game& game, const StrategyProfile& s, int u);
+
+  int agent() const { return agent_; }
+
+  /// cost(u) if u plays exactly `targets`: alpha * w(u, targets) + distance
+  /// cost in (environment + candidate edges).
+  double cost_of(const NodeSet& targets) const;
+
+  /// Distance-cost only variant (shared by cost_of and the searches).
+  double distance_cost_of(const NodeSet& targets) const;
+
+ private:
+  const Game* game_;
+  int agent_;
+  std::vector<std::vector<Neighbor>> environment_;
+};
+
+/// Result of an exact best-response search.
+struct BestResponseResult {
+  NodeSet strategy;               ///< best deviation found
+  double cost = kInf;             ///< agent cost of that deviation
+  bool improved = false;          ///< beat the incumbent bound strictly
+  std::uint64_t evaluations = 0;  ///< number of candidate evaluations
+};
+
+/// Options for the exact search.
+struct BestResponseOptions {
+  /// Pruning bound: subtrees that cannot strictly beat it are cut.  Pass the
+  /// agent's current cost for equilibrium checks; kInf for a full argmin.
+  double incumbent = kInf;
+  /// Stop at the first strategy that strictly beats the incumbent (used by
+  /// is_nash_equilibrium; the returned strategy is then *an* improvement,
+  /// not necessarily the best one).
+  bool first_improvement = false;
+};
+
+/// Exact best response of agent u against the rest of profile `s`.
+BestResponseResult exact_best_response(const Game& game,
+                                       const StrategyProfile& s, int u,
+                                       const BestResponseOptions& options = {});
+
+/// True when agent u has *any* strategy strictly cheaper than its current
+/// one (early-exit exact search).
+bool has_improving_deviation(const Game& game, const StrategyProfile& s, int u);
+
+/// Single-move deviations (the Greedy Equilibrium move set).
+enum class MoveType { kNone, kAdd, kDelete, kSwap };
+
+struct SingleMove {
+  MoveType type = MoveType::kNone;
+  int remove = -1;  ///< target whose edge is deleted (kDelete / kSwap)
+  int add = -1;     ///< target whose edge is bought (kAdd / kSwap)
+};
+
+struct SingleMoveResult {
+  SingleMove move;               ///< best single move (kNone if nothing improves)
+  double cost = kInf;            ///< agent cost after the best single move
+  double current_cost = kInf;    ///< agent cost before moving
+  bool improved = false;
+};
+
+/// Best single move (add, delete or swap) of agent u; `current_cost` is
+/// always filled.
+SingleMoveResult best_single_move(const Game& game, const StrategyProfile& s,
+                                  int u);
+
+/// Best edge *addition* only (the Add-only Equilibrium move set).
+SingleMoveResult best_addition(const Game& game, const StrategyProfile& s,
+                               int u);
+
+/// Best edge *swap* only (the move set of swap/asymmetric-swap equilibria
+/// from the basic network creation games the paper builds on).
+SingleMoveResult best_swap(const Game& game, const StrategyProfile& s, int u);
+
+/// Applies `move` to agent u's strategy in place.
+void apply_move(StrategyProfile& s, int u, const SingleMove& move);
+
+}  // namespace gncg

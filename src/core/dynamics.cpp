@@ -1,0 +1,226 @@
+#include "core/dynamics.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "core/facility_location.hpp"
+#include "graph/union_find.hpp"
+
+namespace gncg {
+
+namespace {
+
+/// A proposed deviation for one agent: the strategy and the resulting cost.
+struct Proposal {
+  bool improving = false;
+  NodeSet strategy;
+  double old_cost = kInf;
+  double new_cost = kInf;
+};
+
+Proposal propose(const Game& game, const StrategyProfile& s, int u,
+                 MoveRule rule) {
+  Proposal proposal;
+  switch (rule) {
+    case MoveRule::kBestResponse: {
+      const double current = agent_cost(game, s, u);
+      BestResponseOptions options;
+      options.incumbent = current;
+      const auto br = exact_best_response(game, s, u, options);
+      proposal.old_cost = current;
+      if (br.improved) {
+        proposal.improving = true;
+        proposal.strategy = br.strategy;
+        proposal.new_cost = br.cost;
+      }
+      return proposal;
+    }
+    case MoveRule::kBestSingleMove:
+    case MoveRule::kBestAddition: {
+      const auto move = rule == MoveRule::kBestSingleMove
+                            ? best_single_move(game, s, u)
+                            : best_addition(game, s, u);
+      proposal.old_cost = move.current_cost;
+      if (move.improved) {
+        proposal.improving = true;
+        NodeSet next = s.strategy(u);
+        if (move.move.remove >= 0) next.erase(move.move.remove);
+        if (move.move.add >= 0) next.insert(move.move.add);
+        proposal.strategy = std::move(next);
+        proposal.new_cost = move.cost;
+      }
+      return proposal;
+    }
+    case MoveRule::kUmflResponse: {
+      const double current = agent_cost(game, s, u);
+      NodeSet candidate = approx_best_response_umfl(game, s, u);
+      const AgentEnvironment env(game, s, u);
+      const double cost = env.cost_of(candidate);
+      proposal.old_cost = current;
+      if (improves(cost, current) && !(candidate == s.strategy(u))) {
+        proposal.improving = true;
+        proposal.strategy = std::move(candidate);
+        proposal.new_cost = cost;
+      }
+      return proposal;
+    }
+  }
+  return proposal;
+}
+
+/// Tracks visited profiles for cycle detection (hash index + full-profile
+/// confirmation to rule out collisions).
+class ProfileHistory {
+ public:
+  /// Records `profile` at trajectory position `index`; returns the previous
+  /// position of an identical profile, or npos.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  std::size_t record(const StrategyProfile& profile, std::size_t index) {
+    const std::uint64_t h = profile.hash();
+    auto [it, inserted] = index_.try_emplace(h);
+    for (std::size_t at : it->second)
+      if (profiles_[at] == profile) return at;
+    it->second.push_back(index);
+    if (profiles_.size() <= index) profiles_.resize(index + 1, profile);
+    profiles_[index] = profile;
+    return npos;
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> index_;
+  std::vector<StrategyProfile> profiles_;
+};
+
+}  // namespace
+
+DynamicsResult run_dynamics(const Game& game, StrategyProfile start,
+                            const DynamicsOptions& options) {
+  const int n = game.node_count();
+  GNCG_CHECK(start.node_count() == n, "profile/game size mismatch");
+  Rng rng(options.seed);
+
+  DynamicsResult result;
+  StrategyProfile profile = std::move(start);
+  ProfileHistory history;
+  if (options.detect_cycles) history.record(profile, 0);
+
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+
+  auto take_step = [&](int agent, Proposal&& proposal) -> bool {
+    DynamicsStep step;
+    step.agent = agent;
+    step.old_strategy = profile.strategy(agent);
+    step.new_strategy = proposal.strategy;
+    step.old_cost = proposal.old_cost;
+    step.new_cost = proposal.new_cost;
+    profile.set_strategy(agent, std::move(proposal.strategy));
+    result.steps.push_back(std::move(step));
+    ++result.moves;
+    if (options.detect_cycles) {
+      const std::size_t prev = history.record(profile, result.moves);
+      if (prev != ProfileHistory::npos) {
+        result.cycle_found = true;
+        result.cycle_start = prev;
+        result.cycle_length = result.moves - prev;
+        return true;  // stop
+      }
+    }
+    return result.moves >= options.max_moves;
+  };
+
+  bool stop = false;
+  while (!stop) {
+    ++result.rounds;
+    bool any_move = false;
+    if (options.scheduler == SchedulerKind::kMaxGain) {
+      // Activate the agent with the single largest improvement.
+      int best_agent = -1;
+      Proposal best;
+      double best_gain = 0.0;
+      for (int u = 0; u < n && !stop; ++u) {
+        Proposal p = propose(game, profile, u, options.rule);
+        if (!p.improving) continue;
+        const double gain = (p.old_cost < kInf && p.new_cost < kInf)
+                                ? p.old_cost - p.new_cost
+                                : kInf;
+        if (best_agent < 0 || gain > best_gain) {
+          best_agent = u;
+          best = std::move(p);
+          best_gain = gain;
+        }
+      }
+      if (best_agent >= 0) {
+        any_move = true;
+        stop = take_step(best_agent, std::move(best));
+      }
+    } else {
+      if (options.scheduler == SchedulerKind::kRandomOrder) rng.shuffle(order);
+      for (int u : order) {
+        if (stop) break;
+        Proposal p = propose(game, profile, u, options.rule);
+        if (!p.improving) continue;
+        any_move = true;
+        stop = take_step(u, std::move(p));
+      }
+    }
+    if (!any_move && !stop) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.final_profile = std::move(profile);
+  return result;
+}
+
+bool verify_improvement_cycle(const Game& game, const StrategyProfile& start,
+                              const std::vector<DynamicsStep>& cycle,
+                              bool require_best_response) {
+  if (cycle.empty()) return false;
+  StrategyProfile profile = start;
+  for (const auto& step : cycle) {
+    const double before = agent_cost(game, profile, step.agent);
+    if (profile.strategy(step.agent) != step.old_strategy) return false;
+    StrategyProfile next = profile;
+    next.set_strategy(step.agent, step.new_strategy);
+    const double after = agent_cost(game, next, step.agent);
+    if (!improves(after, before)) return false;
+    if (require_best_response) {
+      const auto br = exact_best_response(game, profile, step.agent);
+      // The landing cost must match the exact best-response cost.
+      const double slack = kImproveEps * std::max(1.0, std::abs(br.cost));
+      if (after > br.cost + slack) return false;
+    }
+    profile = std::move(next);
+  }
+  return profile == start;
+}
+
+StrategyProfile random_profile(const Game& game, Rng& rng,
+                               double extra_edge_prob) {
+  const int n = game.node_count();
+  StrategyProfile profile(n);
+
+  // Random spanning structure over purchasable pairs (random edge order +
+  // union-find), each edge bought by a uniformly random endpoint.
+  std::vector<std::pair<int, int>> pairs;
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v)
+      if (game.can_buy(u, v)) pairs.emplace_back(u, v);
+  rng.shuffle(pairs);
+  UnionFind dsu(n);
+  for (const auto& [u, v] : pairs) {
+    if (dsu.unite(u, v)) {
+      if (rng.bernoulli(0.5)) profile.add_buy(u, v);
+      else profile.add_buy(v, u);
+    } else if (rng.bernoulli(extra_edge_prob)) {
+      if (rng.bernoulli(0.5)) profile.add_buy(u, v);
+      else profile.add_buy(v, u);
+    }
+  }
+  return profile;
+}
+
+}  // namespace gncg

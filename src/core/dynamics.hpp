@@ -1,0 +1,93 @@
+// Game dynamics: sequential improving-move processes and their convergence.
+//
+// The paper shows none of its models has the Finite Improvement Property
+// (Corollary 1, Theorems 14 and 17): improving-move sequences can cycle, so
+// best-response dynamics carry no convergence guarantee.  This engine runs
+// the dynamics anyway -- with several move rules and activation schedulers
+// -- detects revisited strategy profiles (which certifies a best-response /
+// improving-move cycle in the paper's sense), and can replay and re-verify a
+// found cycle step by step.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/best_response.hpp"
+#include "core/game.hpp"
+#include "support/rng.hpp"
+
+namespace gncg {
+
+/// What an activated agent plays.
+enum class MoveRule {
+  kBestResponse,    ///< exact best response (exponential per activation)
+  kBestSingleMove,  ///< best add/delete/swap (the GE move set)
+  kBestAddition,    ///< best single addition (the AE move set)
+  kUmflResponse,    ///< 3-approximate BR via facility-location local search
+};
+
+/// Order in which agents are activated.
+enum class SchedulerKind {
+  kRoundRobin,   ///< fixed order 0..n-1, repeated
+  kRandomOrder,  ///< fresh uniform permutation every round
+  kMaxGain,      ///< activate the agent with the largest cost improvement
+};
+
+struct DynamicsOptions {
+  MoveRule rule = MoveRule::kBestResponse;
+  SchedulerKind scheduler = SchedulerKind::kRoundRobin;
+  std::uint64_t max_moves = 10000;
+  bool detect_cycles = true;
+  std::uint64_t seed = 1;
+};
+
+/// One improving move taken during the run.
+struct DynamicsStep {
+  int agent = -1;
+  NodeSet old_strategy;
+  NodeSet new_strategy;
+  double old_cost = 0.0;
+  double new_cost = 0.0;
+};
+
+struct DynamicsResult {
+  bool converged = false;     ///< a full activation round produced no move
+  bool cycle_found = false;   ///< a strategy profile repeated
+  std::size_t cycle_start = 0;   ///< step index where the cycle begins
+  std::size_t cycle_length = 0;  ///< number of moves in the cycle
+  std::uint64_t moves = 0;
+  std::uint64_t rounds = 0;
+  StrategyProfile final_profile;
+  std::vector<DynamicsStep> steps;  ///< full move trajectory
+
+  /// The moves forming the detected cycle (empty when none).  The cycle's
+  /// start profile equals `final_profile` (the repeated state), so
+  /// `verify_improvement_cycle(game, final_profile, cycle_steps(), ...)`
+  /// certifies it.
+  std::vector<DynamicsStep> cycle_steps() const {
+    if (!cycle_found) return {};
+    return {steps.begin() + static_cast<std::ptrdiff_t>(cycle_start),
+            steps.end()};
+  }
+};
+
+/// Runs sequential dynamics from `start` until convergence, a detected
+/// cycle, or the move budget runs out.
+DynamicsResult run_dynamics(const Game& game, StrategyProfile start,
+                            const DynamicsOptions& options);
+
+/// Replays `cycle` from `start` and verifies that (a) every step strictly
+/// improves the moving agent's cost, (b) when `require_best_response` each
+/// step lands on an exact best response, and (c) the final profile equals
+/// `start`.  This is how found Theorem 14 / 17 cycles are certified.
+bool verify_improvement_cycle(const Game& game, const StrategyProfile& start,
+                              const std::vector<DynamicsStep>& cycle,
+                              bool require_best_response);
+
+/// Random profile generator for dynamics restarts: a uniform random spanning
+/// tree of the purchasable pairs with random edge ownership, plus each
+/// remaining purchasable pair bought with probability `extra_edge_prob`.
+StrategyProfile random_profile(const Game& game, Rng& rng,
+                               double extra_edge_prob = 0.15);
+
+}  // namespace gncg

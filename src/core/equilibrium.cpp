@@ -1,0 +1,76 @@
+#include "core/equilibrium.hpp"
+
+#include <algorithm>
+
+namespace gncg {
+
+namespace {
+
+/// Ratio current/best with the 0/0 -> 1 and x/0 -> inf conventions.
+double cost_ratio(double current, double best) {
+  if (!(best < kInf)) return current < kInf ? 1.0 : 1.0;  // both stuck at inf
+  if (best == 0.0) return current == 0.0 ? 1.0 : kInf;
+  if (!(current < kInf)) return kInf;
+  return current / best;
+}
+
+}  // namespace
+
+bool is_add_only_equilibrium(const Game& game, const StrategyProfile& s) {
+  for (int u = 0; u < game.node_count(); ++u)
+    if (best_addition(game, s, u).improved) return false;
+  return true;
+}
+
+bool is_greedy_equilibrium(const Game& game, const StrategyProfile& s) {
+  for (int u = 0; u < game.node_count(); ++u)
+    if (best_single_move(game, s, u).improved) return false;
+  return true;
+}
+
+bool is_swap_equilibrium(const Game& game, const StrategyProfile& s) {
+  for (int u = 0; u < game.node_count(); ++u)
+    if (best_swap(game, s, u).improved) return false;
+  return true;
+}
+
+bool is_nash_equilibrium(const Game& game, const StrategyProfile& s) {
+  for (int u = 0; u < game.node_count(); ++u)
+    if (has_improving_deviation(game, s, u)) return false;
+  return true;
+}
+
+double nash_approx_factor(const Game& game, const StrategyProfile& s) {
+  double beta = 1.0;
+  for (int u = 0; u < game.node_count(); ++u) {
+    const double current = agent_cost(game, s, u);
+    const auto br = exact_best_response(game, s, u);
+    beta = std::max(beta, cost_ratio(current, br.cost));
+  }
+  return beta;
+}
+
+double greedy_approx_factor(const Game& game, const StrategyProfile& s) {
+  double beta = 1.0;
+  for (int u = 0; u < game.node_count(); ++u) {
+    const auto move = best_single_move(game, s, u);
+    beta = std::max(beta, cost_ratio(move.current_cost, move.cost));
+  }
+  return beta;
+}
+
+AgentEquilibriumReport agent_equilibrium_report(const Game& game,
+                                                const StrategyProfile& s,
+                                                int u) {
+  AgentEquilibriumReport report;
+  report.current_cost = agent_cost(game, s, u);
+  const auto br = exact_best_response(game, s, u);
+  report.best_response_cost = br.cost;
+  report.best_response_improves = improves(br.cost, report.current_cost);
+  const auto move = best_single_move(game, s, u);
+  report.best_single_move_cost = move.cost;
+  report.single_move_improves = move.improved;
+  return report;
+}
+
+}  // namespace gncg

@@ -1,0 +1,59 @@
+// Equilibrium concepts: Nash (NE), Greedy (GE), Add-only (AE) and their
+// beta-approximate variants.
+//
+// Containments (paper, Section 1.1):  NE  =>  GE  =>  AE.
+// The approximation factors connect them quantitatively:
+//   * Theorem 2:   any AE in the M-GNCG is an (alpha+1)-GE,
+//   * Theorem 3:   any GE in the M-GNCG is a 3-NE,
+//   * Corollary 2: any AE in the M-GNCG is a 3(alpha+1)-NE.
+// `nash_approx_factor` / `greedy_approx_factor` measure the realized beta of
+// a profile so the experiments can compare measured beta against these
+// guarantees.
+#pragma once
+
+#include "core/best_response.hpp"
+#include "core/game.hpp"
+
+namespace gncg {
+
+/// True when no agent can strictly improve by buying one extra edge.
+bool is_add_only_equilibrium(const Game& game, const StrategyProfile& s);
+
+/// True when no agent can strictly improve by one add, delete or swap.
+bool is_greedy_equilibrium(const Game& game, const StrategyProfile& s);
+
+/// True when no agent can strictly improve by swapping one owned edge for
+/// another (the swap-only move set of the "basic"/asymmetric-swap network
+/// creation games the paper builds on [Alon et al.'10, Mihalak &
+/// Schlegel'12]).  Weaker than GE: GE => swap equilibrium.
+bool is_swap_equilibrium(const Game& game, const StrategyProfile& s);
+
+/// True when every agent plays an exact best response (pure NE).
+/// Exponential in n per agent; intended for the small instances where the
+/// experiments verify constructions exactly.
+bool is_nash_equilibrium(const Game& game, const StrategyProfile& s);
+
+/// The realized beta of the profile as an approximate NE:
+///   beta = max_u cost(u) / cost(u's exact best response).
+/// 1 means exact NE.  Returns kInf when some agent could move from infinite
+/// to finite cost.
+double nash_approx_factor(const Game& game, const StrategyProfile& s);
+
+/// The realized beta of the profile as an approximate GE:
+///   beta = max_u cost(u) / cost(u's best single move).
+double greedy_approx_factor(const Game& game, const StrategyProfile& s);
+
+/// Per-agent equilibrium diagnostics (used by reports and tests).
+struct AgentEquilibriumReport {
+  double current_cost = 0.0;
+  double best_response_cost = 0.0;
+  double best_single_move_cost = 0.0;
+  bool best_response_improves = false;
+  bool single_move_improves = false;
+};
+
+AgentEquilibriumReport agent_equilibrium_report(const Game& game,
+                                                const StrategyProfile& s,
+                                                int u);
+
+}  // namespace gncg

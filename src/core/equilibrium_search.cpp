@@ -1,0 +1,121 @@
+#include "core/equilibrium_search.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "core/equilibrium.hpp"
+#include "graph/union_find.hpp"
+#include "support/parallel.hpp"
+
+namespace gncg {
+
+double EquilibriumSet::min_cost() const {
+  double best = kInf;
+  for (double c : social_costs) best = std::min(best, c);
+  return best;
+}
+
+double EquilibriumSet::max_cost() const {
+  double worst = -kInf;
+  for (double c : social_costs) worst = std::max(worst, c);
+  return social_costs.empty() ? kInf : worst;
+}
+
+EquilibriumSet enumerate_nash_equilibria(const Game& game,
+                                         const EnumerationOptions& options) {
+  const int n = game.node_count();
+  std::vector<std::pair<int, int>> pairs;
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v)
+      if (game.can_buy(u, v)) pairs.emplace_back(u, v);
+
+  std::uint64_t states = 1;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    GNCG_CHECK(states <= options.max_states / 3,
+               "NE enumeration would visit more than "
+                   << options.max_states
+                   << " states; reduce n or raise max_states");
+    states *= 3;
+  }
+
+  EquilibriumSet result;
+  result.exhaustive = true;
+  std::mutex result_mutex;
+
+  parallel_for(
+      0, states,
+      [&](std::size_t state) {
+        // Decode trits: 0 absent, 1 smaller endpoint buys, 2 larger buys.
+        StrategyProfile profile(n);
+        UnionFind dsu(n);
+        std::uint64_t rest = state;
+        for (const auto& [u, v] : pairs) {
+          const int trit = static_cast<int>(rest % 3);
+          rest /= 3;
+          if (trit == 1) profile.add_buy(u, v);
+          else if (trit == 2) profile.add_buy(v, u);
+          if (trit != 0) dsu.unite(u, v);
+        }
+        if (dsu.components() != 1) return;  // only connected equilibria
+
+        // Cheap rejection: most profiles admit an improving single move.
+        for (int u = 0; u < n; ++u)
+          if (best_single_move(game, profile, u).improved) return;
+        // Full exact check.
+        if (!is_nash_equilibrium(game, profile)) return;
+
+        const double cost = social_cost(game, profile);
+        const std::lock_guard<std::mutex> lock(result_mutex);
+        result.profiles.push_back(std::move(profile));
+        result.social_costs.push_back(cost);
+      },
+      /*grain=*/64);
+  return result;
+}
+
+EquilibriumSet sample_equilibria(const Game& game,
+                                 const SamplingOptions& options) {
+  EquilibriumSet result;
+  Rng rng(options.seed);
+  std::vector<std::uint64_t> seen_hashes;
+  for (int attempt = 0; attempt < options.attempts; ++attempt) {
+    DynamicsOptions dyn;
+    dyn.rule = options.rule;
+    dyn.scheduler = attempt % 2 == 0 ? SchedulerKind::kRoundRobin
+                                     : SchedulerKind::kRandomOrder;
+    dyn.max_moves = options.max_moves;
+    dyn.detect_cycles = true;
+    dyn.seed = rng();
+    auto run = run_dynamics(game, random_profile(game, rng), dyn);
+    if (!run.converged) continue;
+    const std::uint64_t h = run.final_profile.hash();
+    bool duplicate = false;
+    for (std::size_t i = 0; i < seen_hashes.size(); ++i) {
+      if (seen_hashes[i] == h && result.profiles[i] == run.final_profile) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    if (options.verify_exact_ne && !is_nash_equilibrium(game, run.final_profile))
+      continue;
+    seen_hashes.push_back(h);
+    result.social_costs.push_back(social_cost(game, run.final_profile));
+    result.profiles.push_back(std::move(run.final_profile));
+  }
+  return result;
+}
+
+PoaEstimate estimate_poa(const EquilibriumSet& equilibria, double optimum_cost,
+                         bool optimum_exact) {
+  PoaEstimate estimate;
+  estimate.optimum_cost = optimum_cost;
+  estimate.equilibrium_count = equilibria.profiles.size();
+  estimate.exact = equilibria.exhaustive && optimum_exact;
+  if (equilibria.empty() || !(optimum_cost > 0.0)) return estimate;
+  estimate.poa = equilibria.max_cost() / optimum_cost;
+  estimate.pos = equilibria.min_cost() / optimum_cost;
+  return estimate;
+}
+
+}  // namespace gncg

@@ -1,0 +1,76 @@
+// Equilibrium enumeration and sampling, and exact Price of Anarchy for
+// small instances.
+//
+// Exhaustive enumeration walks every ownership-labelled subgraph: each
+// purchasable pair is absent, bought by its smaller endpoint, or bought by
+// its larger endpoint (3^P states).  Profiles where both endpoints buy the
+// same edge are never equilibria for positively weighted edges (one buyer
+// could drop a redundant payment), and the paper notes every equilibrium
+// edge has exactly one owner, so the trit space covers all candidate NE.
+// Disconnected profiles are skipped: with a connected host every agent
+// facing infinite cost is treated as able to deviate, and the PoA literature
+// measures connected outcomes.
+//
+// For instances beyond enumeration, `sample_equilibria` collects converged
+// profiles of randomized best-response dynamics restarts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dynamics.hpp"
+#include "core/game.hpp"
+
+namespace gncg {
+
+/// A set of equilibria with their social costs.
+struct EquilibriumSet {
+  std::vector<StrategyProfile> profiles;
+  std::vector<double> social_costs;
+  bool exhaustive = false;  ///< true when produced by full enumeration
+
+  bool empty() const { return profiles.empty(); }
+
+  double min_cost() const;
+  double max_cost() const;
+};
+
+struct EnumerationOptions {
+  /// Hard cap on 3^(#purchasable pairs); contract-fails beyond it.
+  std::uint64_t max_states = 60'000'000;
+};
+
+/// Exhaustively enumerates all (connected, single-owner) Nash equilibria.
+/// Practical to n = 5 complete hosts by default; n = 6 with a raised cap.
+EquilibriumSet enumerate_nash_equilibria(const Game& game,
+                                         const EnumerationOptions& options = {});
+
+struct SamplingOptions {
+  int attempts = 50;
+  std::uint64_t seed = 1;
+  MoveRule rule = MoveRule::kBestResponse;
+  std::uint64_t max_moves = 5000;
+  /// Re-verify converged profiles with the exact NE check (exponential per
+  /// agent; disable for large n where the move rule itself is the evidence).
+  bool verify_exact_ne = true;
+};
+
+/// Runs dynamics from random profiles and collects the distinct equilibria
+/// reached.  With verify_exact_ne the result contains only certified NE.
+EquilibriumSet sample_equilibria(const Game& game,
+                                 const SamplingOptions& options = {});
+
+/// PoA / PoS estimate of a game given an equilibrium set and the optimum
+/// social cost.
+struct PoaEstimate {
+  double poa = 0.0;           ///< worst equilibrium / OPT
+  double pos = 0.0;           ///< best equilibrium / OPT
+  double optimum_cost = 0.0;
+  std::size_t equilibrium_count = 0;
+  bool exact = false;  ///< equilibria exhaustive AND optimum exact
+};
+
+PoaEstimate estimate_poa(const EquilibriumSet& equilibria, double optimum_cost,
+                         bool optimum_exact);
+
+}  // namespace gncg

@@ -1,0 +1,92 @@
+// Uncapacitated Metric Facility Location (UMFL) and the Theorem 3 reduction.
+//
+// Theorem 3 proves that every Greedy Equilibrium of the M-GNCG is a 3-NE via
+// a locality-gap-preserving reduction to UMFL: for agent u, facilities and
+// clients are the other nodes, opening facility f means buying edge (u, f)
+// (free when f already owns an edge to u), and the service distance from f
+// to client c is w(u, f) + d_{G'}(f, c) where G' is the built network minus
+// u's own edges.  Arya et al. showed UMFL local search (open/close/swap) has
+// locality gap 3, which transfers to the game.
+//
+// This module implements: the UMFL instance type, its exact solver (subset
+// enumeration, for tests), the open/close/swap local search, the reduction
+// from a game position to UMFL, and the induced 3-approximate best response
+// used by large-instance dynamics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/game.hpp"
+
+namespace gncg {
+
+/// An uncapacitated facility-location instance.
+struct UmflInstance {
+  /// Opening cost per facility; kInf marks facilities that may never open.
+  std::vector<double> open_cost;
+  /// service[f][c]: cost of serving client c from facility f (kInf allowed).
+  std::vector<std::vector<double>> service;
+  /// Facilities that every solution must keep open (the reduction's Z set).
+  std::vector<char> forced_open;
+
+  std::size_t facility_count() const { return open_cost.size(); }
+  std::size_t client_count() const {
+    return service.empty() ? 0 : service.front().size();
+  }
+};
+
+/// A facility subset and its total cost.
+struct UmflSolution {
+  std::vector<char> open;
+  double cost = kInf;
+};
+
+/// Total cost of a facility subset: opening costs plus every client's
+/// distance to its nearest open facility (kInf if some client is unserved).
+double umfl_cost(const UmflInstance& instance, const std::vector<char>& open);
+
+/// Exact optimum by enumerating all facility subsets (<= ~20 facilities).
+UmflSolution umfl_exact(const UmflInstance& instance);
+
+/// Local search with single-facility moves (open one / close one / swap
+/// one-for-one), iterating best-improvement until a local optimum.
+/// By Arya et al. the result is a 3-approximation on metric instances.
+UmflSolution umfl_local_search(const UmflInstance& instance,
+                               std::vector<char> start,
+                               std::uint64_t max_iterations = 100000);
+
+/// Convenience: local search started from "all facilities with finite
+/// opening cost open" (always feasible when the instance is feasible).
+UmflSolution umfl_local_search(const UmflInstance& instance,
+                               std::uint64_t max_iterations = 100000);
+
+/// The Theorem 3 reduction from agent u's best-response problem.
+struct BestResponseUmfl {
+  UmflInstance instance;
+  std::vector<int> facility_node;  ///< facility index -> game node id
+  NodeSet owners_towards_agent;    ///< Z: nodes already buying an edge to u
+};
+
+/// Builds the UMFL instance encoding agent u's best-response problem in
+/// profile `s` (u's own edges removed from the network first).
+BestResponseUmfl umfl_from_best_response(const Game& game,
+                                         const StrategyProfile& s, int u);
+
+/// Maps a UMFL solution back to a strategy for agent u: buy towards every
+/// open facility that is not already connected by its owner (S = F \ Z).
+NodeSet umfl_solution_to_strategy(const BestResponseUmfl& reduction,
+                                  const UmflSolution& solution, int n);
+
+/// Maps agent u's candidate strategy to the corresponding facility set
+/// (F_S = S union Z); the paper's bijection pi.
+std::vector<char> strategy_to_umfl_open(const BestResponseUmfl& reduction,
+                                        const NodeSet& strategy);
+
+/// 3-approximate best response via the reduction + local search, started
+/// from u's current strategy.  Used by dynamics on instances too large for
+/// the exact search.
+NodeSet approx_best_response_umfl(const Game& game, const StrategyProfile& s,
+                                  int u);
+
+}  // namespace gncg

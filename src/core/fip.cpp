@@ -1,0 +1,239 @@
+#include "core/fip.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/best_response.hpp"
+
+namespace gncg {
+
+namespace {
+
+/// Improvement-graph arc: agent `u` switching to candidate-mask `mask`.
+struct Arc {
+  int agent = -1;
+  std::uint32_t mask = 0;
+  double old_cost = 0.0;
+  double new_cost = 0.0;
+};
+
+/// DFS frame: a gray state plus its outgoing arcs and the step that led in.
+struct Frame {
+  std::uint64_t state = 0;
+  StrategyProfile profile;
+  std::vector<Arc> arcs;
+  std::size_t next_arc = 0;
+  DynamicsStep incoming;  // step from the parent frame (unset for roots)
+};
+
+/// Candidate-target lists and the mixed-radix state encoding.
+class StateCodec {
+ public:
+  StateCodec(const Game& game, std::uint64_t max_states) : game_(&game) {
+    const int n = game.node_count();
+    candidates_.resize(static_cast<std::size_t>(n));
+    strides_.resize(static_cast<std::size_t>(n));
+    total_ = 1;
+    for (int u = 0; u < n; ++u) {
+      for (int v = 0; v < n; ++v)
+        if (game.can_buy(u, v))
+          candidates_[static_cast<std::size_t>(u)].push_back(v);
+      const std::size_t k = candidates_[static_cast<std::size_t>(u)].size();
+      GNCG_CHECK(k < 32, "too many candidates per agent for mask encoding");
+      strides_[static_cast<std::size_t>(u)] = total_;
+      const std::uint64_t options = std::uint64_t{1} << k;
+      GNCG_CHECK(total_ <= max_states / options,
+                 "exhaustive FIP state space exceeds max_states="
+                     << max_states << "; use the heuristic search instead");
+      total_ *= options;
+    }
+  }
+
+  std::uint64_t total_states() const { return total_; }
+
+  const std::vector<int>& candidates(int u) const {
+    return candidates_[static_cast<std::size_t>(u)];
+  }
+
+  std::uint32_t mask_of(const StrategyProfile& profile, int u) const {
+    std::uint32_t mask = 0;
+    const auto& cand = candidates(u);
+    for (std::size_t i = 0; i < cand.size(); ++i)
+      if (profile.buys(u, cand[i])) mask |= std::uint32_t{1} << i;
+    return mask;
+  }
+
+  NodeSet strategy_of(std::uint32_t mask, int u) const {
+    NodeSet strategy(game_->node_count());
+    const auto& cand = candidates(u);
+    for (std::size_t i = 0; i < cand.size(); ++i)
+      if ((mask >> i) & 1U) strategy.insert(cand[i]);
+    return strategy;
+  }
+
+  std::uint64_t encode(const StrategyProfile& profile) const {
+    std::uint64_t state = 0;
+    for (int u = 0; u < game_->node_count(); ++u)
+      state += strides_[static_cast<std::size_t>(u)] * mask_of(profile, u);
+    return state;
+  }
+
+  StrategyProfile decode(std::uint64_t state) const {
+    const int n = game_->node_count();
+    StrategyProfile profile(n);
+    for (int u = 0; u < n; ++u) {
+      const std::size_t k = candidates(u).size();
+      const std::uint64_t options = std::uint64_t{1} << k;
+      const auto mask = static_cast<std::uint32_t>(
+          (state / strides_[static_cast<std::size_t>(u)]) % options);
+      profile.set_strategy(u, strategy_of(mask, u));
+    }
+    return profile;
+  }
+
+ private:
+  const Game* game_;
+  std::vector<std::vector<int>> candidates_;
+  std::vector<std::uint64_t> strides_;
+  std::uint64_t total_ = 1;
+};
+
+/// All improving (or best-response) arcs out of `profile`.
+std::vector<Arc> outgoing_arcs(const Game& game, const StateCodec& codec,
+                               const StrategyProfile& profile,
+                               bool best_response_only) {
+  std::vector<Arc> arcs;
+  const int n = game.node_count();
+  for (int u = 0; u < n; ++u) {
+    const AgentEnvironment env(game, profile, u);
+    const std::uint32_t current_mask = codec.mask_of(profile, u);
+    const std::size_t k = codec.candidates(u).size();
+    const std::uint32_t options = std::uint32_t{1} << k;
+    const double current_cost = env.cost_of(codec.strategy_of(current_mask, u));
+
+    std::vector<double> costs(options, kInf);
+    double best = kInf;
+    for (std::uint32_t mask = 0; mask < options; ++mask) {
+      costs[mask] = env.cost_of(codec.strategy_of(mask, u));
+      best = std::min(best, costs[mask]);
+    }
+    for (std::uint32_t mask = 0; mask < options; ++mask) {
+      if (mask == current_mask) continue;
+      if (!improves(costs[mask], current_cost)) continue;
+      if (best_response_only) {
+        // Best-response arcs: the deviation must itself be a best response.
+        const double slack = kImproveEps * std::max(1.0, std::abs(best));
+        if (costs[mask] > best + slack) continue;
+      }
+      arcs.push_back({u, mask, current_cost, costs[mask]});
+    }
+  }
+  return arcs;
+}
+
+}  // namespace
+
+FipAnalysis exhaustive_fip_analysis(const Game& game,
+                                    const ExhaustiveFipOptions& options) {
+  const StateCodec codec(game, options.max_states);
+  const std::uint64_t total = codec.total_states();
+
+  FipAnalysis analysis;
+  analysis.exhaustive = true;
+
+  enum : std::uint8_t { kWhite = 0, kGray = 1, kBlack = 2 };
+  std::vector<std::uint8_t> color(total, kWhite);
+
+  for (std::uint64_t root = 0; root < total; ++root) {
+    if (color[root] != kWhite) continue;
+    std::vector<Frame> stack;
+    color[root] = kGray;
+    ++analysis.states_visited;
+    {
+      Frame frame;
+      frame.state = root;
+      frame.profile = codec.decode(root);
+      frame.arcs = outgoing_arcs(game, codec, frame.profile,
+                                 options.best_response_arcs_only);
+      stack.push_back(std::move(frame));
+    }
+    while (!stack.empty()) {
+      Frame& top = stack.back();
+      if (top.next_arc >= top.arcs.size()) {
+        color[top.state] = kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const Arc arc = top.arcs[top.next_arc++];
+      StrategyProfile child_profile = top.profile;
+      NodeSet new_strategy = codec.strategy_of(arc.mask, arc.agent);
+      DynamicsStep step;
+      step.agent = arc.agent;
+      step.old_strategy = child_profile.strategy(arc.agent);
+      step.new_strategy = new_strategy;
+      step.old_cost = arc.old_cost;
+      step.new_cost = arc.new_cost;
+      child_profile.set_strategy(arc.agent, std::move(new_strategy));
+      const std::uint64_t child = codec.encode(child_profile);
+
+      if (color[child] == kGray) {
+        // Cycle: the gray frame for `child` up through `top` plus this arc.
+        std::size_t begin = 0;
+        while (begin < stack.size() && stack[begin].state != child) ++begin;
+        GNCG_CHECK(begin < stack.size(), "gray state missing from DFS stack");
+        analysis.cycle_found = true;
+        analysis.cycle_start = stack[begin].profile;
+        analysis.cycle.clear();
+        for (std::size_t i = begin + 1; i < stack.size(); ++i)
+          analysis.cycle.push_back(stack[i].incoming);
+        analysis.cycle.push_back(step);
+        return analysis;
+      }
+      if (color[child] == kWhite) {
+        color[child] = kGray;
+        ++analysis.states_visited;
+        Frame frame;
+        frame.state = child;
+        frame.profile = std::move(child_profile);
+        frame.arcs = outgoing_arcs(game, codec, frame.profile,
+                                   options.best_response_arcs_only);
+        frame.incoming = std::move(step);
+        stack.push_back(std::move(frame));
+      }
+    }
+  }
+  return analysis;
+}
+
+FipAnalysis search_best_response_cycle(const Game& game, int attempts,
+                                       std::uint64_t seed,
+                                       std::uint64_t max_moves_per_attempt) {
+  FipAnalysis analysis;
+  Rng rng(seed);
+  const SchedulerKind schedulers[] = {SchedulerKind::kRoundRobin,
+                                      SchedulerKind::kRandomOrder,
+                                      SchedulerKind::kMaxGain};
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    DynamicsOptions options;
+    options.rule = MoveRule::kBestResponse;
+    options.scheduler = schedulers[attempt % 3];
+    options.max_moves = max_moves_per_attempt;
+    options.detect_cycles = true;
+    options.seed = rng();
+    StrategyProfile start = random_profile(game, rng);
+    const auto result = run_dynamics(game, std::move(start), options);
+    ++analysis.states_visited;  // here: number of attempts made
+    if (result.cycle_found &&
+        verify_improvement_cycle(game, result.final_profile,
+                                 result.cycle_steps(),
+                                 /*require_best_response=*/true)) {
+      analysis.cycle_found = true;
+      analysis.cycle_start = result.final_profile;
+      analysis.cycle = result.cycle_steps();
+      return analysis;
+    }
+  }
+  return analysis;
+}
+
+}  // namespace gncg

@@ -1,0 +1,60 @@
+// Finite Improvement Property (FIP) analysis.
+//
+// A game has the FIP iff every sequence of improving strategy changes is
+// finite, which is equivalent to being a (generalized ordinal) potential
+// game [Monderer & Shapley'96].  Equivalently: the *improvement graph* --
+// nodes are strategy profiles, arcs are single-agent strictly-improving
+// deviations -- is acyclic.  The paper proves all GNCG variants violate the
+// FIP (Corollary 1, Theorems 14 and 17).
+//
+// This module decides the FIP *exactly* for small instances by DFS cycle
+// detection over the full improvement graph (exponential state space,
+// contract-limited), and searches heuristically for best-response cycles on
+// larger instances by running scheduler/seed grids of best-response dynamics
+// with profile-revisit detection.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dynamics.hpp"
+#include "core/game.hpp"
+
+namespace gncg {
+
+/// Outcome of a FIP analysis.
+struct FipAnalysis {
+  bool cycle_found = false;
+  /// When found: the cyclic move sequence, starting from `cycle_start`.
+  StrategyProfile cycle_start;
+  std::vector<DynamicsStep> cycle;
+  /// Exhaustive search only: true when the entire state space was examined
+  /// (so `!cycle_found` proves the instance HAS the FIP).
+  bool exhaustive = false;
+  std::uint64_t states_visited = 0;
+};
+
+/// Options for the exhaustive improvement-graph search.
+struct ExhaustiveFipOptions {
+  /// Hard cap on the state-space size prod_u 2^(#candidates of u);
+  /// the call contract-fails when the instance exceeds it.
+  std::uint64_t max_states = 1u << 20;
+  /// Restrict arcs to *best-response* deviations (a found cycle is then a
+  /// best-response cycle in the paper's sense, the stronger witness).
+  bool best_response_arcs_only = false;
+};
+
+/// Exhaustive DFS over the improvement graph of a tiny instance.  Decides
+/// the FIP for the instance: cycle_found == false and exhaustive == true
+/// proves every improving sequence terminates.
+FipAnalysis exhaustive_fip_analysis(const Game& game,
+                                    const ExhaustiveFipOptions& options = {});
+
+/// Heuristic best-response-cycle search: best-response dynamics with cycle
+/// detection from `attempts` random starts across schedulers.  A found
+/// cycle is verified move-by-move before being reported.
+FipAnalysis search_best_response_cycle(const Game& game, int attempts,
+                                       std::uint64_t seed,
+                                       std::uint64_t max_moves_per_attempt = 2000);
+
+}  // namespace gncg

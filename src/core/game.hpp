@@ -1,0 +1,123 @@
+// The Generalized Network Creation Game (GNCG) of Bilò, Friedrich, Lenzner
+// and Melnichenko (SPAA'19): game instances and strategy profiles.
+//
+// A game is a complete weighted host graph H plus the trade-off parameter
+// alpha > 0.  Agent u's strategy S_u is a set of nodes it buys edges to; a
+// strategy profile induces the built network
+//   G(s) = (V, {(u,v) : v in S_u for some u}).
+// Agent u pays alpha * w(u, S_u) plus the sum of its distances in G(s).
+//
+// StrategyProfile keeps one NodeSet per agent (ownership is directional:
+// buys(u, v) says *u pays* for the undirected edge (u, v)).  Both endpoints
+// buying the same edge is representable -- the paper notes it is always
+// dominated, and our equilibrium enumeration skips it, but dynamics must be
+// able to pass through such states.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/weighted_graph.hpp"
+#include "metric/host_graph.hpp"
+#include "support/node_set.hpp"
+
+namespace gncg {
+
+/// An immutable game instance: host graph + alpha.  Precomputes the host's
+/// shortest-path closure, which lower-bounds any built network's distances
+/// and powers the branch-and-bound in best response and optimum search.
+class Game {
+ public:
+  Game(HostGraph host, double alpha);
+
+  int node_count() const { return host_.node_count(); }
+  double alpha() const { return alpha_; }
+  const HostGraph& host() const { return host_; }
+  double weight(int u, int v) const { return host_.weight(u, v); }
+
+  /// Shortest-path distance in the host graph (closure of the weights).
+  double host_distance(int u, int v) const { return closure_.at(u, v); }
+  const DistanceMatrix& host_closure() const { return closure_; }
+
+  /// Sum over v of host_distance(u, v): an admissible lower bound on any
+  /// strategy's distance cost for agent u.
+  double host_distance_sum(int u) const {
+    return closure_sums_[static_cast<std::size_t>(u)];
+  }
+
+  /// True when agent u may buy the edge towards v (finite host weight).
+  bool can_buy(int u, int v) const {
+    return u != v && weight(u, v) < kInf;
+  }
+
+ private:
+  HostGraph host_;
+  double alpha_;
+  DistanceMatrix closure_;
+  std::vector<double> closure_sums_;
+};
+
+/// A strategy profile: one bought-set per agent.
+class StrategyProfile {
+ public:
+  StrategyProfile() = default;
+
+  /// All-empty profile for n agents.
+  explicit StrategyProfile(int n);
+
+  int node_count() const { return static_cast<int>(strategies_.size()); }
+
+  /// True when v is in S_u (u pays for edge (u, v)).
+  bool buys(int u, int v) const { return strategies_[idx(u)].contains(v); }
+
+  /// True when the undirected edge (u, v) is present in the built network.
+  bool has_edge(int u, int v) const { return buys(u, v) || buys(v, u); }
+
+  void add_buy(int u, int v);
+  void remove_buy(int u, int v);
+
+  const NodeSet& strategy(int u) const { return strategies_[idx(u)]; }
+  void set_strategy(int u, NodeSet strategy);
+
+  /// Number of edges agent u buys.
+  int bought_count(int u) const { return strategies_[idx(u)].size(); }
+
+  /// Number of distinct built (undirected) edges.
+  int built_edge_count() const;
+
+  /// 64-bit fingerprint of the profile (cycle detection).
+  std::uint64_t hash() const;
+
+  bool operator==(const StrategyProfile& other) const {
+    return strategies_ == other.strategies_;
+  }
+  bool operator!=(const StrategyProfile& other) const {
+    return !(*this == other);
+  }
+
+ private:
+  std::size_t idx(int u) const {
+    GNCG_DASSERT(u >= 0 && u < node_count());
+    return static_cast<std::size_t>(u);
+  }
+
+  std::vector<NodeSet> strategies_;
+};
+
+/// Adjacency lists of the built network G(s) with host weights.
+std::vector<std::vector<Neighbor>> build_adjacency(const Game& game,
+                                                   const StrategyProfile& s);
+
+/// The built network as a WeightedGraph (duplicate-ownership edges collapse
+/// into one undirected edge).
+WeightedGraph built_graph(const Game& game, const StrategyProfile& s);
+
+/// Profile in which every edge of `edges` is bought by its smaller-id
+/// endpoint (the canonical ownership used when ownership is irrelevant).
+StrategyProfile profile_from_edges(const Game& game,
+                                   const std::vector<Edge>& edges);
+
+/// Star profile: `center` buys an edge to every other node.
+StrategyProfile star_profile(const Game& game, int center);
+
+}  // namespace gncg

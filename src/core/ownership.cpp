@@ -1,0 +1,62 @@
+#include "core/ownership.hpp"
+
+#include <atomic>
+#include <mutex>
+
+#include "core/equilibrium.hpp"
+#include "support/parallel.hpp"
+
+namespace gncg {
+
+namespace {
+
+std::optional<StrategyProfile> search_ownership(
+    const Game& game, const std::vector<Edge>& edges, int max_edges,
+    bool require_nash) {
+  const int e = static_cast<int>(edges.size());
+  GNCG_CHECK(e <= max_edges, "ownership search over " << e
+                                                      << " edges exceeds limit "
+                                                      << max_edges);
+  const std::uint64_t assignments = std::uint64_t{1} << e;
+
+  std::atomic<bool> found{false};
+  std::optional<StrategyProfile> result;
+  std::mutex result_mutex;
+
+  parallel_for(
+      0, assignments,
+      [&](std::size_t mask) {
+        if (found.load(std::memory_order_relaxed)) return;
+        StrategyProfile profile(game.node_count());
+        for (int i = 0; i < e; ++i) {
+          const auto& edge = edges[static_cast<std::size_t>(i)];
+          if ((mask >> i) & 1U) profile.add_buy(edge.u, edge.v);
+          else profile.add_buy(edge.v, edge.u);
+        }
+        const bool ok = require_nash ? is_nash_equilibrium(game, profile)
+                                     : is_greedy_equilibrium(game, profile);
+        if (ok) {
+          const std::lock_guard<std::mutex> lock(result_mutex);
+          if (!result.has_value()) {
+            result = std::move(profile);
+            found.store(true, std::memory_order_relaxed);
+          }
+        }
+      },
+      /*grain=*/8);
+  return result;
+}
+
+}  // namespace
+
+std::optional<StrategyProfile> find_nash_ownership(
+    const Game& game, const std::vector<Edge>& edges, int max_edges) {
+  return search_ownership(game, edges, max_edges, /*require_nash=*/true);
+}
+
+std::optional<StrategyProfile> find_greedy_ownership(
+    const Game& game, const std::vector<Edge>& edges, int max_edges) {
+  return search_ownership(game, edges, max_edges, /*require_nash=*/false);
+}
+
+}  // namespace gncg

@@ -1,0 +1,29 @@
+// Edge-ownership search.
+//
+// Theorem 5 proves that a minimum-weight 3/2-spanner of a 1-2 host admits
+// SOME edge-ownership assignment that is a Nash equilibrium (for
+// 1/2 <= alpha <= 1) -- the proof is existential.  This module searches the
+// 2^|E| ownership assignments of a fixed edge set for one that is a NE,
+// which is how the experiments verify the theorem on concrete instances.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/game.hpp"
+
+namespace gncg {
+
+/// Searches all 2^|edges| ownership assignments of `edges` for a Nash
+/// equilibrium profile; returns the first found (parallel scan) or nullopt.
+/// Contract-fails when |edges| exceeds `max_edges` (default 2^20 states).
+std::optional<StrategyProfile> find_nash_ownership(
+    const Game& game, const std::vector<Edge>& edges, int max_edges = 20);
+
+/// Same search but only requiring a Greedy Equilibrium (cheaper check, used
+/// as a pre-pass and for larger edge sets).
+std::optional<StrategyProfile> find_greedy_ownership(
+    const Game& game, const std::vector<Edge>& edges, int max_edges = 20);
+
+}  // namespace gncg

@@ -1,0 +1,69 @@
+// Closed-form Price-of-Anarchy bounds from the paper, collected in one
+// place so benches and tests compare measured ratios against the exact
+// published expressions.
+#pragma once
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace gncg {
+namespace paper {
+
+/// Theorem 1: PoA of the M-GNCG is at most (alpha + 2) / 2 (tight with
+/// Theorem 15).
+inline double metric_poa(double alpha) { return (alpha + 2.0) / 2.0; }
+
+/// Theorem 20: PoA of the general GNCG is at most ((alpha + 2) / 2)^2.
+inline double general_poa_upper(double alpha) {
+  const double half = (alpha + 2.0) / 2.0;
+  return half * half;
+}
+
+/// Theorems 7-9: tight PoA of the 1-2-GNCG for alpha <= 1.
+///   alpha <  1/2 : 1            (Theorem 9)
+///   1/2 <= a < 1 : 3/(alpha+2)  (Theorems 7 + 8)
+///   alpha == 1   : 3/2          (Theorems 8 + 1)
+inline double one_two_poa_low_alpha(double alpha) {
+  GNCG_CHECK(alpha <= 1.0, "closed form only covers alpha <= 1");
+  if (alpha < 0.5) return 1.0;
+  if (alpha < 1.0) return 3.0 / (alpha + 2.0);
+  return 1.5;
+}
+
+/// Theorem 15 construction: finite-n cost ratio of the NE star S_n versus
+/// the optimum star S*_n on the star tree metric.  The (2n + alpha - 2)
+/// factor cancels, leaving
+///   ratio(n, alpha) = ((n-2)(1 + 2/alpha) + 1) / ((n-2)(2/alpha) + 1),
+/// which tends to (alpha + 2)/2 as n grows.
+inline double theorem15_ratio(int n, double alpha) {
+  GNCG_CHECK(n >= 3, "construction needs n >= 3");
+  const double k = static_cast<double>(n - 2);
+  return (k * (1.0 + 2.0 / alpha) + 1.0) / (k * (2.0 / alpha) + 1.0);
+}
+
+/// Theorem 18: PoA lower bound of the Rd-GNCG (any p-norm, 4 points):
+///   (3 a^3 + 24 a^2 + 40 a + 24) / (a^3 + 10 a^2 + 32 a + 24).
+inline double theorem18_lower(double alpha) {
+  const double a = alpha;
+  return (3.0 * a * a * a + 24.0 * a * a + 40.0 * a + 24.0) /
+         (a * a * a + 10.0 * a * a + 32.0 * a + 24.0);
+}
+
+/// Theorem 19: PoA lower bound of the d-dimensional 1-norm Rd-GNCG:
+///   1 + alpha / (2 + alpha / (2d - 1))   ->   (alpha + 2)/2 as d -> inf.
+inline double theorem19_lower(double alpha, int d) {
+  GNCG_CHECK(d >= 1, "dimension must be positive");
+  return 1.0 + alpha / (2.0 + alpha / (2.0 * d - 1.0));
+}
+
+/// Fabrikant et al. upper bound O(sqrt(alpha)) carried to the 1-2-GNCG by
+/// Theorem 11: any NE has weighted diameter O(sqrt(alpha)); exposed here as
+/// the sqrt for diameter comparisons (the constant is not pinned down by
+/// the paper).
+inline double theorem11_diameter_scale(double alpha) {
+  return alpha < 0.0 ? 0.0 : std::sqrt(alpha);
+}
+
+}  // namespace paper
+}  // namespace gncg

@@ -1,0 +1,228 @@
+#include "core/social_optimum.hpp"
+
+#include <algorithm>
+
+#include "graph/dijkstra.hpp"
+#include "graph/mst.hpp"
+#include "graph/union_find.hpp"
+#include "support/parallel.hpp"
+
+namespace gncg {
+
+namespace {
+
+/// Purchasable pairs of the host, sorted for stable enumeration.
+std::vector<Edge> purchasable_pairs(const Game& game) {
+  std::vector<Edge> pairs;
+  const int n = game.node_count();
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v)
+      if (game.can_buy(u, v)) pairs.push_back({u, v, game.weight(u, v)});
+  return pairs;
+}
+
+/// Social cost of the edge subset selected by `mask` over `pairs`;
+/// kInf when disconnected.  `adjacency` and `dist` are caller scratch.
+double mask_cost(const Game& game, const std::vector<Edge>& pairs,
+                 std::uint64_t mask,
+                 std::vector<std::vector<Neighbor>>& adjacency,
+                 std::vector<double>& dist) {
+  const int n = game.node_count();
+  for (auto& list : adjacency) list.clear();
+  double edge_weight = 0.0;
+  UnionFind dsu(n);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (!((mask >> i) & 1U)) continue;
+    const auto& e = pairs[i];
+    adjacency[static_cast<std::size_t>(e.u)].push_back({e.v, e.weight});
+    adjacency[static_cast<std::size_t>(e.v)].push_back({e.u, e.weight});
+    edge_weight += e.weight;
+    dsu.unite(e.u, e.v);
+  }
+  if (dsu.components() != 1) return kInf;
+  double dist_total = 0.0;
+  for (int src = 0; src < n; ++src) {
+    dijkstra_over(
+        n, src,
+        [&](int x, auto&& visit) {
+          for (const auto& nb : adjacency[static_cast<std::size_t>(x)])
+            visit(nb.to, nb.weight);
+        },
+        dist);
+    for (double d : dist) dist_total += d;
+  }
+  return game.alpha() * edge_weight + dist_total;
+}
+
+NetworkDesign design_from_edges(const Game& game, std::vector<Edge> edges) {
+  NetworkDesign design;
+  design.cost = network_social_cost_breakdown(game, edges);
+  design.edges = std::move(edges);
+  return design;
+}
+
+}  // namespace
+
+NetworkDesign exact_social_optimum(const Game& game,
+                                   const ExactOptimumOptions& options) {
+  const auto pairs = purchasable_pairs(game);
+  const std::size_t p = pairs.size();
+  GNCG_CHECK(p < 63, "too many purchasable pairs for subset enumeration");
+  const std::uint64_t subsets = std::uint64_t{1} << p;
+  GNCG_CHECK(subsets <= options.max_subsets,
+             "exact optimum would enumerate " << subsets
+                                              << " subsets; raise max_subsets "
+                                                 "or use the heuristic");
+
+  // Admissible distance floor: any network's distance cost is at least the
+  // host-closure ordered-pair sum.
+  double dist_floor = 0.0;
+  for (int u = 0; u < game.node_count(); ++u)
+    dist_floor += game.host_distance_sum(u);
+
+  // Initial incumbent: the better of the MST and the full candidate set.
+  std::uint64_t best_mask = subsets - 1;
+  double best_cost;
+  {
+    std::vector<std::vector<Neighbor>> adjacency(
+        static_cast<std::size_t>(game.node_count()));
+    std::vector<double> dist;
+    best_cost = mask_cost(game, pairs, best_mask, adjacency, dist);
+    const auto mst = prim_mst(game.host().weights());
+    std::uint64_t mst_mask = 0;
+    for (const auto& e : mst)
+      for (std::size_t i = 0; i < p; ++i)
+        if (pairs[i].u == e.u && pairs[i].v == e.v)
+          mst_mask |= std::uint64_t{1} << i;
+    const double mst_cost = mask_cost(game, pairs, mst_mask, adjacency, dist);
+    if (mst_cost < best_cost) {
+      best_cost = mst_cost;
+      best_mask = mst_mask;
+    }
+  }
+
+  struct Acc {
+    double cost = kInf;
+    std::uint64_t mask = 0;
+    std::vector<std::vector<Neighbor>> adjacency;
+    std::vector<double> dist;
+  };
+  const double alpha = game.alpha();
+  Acc best = parallel_reduce<Acc>(
+      0, subsets,
+      [&] {
+        Acc acc;
+        acc.cost = best_cost;
+        acc.mask = best_mask;
+        acc.adjacency.resize(static_cast<std::size_t>(game.node_count()));
+        return acc;
+      },
+      [&](Acc& acc, std::size_t index) {
+        const auto mask = static_cast<std::uint64_t>(index);
+        // Edge-cost pruning against the thread-local incumbent.
+        double edge_weight = 0.0;
+        for (std::size_t i = 0; i < p; ++i)
+          if ((mask >> i) & 1U) edge_weight += pairs[i].weight;
+        if (alpha * edge_weight + dist_floor >= acc.cost) return;
+        const double cost = mask_cost(game, pairs, mask, acc.adjacency, acc.dist);
+        if (cost < acc.cost) {
+          acc.cost = cost;
+          acc.mask = mask;
+        }
+      },
+      [](Acc& total, const Acc& part) {
+        if (part.cost < total.cost) {
+          total.cost = part.cost;
+          total.mask = part.mask;
+        }
+      },
+      /*grain=*/512);
+
+  std::vector<Edge> edges;
+  for (std::size_t i = 0; i < p; ++i)
+    if ((best.mask >> i) & 1U) edges.push_back(pairs[i]);
+  return design_from_edges(game, std::move(edges));
+}
+
+NetworkDesign algorithm1_one_two(const Game& game) {
+  GNCG_CHECK(game.host().is_one_two(),
+             "Algorithm 1 requires a 1-2 host graph");
+  const int n = game.node_count();
+  std::vector<Edge> edges;
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      const double w = game.weight(u, v);
+      if (w == 2.0) {
+        // Drop the 2-edge when some x closes a 1-1-2 triangle.
+        bool in_triangle = false;
+        for (int x = 0; x < n && !in_triangle; ++x)
+          if (x != u && x != v && game.weight(u, x) == 1.0 &&
+              game.weight(x, v) == 1.0)
+            in_triangle = true;
+        if (in_triangle) continue;
+      }
+      edges.push_back({u, v, w});
+    }
+  }
+  return design_from_edges(game, std::move(edges));
+}
+
+NetworkDesign tree_optimum(const Game& game) {
+  const auto& tree_edges = game.host().tree_edges();
+  GNCG_CHECK(tree_edges.has_value(),
+             "tree_optimum requires a host built from a tree");
+  return design_from_edges(game, *tree_edges);
+}
+
+NetworkDesign mst_network(const Game& game) {
+  return design_from_edges(game, prim_mst(game.host().weights()));
+}
+
+NetworkDesign local_search_optimum(const Game& game,
+                                   std::uint64_t max_iterations) {
+  const auto pairs = purchasable_pairs(game);
+  std::vector<char> selected(pairs.size(), 0);
+  {
+    const auto mst = prim_mst(game.host().weights());
+    for (const auto& e : mst)
+      for (std::size_t i = 0; i < pairs.size(); ++i)
+        if (pairs[i].u == e.u && pairs[i].v == e.v) selected[i] = 1;
+  }
+  auto cost_of = [&](const std::vector<char>& sel) {
+    std::vector<Edge> edges;
+    for (std::size_t i = 0; i < sel.size(); ++i)
+      if (sel[i]) edges.push_back(pairs[i]);
+    return network_social_cost(game, edges);
+  };
+  double current = cost_of(selected);
+  for (std::uint64_t iter = 0; iter < max_iterations; ++iter) {
+    double best = current;
+    std::size_t best_toggle = pairs.size();
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      selected[i] = static_cast<char>(!selected[i]);
+      const double cost = cost_of(selected);
+      selected[i] = static_cast<char>(!selected[i]);
+      if (improves(cost, best)) {
+        best = cost;
+        best_toggle = i;
+      }
+    }
+    if (best_toggle == pairs.size()) break;
+    selected[best_toggle] = static_cast<char>(!selected[best_toggle]);
+    current = best;
+  }
+  std::vector<Edge> edges;
+  for (std::size_t i = 0; i < pairs.size(); ++i)
+    if (selected[i]) edges.push_back(pairs[i]);
+  return design_from_edges(game, std::move(edges));
+}
+
+double social_optimum_lower_bound(const Game& game) {
+  const auto mst = prim_mst(game.host().weights());
+  double dist_floor = 0.0;
+  for (int u = 0; u < game.node_count(); ++u)
+    dist_floor += game.host_distance_sum(u);
+  return game.alpha() * edge_list_weight(mst) + dist_floor;
+}
+
+}  // namespace gncg

@@ -1,0 +1,63 @@
+// Social optimum computation.
+//
+// The social optimum OPT minimizes alpha * sum(w(E)) + sum_u d_G(u, V) over
+// all subgraphs of the host -- the game-theoretic analogue of the classical
+// Network Design Problem, which the paper strongly suspects is NP-hard for
+// all variants except two tractable islands:
+//   * Theorem 6 / Algorithm 1: for the 1-2-GNCG with alpha <= 1, OPT is the
+//     complete graph minus every 2-edge that closes a 1-1-2 triangle.
+//   * Corollary 3: for the T-GNCG, OPT is the metric-defining tree itself.
+// Accordingly this module offers: the two polynomial special cases, an exact
+// exponential enumerator for small n (parallel branch-pruned subset scan),
+// a greedy/local-search heuristic for larger n, and an admissible lower
+// bound (alpha * MST + host-closure distance floor) used when exactness is
+// out of reach.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cost.hpp"
+#include "core/game.hpp"
+
+namespace gncg {
+
+/// An ownership-free candidate network with its social cost.
+struct NetworkDesign {
+  std::vector<Edge> edges;
+  SocialCostBreakdown cost;
+};
+
+/// Options for the exact optimum enumeration.
+struct ExactOptimumOptions {
+  /// Hard cap on 2^(#purchasable pairs); contract-fails beyond it.
+  std::uint64_t max_subsets = std::uint64_t{1} << 24;
+};
+
+/// Exact social optimum by parallel enumeration of all edge subsets with
+/// admissible pruning.  Practical to ~24 purchasable pairs (n = 7 complete).
+NetworkDesign exact_social_optimum(const Game& game,
+                                   const ExactOptimumOptions& options = {});
+
+/// Algorithm 1 of the paper: start from the complete graph and delete every
+/// 2-edge participating in a 1-1-2 triangle.  Contract-checks a 1-2 host.
+/// Optimal for alpha <= 1 (Theorem 6).
+NetworkDesign algorithm1_one_two(const Game& game);
+
+/// The metric-defining tree as a network (requires tree provenance).
+/// Both OPT and an NE of the T-GNCG (Corollary 3).
+NetworkDesign tree_optimum(const Game& game);
+
+/// Minimum spanning tree of the host weights as a network design.
+NetworkDesign mst_network(const Game& game);
+
+/// Heuristic optimum: MST seed, then best-improvement single-edge toggles
+/// (add or remove) until a local optimum or the iteration budget.
+NetworkDesign local_search_optimum(const Game& game,
+                                   std::uint64_t max_iterations = 10000);
+
+/// Admissible lower bound on the optimum social cost:
+/// alpha * weight(MST) + sum of all ordered host-closure distances.
+double social_optimum_lower_bound(const Game& game);
+
+}  // namespace gncg

@@ -1,0 +1,68 @@
+#include "core/spanner_bounds.hpp"
+
+#include <algorithm>
+
+#include "graph/apsp.hpp"
+#include "graph/spanner.hpp"
+
+namespace gncg {
+
+namespace {
+
+DistanceMatrix network_distances(const Game& game,
+                                 const std::vector<Edge>& network) {
+  WeightedGraph g(game.node_count());
+  for (const auto& e : network) g.add_edge(e.u, e.v, game.weight(e.u, e.v));
+  return apsp(g);
+}
+
+}  // namespace
+
+double profile_stretch(const Game& game, const StrategyProfile& s) {
+  const WeightedGraph g = built_graph(game, s);
+  return max_stretch(game.host_closure(), apsp(g));
+}
+
+double network_stretch(const Game& game, const std::vector<Edge>& network) {
+  return max_stretch(game.host_closure(), network_distances(game, network));
+}
+
+double max_pair_sigma(const Game& game, const StrategyProfile& equilibrium,
+                      const std::vector<Edge>& optimum) {
+  const int n = game.node_count();
+  const DistanceMatrix ne_dist = network_distances(
+      game, built_graph(game, equilibrium).edges());
+  const DistanceMatrix opt_dist = network_distances(game, optimum);
+
+  std::vector<std::vector<char>> in_opt(
+      static_cast<std::size_t>(n), std::vector<char>(static_cast<std::size_t>(n), 0));
+  for (const auto& e : optimum) {
+    in_opt[static_cast<std::size_t>(e.u)][static_cast<std::size_t>(e.v)] = 1;
+    in_opt[static_cast<std::size_t>(e.v)][static_cast<std::size_t>(e.u)] = 1;
+  }
+
+  const double alpha = game.alpha();
+  double worst = 0.0;
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      const double w = game.weight(u, v);
+      const double x = equilibrium.has_edge(u, v) && w < kInf ? 1.0 : 0.0;
+      const double x_star =
+          in_opt[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)] ? 1.0
+                                                                           : 0.0;
+      const double numerator =
+          alpha * (w < kInf ? w : 0.0) * x + 2.0 * ne_dist.at(u, v);
+      const double denominator =
+          alpha * (w < kInf ? w : 0.0) * x_star + 2.0 * opt_dist.at(u, v);
+      if (denominator == 0.0) {
+        if (numerator > 0.0) return kInf;
+        continue;
+      }
+      if (!(denominator < kInf)) continue;
+      worst = std::max(worst, numerator / denominator);
+    }
+  }
+  return worst;
+}
+
+}  // namespace gncg

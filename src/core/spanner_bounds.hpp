@@ -1,0 +1,32 @@
+// Executable checks of the paper's structural lemmas.
+//
+//  * Lemma 1: any Add-only Equilibrium is an (alpha+1)-spanner of the host.
+//  * Lemma 2: the social optimum is an (alpha/2+1)-spanner of the host.
+//  * Theorem 1 / Theorem 20 proof engine: the per-pair ratio
+//        sigma(u,v) = (alpha w(u,v) x + 2 d_NE(u,v))
+//                   / (alpha w(u,v) x* + 2 d_OPT(u,v))
+//    is bounded by (alpha+2)/2 on metric hosts and ((alpha+2)/2)^2 in
+//    general; measuring max sigma shows how tight the argument is on
+//    concrete instances (the Section 4 remark instance attains the square).
+#pragma once
+
+#include <vector>
+
+#include "core/game.hpp"
+
+namespace gncg {
+
+/// Maximum stretch of the built network G(s) relative to the host closure:
+/// max_{u<v} d_G(u,v) / d_H(u,v).  Lemma 1 bounds this by alpha+1 for AE.
+double profile_stretch(const Game& game, const StrategyProfile& s);
+
+/// Maximum stretch of a bare network.  Lemma 2 bounds this by alpha/2+1 for
+/// the social optimum.
+double network_stretch(const Game& game, const std::vector<Edge>& network);
+
+/// Maximum per-pair sigma ratio between an equilibrium profile and an
+/// optimum network (the quantity bounded in the Theorem 1 / 20 proofs).
+double max_pair_sigma(const Game& game, const StrategyProfile& equilibrium,
+                      const std::vector<Edge>& optimum);
+
+}  // namespace gncg

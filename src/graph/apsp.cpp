@@ -1,0 +1,38 @@
+#include "graph/apsp.hpp"
+
+#include "graph/dijkstra.hpp"
+#include "support/parallel.hpp"
+
+namespace gncg {
+
+DistanceMatrix apsp(const WeightedGraph& g) {
+  const int n = g.node_count();
+  DistanceMatrix result(n);
+  parallel_for(0, static_cast<std::size_t>(n), [&](std::size_t src) {
+    std::vector<double> dist;
+    dijkstra_over(
+        n, static_cast<int>(src),
+        [&](int u, auto&& visit) {
+          for (const auto& nb : g.neighbors(u)) visit(nb.to, nb.weight);
+        },
+        dist);
+    for (int v = 0; v < n; ++v) result.at(static_cast<int>(src), v) = dist[static_cast<std::size_t>(v)];
+  });
+  return result;
+}
+
+void floyd_warshall(DistanceMatrix& m) {
+  const int n = m.size();
+  for (int k = 0; k < n; ++k) {
+    for (int i = 0; i < n; ++i) {
+      const double dik = m.at(i, k);
+      if (!(dik < kInf)) continue;
+      for (int j = 0; j < n; ++j) {
+        const double through = dik + m.at(k, j);
+        if (through < m.at(i, j)) m.at(i, j) = through;
+      }
+    }
+  }
+}
+
+}  // namespace gncg

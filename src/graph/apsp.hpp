@@ -1,0 +1,23 @@
+// All-pairs shortest paths.
+//
+// Two strategies, both exposed because they are useful at different scales:
+//  * `apsp(graph)` -- n Dijkstra runs fanned out over the worker pool
+//    (O(n * m log n)); the default for the sparse game networks.
+//  * `floyd_warshall(matrix)` -- in-place O(n^3) closure of a dense weight
+//    matrix; used for metric repair / metric closure of host weights.
+#pragma once
+
+#include "graph/distance_matrix.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace gncg {
+
+/// All-pairs shortest path distances of `g` (parallel Dijkstra per source).
+DistanceMatrix apsp(const WeightedGraph& g);
+
+/// In-place Floyd-Warshall closure of a dense symmetric weight matrix.
+/// Entries may be kInf (absent edges).  After the call, m(u, v) is the
+/// shortest-path distance in the graph whose edge weights were m.
+void floyd_warshall(DistanceMatrix& m);
+
+}  // namespace gncg

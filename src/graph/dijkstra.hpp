@@ -1,0 +1,96 @@
+// Dijkstra single-source shortest paths.
+//
+// Two entry points:
+//  * `sssp(graph, source)` for materialized WeightedGraph instances, and
+//  * the templated `dijkstra_over(n, source, neighbor_fn, out)` that runs over
+//    an *implicit* graph described by a callback.  The game engine uses the
+//    implicit form heavily: evaluating a candidate strategy S_u means running
+//    Dijkstra over "everyone else's edges plus u's candidate edges" without
+//    materializing that graph (the exact best-response search does this tens
+//    of thousands of times per agent).
+//
+// Weights are non-negative doubles (zero allowed); unreachable nodes get kInf.
+#pragma once
+
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "graph/weighted_graph.hpp"
+
+namespace gncg {
+
+/// Result of a single-source run: distances (kInf if unreachable) and the
+/// predecessor of each node on some shortest path (-1 for source/unreached).
+struct SsspResult {
+  std::vector<double> dist;
+  std::vector<int> parent;
+};
+
+namespace detail {
+
+/// Min-heap entry: (distance, node).
+using HeapEntry = std::pair<double, int>;
+using MinHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+
+}  // namespace detail
+
+/// Dijkstra over an implicit graph.  `neighbor_fn(u, visit)` must invoke
+/// `visit(v, w)` for every edge (u, v) of weight w incident to u.  Fills
+/// `dist` (resized to n, kInf-initialized).  If `parent` is non-null it is
+/// filled with shortest-path-tree predecessors.
+template <class NeighborFn>
+void dijkstra_over(int n, int source, NeighborFn&& neighbor_fn,
+                   std::vector<double>& dist,
+                   std::vector<int>* parent = nullptr) {
+  GNCG_CHECK(source >= 0 && source < n, "source out of range");
+  dist.assign(static_cast<std::size_t>(n), kInf);
+  if (parent != nullptr) parent->assign(static_cast<std::size_t>(n), -1);
+  detail::MinHeap heap;
+  dist[static_cast<std::size_t>(source)] = 0.0;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;  // stale entry
+    neighbor_fn(u, [&](int v, double w) {
+      GNCG_DASSERT(w >= 0.0);
+      const double candidate = d + w;
+      if (candidate < dist[static_cast<std::size_t>(v)]) {
+        dist[static_cast<std::size_t>(v)] = candidate;
+        if (parent != nullptr) (*parent)[static_cast<std::size_t>(v)] = u;
+        heap.emplace(candidate, v);
+      }
+    });
+  }
+}
+
+/// Single-source shortest paths on a materialized graph.
+inline SsspResult sssp(const WeightedGraph& g, int source) {
+  SsspResult result;
+  dijkstra_over(
+      g.node_count(), source,
+      [&](int u, auto&& visit) {
+        for (const auto& nb : g.neighbors(u)) visit(nb.to, nb.weight);
+      },
+      result.dist, &result.parent);
+  return result;
+}
+
+/// Sum of distances from `source` to all nodes (the paper's distance cost
+/// d_G(u, V)); kInf when the graph is disconnected from `source`.
+inline double distance_sum(const WeightedGraph& g, int source) {
+  std::vector<double> dist;
+  dijkstra_over(
+      g.node_count(), source,
+      [&](int u, auto&& visit) {
+        for (const auto& nb : g.neighbors(u)) visit(nb.to, nb.weight);
+      },
+      dist);
+  double total = 0.0;
+  for (double d : dist) total += d;
+  return total;
+}
+
+}  // namespace gncg

@@ -1,0 +1,90 @@
+// Dense symmetric distance/weight matrix with infinity support.
+//
+// Used for host-graph weights, all-pairs shortest path results and metric
+// closures.  Storage is a flat row-major n*n vector of doubles.
+#pragma once
+
+#include <vector>
+
+#include "graph/weighted_graph.hpp"
+#include "support/assert.hpp"
+
+namespace gncg {
+
+/// Flat n x n matrix of doubles with (u, v) accessors.  The game code keeps
+/// host weights and APSP results in this form; symmetry is maintained by
+/// `set_symmetric` but not enforced on raw `at` writes (APSP fills rows
+/// independently in parallel).
+class DistanceMatrix {
+ public:
+  DistanceMatrix() = default;
+
+  /// Creates an n x n matrix filled with `fill` (diagonal forced to 0).
+  explicit DistanceMatrix(int n, double fill = kInf)
+      : n_(n), data_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+                     fill) {
+    GNCG_CHECK(n >= 0, "matrix size must be non-negative");
+    for (int v = 0; v < n; ++v) at(v, v) = 0.0;
+  }
+
+  int size() const { return n_; }
+
+  double& at(int u, int v) {
+    GNCG_DASSERT(in_range(u) && in_range(v));
+    return data_[static_cast<std::size_t>(u) * static_cast<std::size_t>(n_) +
+                 static_cast<std::size_t>(v)];
+  }
+
+  double at(int u, int v) const {
+    GNCG_DASSERT(in_range(u) && in_range(v));
+    return data_[static_cast<std::size_t>(u) * static_cast<std::size_t>(n_) +
+                 static_cast<std::size_t>(v)];
+  }
+
+  double operator()(int u, int v) const { return at(u, v); }
+
+  /// Sets both (u, v) and (v, u).
+  void set_symmetric(int u, int v, double value) {
+    at(u, v) = value;
+    at(v, u) = value;
+  }
+
+  /// True if every off-diagonal entry is finite.
+  bool all_finite() const {
+    for (int u = 0; u < n_; ++u)
+      for (int v = 0; v < n_; ++v)
+        if (u != v && !(at(u, v) < kInf)) return false;
+    return true;
+  }
+
+  /// Sum over ordered pairs (u, v), u != v.  For a symmetric matrix this is
+  /// twice the sum over unordered pairs; it matches the paper's
+  /// sum_u d_G(u, V) social distance cost.
+  double ordered_pair_sum() const {
+    double total = 0.0;
+    for (int u = 0; u < n_; ++u)
+      for (int v = 0; v < n_; ++v)
+        if (u != v) total += at(u, v);
+    return total;
+  }
+
+  /// Maximum finite off-diagonal entry, or kInf if any pair is unreachable.
+  double diameter() const {
+    double best = 0.0;
+    for (int u = 0; u < n_; ++u)
+      for (int v = u + 1; v < n_; ++v) {
+        const double d = at(u, v);
+        if (!(d < kInf)) return kInf;
+        if (d > best) best = d;
+      }
+    return best;
+  }
+
+ private:
+  bool in_range(int v) const { return v >= 0 && v < n_; }
+
+  int n_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace gncg

@@ -1,0 +1,48 @@
+// Structural graph algorithms used across the library:
+// connectivity, tree tests, eccentricity/diameter, bridges (cut edges) and
+// weighted betweenness centrality.
+//
+// These back several paper facts: Theorem 12 ("every NE in the T-GNCG is a
+// tree") is verified with `is_tree`; Lemma 7's cut-edge argument uses
+// `bridges`; Lemma 8's path-cost derivation "counts for each edge how many
+// shortest paths it participates in, i.e., its betweenness centrality",
+// which `edge_betweenness` computes directly.
+#pragma once
+
+#include <vector>
+
+#include "graph/distance_matrix.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace gncg {
+
+/// True when every node is reachable from every other.
+bool is_connected(const WeightedGraph& g);
+
+/// Number of connected components.
+int component_count(const WeightedGraph& g);
+
+/// True when g is connected and has exactly n - 1 edges (n >= 1).
+bool is_tree(const WeightedGraph& g);
+
+/// Weighted eccentricity of every node (kInf when disconnected).
+std::vector<double> eccentricities(const WeightedGraph& g);
+
+/// Weighted diameter: max eccentricity (kInf when disconnected).
+double diameter(const WeightedGraph& g);
+
+/// Hop diameter: maximum number of edges on any shortest path when all edge
+/// weights are treated as 1.  Used for the 1-2-GNCG arguments where the paper
+/// reasons about "diameter 2 / diameter 3" networks of 1- and 2-edges.
+int hop_diameter(const WeightedGraph& g);
+
+/// Bridges (cut edges) of g via Tarjan's low-link DFS, as normalized edges.
+std::vector<Edge> bridges(const WeightedGraph& g);
+
+/// Weighted edge betweenness: for every edge, the number of ordered-pair
+/// shortest paths that use it (Brandes' accumulation adapted to edges, with
+/// shortest-path DAG counting).  Ties split fractionally.
+/// Returns entries aligned with g.edges().
+std::vector<double> edge_betweenness(const WeightedGraph& g);
+
+}  // namespace gncg

@@ -1,0 +1,70 @@
+#include "graph/mst.hpp"
+
+#include <algorithm>
+
+#include "graph/union_find.hpp"
+#include "support/assert.hpp"
+
+namespace gncg {
+
+std::vector<Edge> kruskal_mst(const WeightedGraph& g) {
+  auto edges = g.edges();
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.weight < b.weight;
+  });
+  UnionFind dsu(g.node_count());
+  std::vector<Edge> tree;
+  tree.reserve(static_cast<std::size_t>(std::max(0, g.node_count() - 1)));
+  for (const auto& e : edges) {
+    if (dsu.unite(e.u, e.v)) tree.push_back(e);
+  }
+  GNCG_CHECK(dsu.components() == 1 || g.node_count() <= 1,
+             "kruskal_mst requires a connected graph");
+  return tree;
+}
+
+std::vector<Edge> prim_mst(const DistanceMatrix& weights) {
+  const int n = weights.size();
+  std::vector<Edge> tree;
+  if (n <= 1) return tree;
+  std::vector<char> in_tree(static_cast<std::size_t>(n), 0);
+  std::vector<double> best(static_cast<std::size_t>(n), kInf);
+  std::vector<int> link(static_cast<std::size_t>(n), -1);
+  best[0] = 0.0;
+  for (int round = 0; round < n; ++round) {
+    int u = -1;
+    double u_key = kInf;
+    for (int v = 0; v < n; ++v) {
+      if (!in_tree[static_cast<std::size_t>(v)] &&
+          best[static_cast<std::size_t>(v)] <= u_key) {
+        u = v;
+        u_key = best[static_cast<std::size_t>(v)];
+      }
+    }
+    GNCG_CHECK(u >= 0 && u_key < kInf,
+               "prim_mst: host graph admits no spanning tree");
+    in_tree[static_cast<std::size_t>(u)] = 1;
+    if (link[static_cast<std::size_t>(u)] >= 0) {
+      const int p = link[static_cast<std::size_t>(u)];
+      tree.push_back(
+          {std::min(p, u), std::max(p, u), weights.at(p, u)});
+    }
+    for (int v = 0; v < n; ++v) {
+      if (in_tree[static_cast<std::size_t>(v)] || v == u) continue;
+      const double w = weights.at(u, v);
+      if (w < best[static_cast<std::size_t>(v)]) {
+        best[static_cast<std::size_t>(v)] = w;
+        link[static_cast<std::size_t>(v)] = u;
+      }
+    }
+  }
+  return tree;
+}
+
+double edge_list_weight(const std::vector<Edge>& edges) {
+  double total = 0.0;
+  for (const auto& e : edges) total += e.weight;
+  return total;
+}
+
+}  // namespace gncg

@@ -1,0 +1,26 @@
+// Minimum spanning trees over complete weighted hosts and sparse graphs.
+//
+// The MST is the natural "edge-cost-only" extreme of the paper's Network
+// Design trade-off (alpha -> infinity pushes OPT toward trees) and seeds the
+// social-optimum local-search heuristic.
+#pragma once
+
+#include <vector>
+
+#include "graph/distance_matrix.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace gncg {
+
+/// MST of a sparse graph via Kruskal.  Contract-checks connectivity.
+std::vector<Edge> kruskal_mst(const WeightedGraph& g);
+
+/// MST of a complete weighted host given by a dense weight matrix via Prim
+/// (O(n^2), optimal for complete graphs).  Entries of kInf are treated as
+/// forbidden edges; contract-checks that a spanning tree exists.
+std::vector<Edge> prim_mst(const DistanceMatrix& weights);
+
+/// Total weight of an edge list.
+double edge_list_weight(const std::vector<Edge>& edges);
+
+}  // namespace gncg

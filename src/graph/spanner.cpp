@@ -1,0 +1,186 @@
+#include "graph/spanner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/apsp.hpp"
+#include "graph/dijkstra.hpp"
+#include "support/assert.hpp"
+
+namespace gncg {
+
+double max_stretch(const DistanceMatrix& host_dist,
+                   const DistanceMatrix& sub_dist) {
+  GNCG_CHECK(host_dist.size() == sub_dist.size(),
+             "stretch: dimension mismatch");
+  const int n = host_dist.size();
+  double worst = 1.0;
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      const double dh = host_dist.at(u, v);
+      const double ds = sub_dist.at(u, v);
+      if (dh == 0.0) {
+        if (ds > 0.0) return kInf;
+        continue;
+      }
+      if (!(dh < kInf)) continue;  // host itself does not connect the pair
+      if (!(ds < kInf)) return kInf;
+      worst = std::max(worst, ds / dh);
+    }
+  }
+  return worst;
+}
+
+bool is_k_spanner(const DistanceMatrix& host_dist,
+                  const DistanceMatrix& sub_dist, double k, double eps) {
+  const double stretch = max_stretch(host_dist, sub_dist);
+  return stretch <= k * (1.0 + eps) + eps;
+}
+
+std::vector<Edge> greedy_spanner(const DistanceMatrix& weights, double t) {
+  GNCG_CHECK(t >= 1.0, "spanner stretch factor must be >= 1");
+  const int n = weights.size();
+  std::vector<Edge> candidates;
+  candidates.reserve(static_cast<std::size_t>(n) *
+                     static_cast<std::size_t>(n) / 2);
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v)
+      if (weights.at(u, v) < kInf)
+        candidates.push_back({u, v, weights.at(u, v)});
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Edge& a, const Edge& b) { return a.weight < b.weight; });
+
+  WeightedGraph spanner(n);
+  std::vector<double> dist;
+  for (const auto& e : candidates) {
+    // Distance query in the current partial spanner.
+    dijkstra_over(
+        n, e.u,
+        [&](int u, auto&& visit) {
+          for (const auto& nb : spanner.neighbors(u)) visit(nb.to, nb.weight);
+        },
+        dist);
+    if (dist[static_cast<std::size_t>(e.v)] > t * e.weight)
+      spanner.add_edge(e.u, e.v, e.weight);
+  }
+  return spanner.edges();
+}
+
+namespace {
+
+/// State for the exact 1-2 spanner search.
+struct OneTwoSearch {
+  int n = 0;
+  const DistanceMatrix* weights = nullptr;
+  WeightedGraph current{0};          // all 1-edges + currently selected 2-edges
+  std::vector<Edge> two_edges;       // all 2-edges of the host
+  std::vector<char> selected;        // parallel to two_edges
+  int selected_count = 0;
+  int best_count = 0;                // incumbent (upper bound)
+  std::vector<Edge> best_selection;  // selected 2-edges of the incumbent
+
+  /// Finds a pair (u, v) with w(u,v) == 2 whose current distance exceeds 3;
+  /// returns false when the current graph is already a 3/2-spanner.
+  bool find_violated_pair(int& out_u, int& out_v) const {
+    std::vector<double> dist;
+    for (int u = 0; u < n; ++u) {
+      dijkstra_over(
+          n, u,
+          [&](int x, auto&& visit) {
+            for (const auto& nb : current.neighbors(x)) visit(nb.to, nb.weight);
+          },
+          dist);
+      for (int v = u + 1; v < n; ++v) {
+        if (weights->at(u, v) == 2.0 &&
+            dist[static_cast<std::size_t>(v)] > 3.0 + 1e-9) {
+          out_u = u;
+          out_v = v;
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  /// Candidate 2-edges that can fix the violated pair (u, v): because every
+  /// path of length <= 3 uses at most one 2-edge, a fixing edge must be
+  /// (u, x) with d1(x, v) <= 1 or (y, v) with d1(u, y) <= 1, where d1 uses
+  /// only 1-edges (all present in `current`).
+  std::vector<std::size_t> fix_candidates(int u, int v) const {
+    std::vector<std::size_t> fixes;
+    for (std::size_t i = 0; i < two_edges.size(); ++i) {
+      if (selected[i]) continue;
+      const auto& e = two_edges[i];
+      const bool fixes_pair =
+          (e.u == u && one_dist_at_most_one(e.v, v)) ||
+          (e.v == u && one_dist_at_most_one(e.u, v)) ||
+          (e.u == v && one_dist_at_most_one(e.v, u)) ||
+          (e.v == v && one_dist_at_most_one(e.u, u));
+      if (fixes_pair) fixes.push_back(i);
+    }
+    return fixes;
+  }
+
+  bool one_dist_at_most_one(int a, int b) const {
+    return a == b || weights->at(a, b) == 1.0;
+  }
+
+  void search() {
+    if (selected_count >= best_count) return;  // bound
+    int u = -1;
+    int v = -1;
+    if (!find_violated_pair(u, v)) {
+      best_count = selected_count;
+      best_selection.clear();
+      for (std::size_t i = 0; i < two_edges.size(); ++i)
+        if (selected[i]) best_selection.push_back(two_edges[i]);
+      return;
+    }
+    for (std::size_t i : fix_candidates(u, v)) {
+      selected[i] = 1;
+      ++selected_count;
+      current.add_edge(two_edges[i].u, two_edges[i].v, 2.0);
+      search();
+      current.remove_edge(two_edges[i].u, two_edges[i].v);
+      --selected_count;
+      selected[i] = 0;
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<Edge> min_weight_three_halves_spanner_onetwo(
+    const DistanceMatrix& weights) {
+  const int n = weights.size();
+  OneTwoSearch state;
+  state.n = n;
+  state.weights = &weights;
+  state.current = WeightedGraph(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      const double w = weights.at(u, v);
+      GNCG_CHECK(w == 1.0 || w == 2.0,
+                 "min-weight 3/2 spanner requires a 1-2 host, got weight "
+                     << w);
+      if (w == 1.0) state.current.add_edge(u, v, 1.0);
+      else state.two_edges.push_back({u, v, 2.0});
+    }
+  }
+  state.selected.assign(state.two_edges.size(), 0);
+  state.best_count = static_cast<int>(state.two_edges.size()) + 1;
+  state.search();
+  GNCG_CHECK(state.best_count <= static_cast<int>(state.two_edges.size()),
+             "1-2 spanner search failed to find a feasible solution");
+
+  std::vector<Edge> result = state.best_selection;
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v)
+      if (weights.at(u, v) == 1.0) result.push_back({u, v, 1.0});
+  std::sort(result.begin(), result.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  return result;
+}
+
+}  // namespace gncg

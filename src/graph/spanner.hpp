@@ -1,0 +1,50 @@
+// Graph spanners.
+//
+// Spanners are the structural backbone of the paper's bounds:
+//  * Lemma 1: every Add-only Equilibrium is an (alpha+1)-spanner of the host.
+//  * Lemma 2: the social optimum is an (alpha/2+1)-spanner.
+//  * Theorem 5: for 1/2 <= alpha <= 1 in the 1-2-GNCG, a *minimum-weight
+//    3/2-spanner* admits an edge-ownership assignment that is a Nash
+//    equilibrium -- which is how the paper proves NE existence there.
+//
+// This module provides stretch measurement, the classic greedy t-spanner,
+// and an exact minimum-weight 3/2-spanner solver for 1-2 hosts (used by the
+// Theorem 5 experiments).  The exact solver exploits the 1-2 structure: all
+// 1-edges are forced (Lemma 5), and any path of length <= 3 contains at most
+// one 2-edge, which makes the branch-and-bound fix-set per violated pair
+// small.
+#pragma once
+
+#include <vector>
+
+#include "graph/distance_matrix.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace gncg {
+
+/// Maximum multiplicative stretch max_{u<v} d_sub(u,v) / d_host(u,v).
+/// Pairs with d_host == 0 contribute 1 if d_sub == 0 and kInf otherwise.
+/// Returns kInf when the subgraph disconnects any pair the host connects.
+double max_stretch(const DistanceMatrix& host_dist,
+                   const DistanceMatrix& sub_dist);
+
+/// True when sub is a k-spanner of host: d_sub <= k * d_host for all pairs
+/// (with an eps slack for float comparisons).
+bool is_k_spanner(const DistanceMatrix& host_dist,
+                  const DistanceMatrix& sub_dist, double k,
+                  double eps = 1e-9);
+
+/// Althoefer-style greedy t-spanner of a complete weighted host: scan edges
+/// by non-decreasing weight, keep an edge iff the current spanner distance
+/// between its endpoints exceeds t * w.  Guarantees stretch <= t.
+std::vector<Edge> greedy_spanner(const DistanceMatrix& weights, double t);
+
+/// Exact minimum-weight 3/2-spanner of a complete 1-2 host graph.
+/// Requires every off-diagonal weight to be 1 or 2 (contract-checked).
+/// Returns the edge list: all 1-edges plus a minimum set of 2-edges such
+/// that every non-adjacent pair is at distance <= 3.  Intended for small n
+/// (branch and bound; practical to n around 16).
+std::vector<Edge> min_weight_three_halves_spanner_onetwo(
+    const DistanceMatrix& weights);
+
+}  // namespace gncg

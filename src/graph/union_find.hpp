@@ -1,0 +1,63 @@
+// Disjoint-set union with path halving and union by size.
+//
+// Used by Kruskal's MST, fast connectivity pre-checks in the social-optimum
+// enumerator, and the spanner search.
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace gncg {
+
+/// Classic DSU over dense integer ids; near-constant amortized operations.
+class UnionFind {
+ public:
+  explicit UnionFind(int n)
+      : parent_(static_cast<std::size_t>(n)),
+        size_(static_cast<std::size_t>(n), 1),
+        components_(n) {
+    GNCG_CHECK(n >= 0, "UnionFind size must be non-negative");
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  int find(int v) {
+    GNCG_DASSERT(v >= 0 && v < static_cast<int>(parent_.size()));
+    while (parent_[static_cast<std::size_t>(v)] != v) {
+      // Path halving.
+      auto& p = parent_[static_cast<std::size_t>(v)];
+      p = parent_[static_cast<std::size_t>(p)];
+      v = p;
+    }
+    return v;
+  }
+
+  /// Merges the sets of a and b; returns false when already joined.
+  bool unite(int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[static_cast<std::size_t>(a)] < size_[static_cast<std::size_t>(b)])
+      std::swap(a, b);
+    parent_[static_cast<std::size_t>(b)] = a;
+    size_[static_cast<std::size_t>(a)] += size_[static_cast<std::size_t>(b)];
+    --components_;
+    return true;
+  }
+
+  bool connected(int a, int b) { return find(a) == find(b); }
+
+  /// Number of disjoint components.
+  int components() const { return components_; }
+
+  /// Size of the component containing v.
+  int component_size(int v) { return size_[static_cast<std::size_t>(find(v))]; }
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> size_;
+  int components_ = 0;
+};
+
+}  // namespace gncg

@@ -1,0 +1,151 @@
+// Weighted undirected graph: the basic substrate every game network, host
+// graph view, optimum and spanner in gncg is built on.
+//
+// Design notes:
+//  * Nodes are dense integer ids [0, n).
+//  * Edges are undirected with non-negative double weights (0 is allowed:
+//    the paper's general GNCG permits zero-weight edges, see the Theorem 20
+//    remark instance).  Parallel edges are rejected; self-loops are rejected.
+//  * Adjacency is stored per node as a small vector of (neighbor, weight)
+//    entries, which is the right trade-off for the n <= a-few-hundred graphs
+//    produced by the constructions, and keeps Dijkstra cache-friendly.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace gncg {
+
+/// Infinity marker for distances/weights (disconnection, forbidden edges).
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// An undirected edge (u, v, w) with u < v normalized on insertion.
+struct Edge {
+  int u = 0;
+  int v = 0;
+  double weight = 0.0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Adjacency entry: neighbor id plus the connecting edge weight.
+struct Neighbor {
+  int to = 0;
+  double weight = 0.0;
+};
+
+/// Mutable weighted undirected simple graph.
+class WeightedGraph {
+ public:
+  WeightedGraph() = default;
+
+  /// Creates an edgeless graph on `n` nodes.
+  explicit WeightedGraph(int n) : adjacency_(static_cast<std::size_t>(n)) {
+    GNCG_CHECK(n >= 0, "node count must be non-negative");
+  }
+
+  /// Builds a graph from an explicit edge list.
+  static WeightedGraph from_edges(int n, const std::vector<Edge>& edges) {
+    WeightedGraph g(n);
+    for (const auto& e : edges) g.add_edge(e.u, e.v, e.weight);
+    return g;
+  }
+
+  int node_count() const { return static_cast<int>(adjacency_.size()); }
+  int edge_count() const { return edge_count_; }
+
+  /// Adds edge (u, v) with weight w.  Rejects self-loops, duplicate edges,
+  /// negative and non-finite weights (infinite weights model *forbidden*
+  /// edges and must not be materialized).
+  void add_edge(int u, int v, double w) {
+    check_node(u);
+    check_node(v);
+    GNCG_CHECK(u != v, "self-loops are not allowed");
+    GNCG_CHECK(w >= 0.0, "edge weights must be non-negative");
+    GNCG_CHECK(w < kInf, "infinite-weight edges cannot be materialized");
+    GNCG_CHECK(!has_edge(u, v), "duplicate edge (" << u << "," << v << ")");
+    adjacency_[static_cast<std::size_t>(u)].push_back({v, w});
+    adjacency_[static_cast<std::size_t>(v)].push_back({u, w});
+    ++edge_count_;
+    total_weight_ += w;
+  }
+
+  /// Removes edge (u, v); contract-checks that it exists.
+  void remove_edge(int u, int v) {
+    check_node(u);
+    check_node(v);
+    GNCG_CHECK(has_edge(u, v), "edge (" << u << "," << v << ") not present");
+    total_weight_ -= edge_weight(u, v);
+    erase_half(u, v);
+    erase_half(v, u);
+    --edge_count_;
+  }
+
+  bool has_edge(int u, int v) const {
+    check_node(u);
+    check_node(v);
+    for (const auto& nb : adjacency_[static_cast<std::size_t>(u)])
+      if (nb.to == v) return true;
+    return false;
+  }
+
+  /// Weight of edge (u, v); kInf when the edge is absent.
+  double edge_weight(int u, int v) const {
+    check_node(u);
+    check_node(v);
+    for (const auto& nb : adjacency_[static_cast<std::size_t>(u)])
+      if (nb.to == v) return nb.weight;
+    return kInf;
+  }
+
+  std::span<const Neighbor> neighbors(int u) const {
+    check_node(u);
+    return adjacency_[static_cast<std::size_t>(u)];
+  }
+
+  int degree(int u) const {
+    check_node(u);
+    return static_cast<int>(adjacency_[static_cast<std::size_t>(u)].size());
+  }
+
+  /// Sum of all edge weights (each undirected edge counted once).
+  double total_weight() const { return total_weight_; }
+
+  /// Edge list with u < v, sorted lexicographically (stable for tests).
+  std::vector<Edge> edges() const {
+    std::vector<Edge> out;
+    out.reserve(static_cast<std::size_t>(edge_count_));
+    for (int u = 0; u < node_count(); ++u)
+      for (const auto& nb : adjacency_[static_cast<std::size_t>(u)])
+        if (u < nb.to) out.push_back({u, nb.to, nb.weight});
+    return out;
+  }
+
+ private:
+  void check_node(int v) const {
+    GNCG_CHECK(v >= 0 && v < node_count(),
+               "node " << v << " out of range [0," << node_count() << ")");
+  }
+
+  void erase_half(int u, int v) {
+    auto& list = adjacency_[static_cast<std::size_t>(u)];
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (list[i].to == v) {
+        list[i] = list.back();
+        list.pop_back();
+        return;
+      }
+    }
+  }
+
+  std::vector<std::vector<Neighbor>> adjacency_;
+  int edge_count_ = 0;
+  double total_weight_ = 0.0;
+};
+
+}  // namespace gncg

@@ -1,0 +1,169 @@
+#include "metric/host_graph.hpp"
+
+#include <cmath>
+
+#include "graph/apsp.hpp"
+#include "graph/graph_algos.hpp"
+#include "support/assert.hpp"
+
+namespace gncg {
+
+std::string model_name(ModelClass model) {
+  switch (model) {
+    case ModelClass::kNCG: return "NCG";
+    case ModelClass::kOneTwo: return "1-2-GNCG";
+    case ModelClass::kOneInf: return "1-inf-GNCG";
+    case ModelClass::kTree: return "T-GNCG";
+    case ModelClass::kEuclidean: return "Rd-GNCG";
+    case ModelClass::kMetric: return "M-GNCG";
+    case ModelClass::kGeneral: return "GNCG";
+  }
+  return "?";
+}
+
+HostGraph HostGraph::from_weights(DistanceMatrix weights, ModelClass declared) {
+  const int n = weights.size();
+  GNCG_CHECK(n >= 1, "host graph needs at least one node");
+  for (int u = 0; u < n; ++u) {
+    GNCG_CHECK(weights.at(u, u) == 0.0, "host diagonal must be zero");
+    for (int v = u + 1; v < n; ++v) {
+      const double w = weights.at(u, v);
+      GNCG_CHECK(w >= 0.0, "host weights must be non-negative");
+      // Exact equality (not a difference test): inf - inf is NaN, and
+      // forbidden (infinite) pairs must round-trip too.
+      GNCG_CHECK(w == weights.at(v, u),
+                 "host weights must be symmetric at (" << u << "," << v << ")");
+    }
+  }
+  return HostGraph(std::move(weights), declared);
+}
+
+HostGraph HostGraph::from_tree(const WeightedTree& tree) {
+  HostGraph host(tree.metric_closure(), ModelClass::kTree);
+  host.tree_edges_ = tree.edges();
+  return host;
+}
+
+HostGraph HostGraph::from_points(const PointSet& points, double p) {
+  HostGraph host(points.distance_matrix(p), ModelClass::kEuclidean);
+  host.points_ = points;
+  host.norm_p_ = p;
+  return host;
+}
+
+HostGraph HostGraph::unit(int n) {
+  DistanceMatrix weights(n, 1.0);
+  return HostGraph(std::move(weights), ModelClass::kNCG);
+}
+
+HostGraph HostGraph::one_inf_from_graph(const WeightedGraph& g) {
+  const int n = g.node_count();
+  DistanceMatrix weights(n, kInf);
+  for (const auto& e : g.edges()) weights.set_symmetric(e.u, e.v, 1.0);
+  return HostGraph(std::move(weights), ModelClass::kOneInf);
+}
+
+DistanceMatrix HostGraph::shortest_path_closure() const {
+  DistanceMatrix closure = weights_;
+  floyd_warshall(closure);
+  return closure;
+}
+
+bool HostGraph::is_metric(double eps) const {
+  const int n = node_count();
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      const double w_uv = weight(u, v);
+      if (!(w_uv < kInf)) return false;  // forbidden edges break metricity
+      for (int x = 0; x < n; ++x) {
+        if (x == u || x == v) continue;
+        if (weight(u, x) + weight(x, v) < w_uv - eps) return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool HostGraph::is_unit() const {
+  const int n = node_count();
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v)
+      if (weight(u, v) != 1.0) return false;
+  return true;
+}
+
+bool HostGraph::is_one_two() const {
+  const int n = node_count();
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v) {
+      const double w = weight(u, v);
+      if (w != 1.0 && w != 2.0) return false;
+    }
+  return true;
+}
+
+bool HostGraph::is_one_inf() const {
+  const int n = node_count();
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v) {
+      const double w = weight(u, v);
+      if (w != 1.0 && w < kInf) return false;
+    }
+  return true;
+}
+
+bool HostGraph::has_infinite_weight() const {
+  const int n = node_count();
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v)
+      if (!(weight(u, v) < kInf)) return true;
+  return false;
+}
+
+ModelClass HostGraph::classify(double eps) const {
+  if (is_unit()) return ModelClass::kNCG;
+  if (is_one_two()) return ModelClass::kOneTwo;
+  if (is_one_inf()) return ModelClass::kOneInf;
+  if (is_metric(eps)) return ModelClass::kMetric;
+  return ModelClass::kGeneral;
+}
+
+HostGraph random_one_two_host(int n, double p_one, Rng& rng) {
+  DistanceMatrix weights(n, 2.0);
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v)
+      if (rng.bernoulli(p_one)) weights.set_symmetric(u, v, 1.0);
+  return HostGraph::from_weights(std::move(weights), ModelClass::kOneTwo);
+}
+
+HostGraph random_metric_host(int n, Rng& rng, double w_min, double w_max) {
+  DistanceMatrix weights(n, 0.0);
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v)
+      weights.set_symmetric(u, v, rng.uniform_real(w_min, w_max));
+  floyd_warshall(weights);  // metric repair: closure obeys the triangle inequality
+  return HostGraph::from_weights(std::move(weights), ModelClass::kMetric);
+}
+
+HostGraph random_general_host(int n, Rng& rng, double w_min, double w_max) {
+  DistanceMatrix weights(n, 0.0);
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v)
+      weights.set_symmetric(u, v, rng.uniform_real(w_min, w_max));
+  return HostGraph::from_weights(std::move(weights), ModelClass::kGeneral);
+}
+
+HostGraph random_one_inf_host(int n, double p_edge, Rng& rng) {
+  GNCG_CHECK(n >= 2, "need at least two nodes");
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    WeightedGraph g(n);
+    for (int u = 0; u < n; ++u)
+      for (int v = u + 1; v < n; ++v)
+        if (rng.bernoulli(p_edge)) g.add_edge(u, v, 1.0);
+    if (is_connected(g)) return HostGraph::one_inf_from_graph(g);
+  }
+  GNCG_CHECK(false, "failed to sample a connected G(n,p); raise p_edge");
+  __builtin_unreachable();
+}
+
+}  // namespace gncg

@@ -1,0 +1,121 @@
+// HostGraph: the complete weighted graph the game is played on, together
+// with the paper's model taxonomy (Figure 1).
+//
+// Model relations (special case -> general):
+//   NCG (all weights 1)
+//     -> 1-2-GNCG (weights in {1,2})       -> M-GNCG -> GNCG
+//     -> 1-inf-GNCG (weights in {1,inf})              -> GNCG
+//   T-GNCG (tree metric closure)           -> M-GNCG -> GNCG
+//   Rd-GNCG (p-norm points)                -> M-GNCG -> GNCG
+//
+// A HostGraph stores a complete symmetric weight matrix (kInf encodes
+// forbidden edges as in the 1-inf model), its declared model class, and
+// optional provenance (the generating point set or tree) so experiments can
+// report where an instance came from.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "graph/distance_matrix.hpp"
+#include "metric/points.hpp"
+#include "metric/tree.hpp"
+#include "support/rng.hpp"
+
+namespace gncg {
+
+/// Paper model classes, ordered roughly from most special to most general.
+enum class ModelClass {
+  kNCG,        ///< unweighted clique (all weights 1)
+  kOneTwo,     ///< weights in {1, 2} (always metric)
+  kOneInf,     ///< weights in {1, inf} (generally non-metric)
+  kTree,       ///< metric closure of a weighted tree
+  kEuclidean,  ///< p-norm distances of points in R^d
+  kMetric,     ///< arbitrary metric weights
+  kGeneral,    ///< arbitrary non-negative weights
+};
+
+/// Human-readable model name ("1-2-GNCG", "T-GNCG", ...).
+std::string model_name(ModelClass model);
+
+/// Complete weighted host graph with model metadata.
+class HostGraph {
+ public:
+  /// Builds from an explicit weight matrix.  Contract-checks symmetry, a
+  /// zero diagonal and non-negative entries.  `declared` records how the
+  /// instance was generated (defaults to the general model).
+  static HostGraph from_weights(DistanceMatrix weights,
+                                ModelClass declared = ModelClass::kGeneral);
+
+  /// Metric closure of a weighted tree (the T-GNCG host).
+  static HostGraph from_tree(const WeightedTree& tree);
+
+  /// p-norm distances between points (the Rd-GNCG host).
+  static HostGraph from_points(const PointSet& points, double p);
+
+  /// The original NCG: an unweighted clique (all weights 1).
+  static HostGraph unit(int n);
+
+  /// 1-inf host induced by an arbitrary unweighted graph: pairs joined by an
+  /// edge get weight 1, everything else weight inf (cannot be bought).
+  static HostGraph one_inf_from_graph(const WeightedGraph& g);
+
+  int node_count() const { return weights_.size(); }
+  double weight(int u, int v) const { return weights_.at(u, v); }
+  const DistanceMatrix& weights() const { return weights_; }
+  ModelClass declared_model() const { return declared_; }
+
+  /// Sum over all ordered pairs of d_H(u,v) -- the admissible lower bound on
+  /// any network's total distance cost (any subgraph distance >= the host
+  /// shortest-path distance).  Cached on first use by callers.
+  DistanceMatrix shortest_path_closure() const;
+
+  /// True when all finite weights satisfy the triangle inequality (pairs
+  /// with infinite weight are exempt: such edges are forbidden, not long).
+  bool is_metric(double eps = 1e-9) const;
+
+  bool is_unit() const;
+  bool is_one_two() const;
+  bool is_one_inf() const;
+  bool has_infinite_weight() const;
+
+  /// Most specific model class detectable from the weights alone (cannot
+  /// distinguish tree/euclidean provenance; those stay kMetric).
+  ModelClass classify(double eps = 1e-9) const;
+
+  /// Provenance accessors (present when built by the respective factory).
+  const std::optional<PointSet>& points() const { return points_; }
+  std::optional<double> norm_p() const { return norm_p_; }
+  const std::optional<std::vector<Edge>>& tree_edges() const {
+    return tree_edges_;
+  }
+
+ private:
+  explicit HostGraph(DistanceMatrix weights, ModelClass declared)
+      : weights_(std::move(weights)), declared_(declared) {}
+
+  DistanceMatrix weights_;
+  ModelClass declared_;
+  std::optional<PointSet> points_;
+  std::optional<double> norm_p_;
+  std::optional<std::vector<Edge>> tree_edges_;
+};
+
+/// Random {1,2} host: each pair independently gets weight 1 with probability
+/// `p_one`, else 2.  Every 1-2 assignment is metric (1+1 >= 2).
+HostGraph random_one_two_host(int n, double p_one, Rng& rng);
+
+/// Random metric host: a random symmetric weight matrix repaired into a
+/// metric by shortest-path closure (weights in [w_min, w_max] pre-repair).
+HostGraph random_metric_host(int n, Rng& rng, double w_min = 1.0,
+                             double w_max = 10.0);
+
+/// Random general (typically non-metric) host with i.i.d. uniform weights.
+HostGraph random_general_host(int n, Rng& rng, double w_min = 1.0,
+                              double w_max = 10.0);
+
+/// Random 1-inf host from an Erdos-Renyi graph G(n, p_edge), conditioned on
+/// connectivity (retries until the sampled graph is connected).
+HostGraph random_one_inf_host(int n, double p_edge, Rng& rng);
+
+}  // namespace gncg

@@ -1,0 +1,120 @@
+#include "metric/instance_io.hpp"
+
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "support/assert.hpp"
+
+namespace gncg {
+
+namespace {
+
+/// Reads the next content line (skipping blanks and '#' comments).
+bool next_line(std::istream& is, std::string& line) {
+  while (std::getline(is, line)) {
+    const auto start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos) continue;
+    if (line[start] == '#') continue;
+    line = line.substr(start);
+    return true;
+  }
+  return false;
+}
+
+double parse_weight(const std::string& token) {
+  if (token == "inf") return kInf;
+  return std::stod(token);
+}
+
+std::string format_weight(double w) {
+  if (!(w < kInf)) return "inf";
+  std::ostringstream os;
+  os.precision(17);
+  os << w;
+  return os.str();
+}
+
+}  // namespace
+
+void save_host(std::ostream& os, const HostGraph& host) {
+  const int n = host.node_count();
+  os << "gncg-host 1\n";
+  os << "# complete weighted host graph, " << model_name(host.declared_model())
+     << "\n";
+  os << "n " << n << "\n";
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v)
+      os << "w " << u << ' ' << v << ' ' << format_weight(host.weight(u, v))
+         << "\n";
+}
+
+HostGraph load_host(std::istream& is) {
+  std::string line;
+  GNCG_CHECK(next_line(is, line) && line.rfind("gncg-host", 0) == 0,
+             "missing gncg-host header");
+  GNCG_CHECK(next_line(is, line) && line.rfind("n ", 0) == 0,
+             "missing node count");
+  const int n = std::stoi(line.substr(2));
+  GNCG_CHECK(n >= 1, "invalid node count " << n);
+
+  DistanceMatrix weights(n, kInf);
+  std::vector<char> seen(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0);
+  while (next_line(is, line)) {
+    std::istringstream tokens(line);
+    std::string tag, weight_token;
+    int u = -1, v = -1;
+    tokens >> tag >> u >> v >> weight_token;
+    GNCG_CHECK(tag == "w" && tokens, "malformed weight line: " << line);
+    GNCG_CHECK(u >= 0 && u < n && v >= 0 && v < n && u != v,
+               "weight line out of range: " << line);
+    const auto index =
+        static_cast<std::size_t>(std::min(u, v)) * static_cast<std::size_t>(n) +
+        static_cast<std::size_t>(std::max(u, v));
+    GNCG_CHECK(!seen[index], "duplicate pair in host file: " << line);
+    seen[index] = 1;
+    weights.set_symmetric(u, v, parse_weight(weight_token));
+  }
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v) {
+      const auto index = static_cast<std::size_t>(u) * static_cast<std::size_t>(n) +
+                         static_cast<std::size_t>(v);
+      GNCG_CHECK(seen[index],
+                 "host file misses pair (" << u << "," << v << ")");
+    }
+  return HostGraph::from_weights(std::move(weights));
+}
+
+void save_profile(std::ostream& os, const StrategyProfile& profile) {
+  os << "gncg-profile 1\n";
+  os << "n " << profile.node_count() << "\n";
+  for (int u = 0; u < profile.node_count(); ++u)
+    profile.strategy(u).for_each(
+        [&](int v) { os << "buy " << u << ' ' << v << "\n"; });
+}
+
+StrategyProfile load_profile(std::istream& is) {
+  std::string line;
+  GNCG_CHECK(next_line(is, line) && line.rfind("gncg-profile", 0) == 0,
+             "missing gncg-profile header");
+  GNCG_CHECK(next_line(is, line) && line.rfind("n ", 0) == 0,
+             "missing node count");
+  const int n = std::stoi(line.substr(2));
+  StrategyProfile profile(n);
+  while (next_line(is, line)) {
+    std::istringstream tokens(line);
+    std::string tag;
+    int owner = -1, target = -1;
+    tokens >> tag >> owner >> target;
+    GNCG_CHECK(tag == "buy" && tokens, "malformed buy line: " << line);
+    GNCG_CHECK(owner >= 0 && owner < n && target >= 0 && target < n &&
+                   owner != target,
+               "buy line out of range: " << line);
+    profile.add_buy(owner, target);
+  }
+  return profile;
+}
+
+}  // namespace gncg

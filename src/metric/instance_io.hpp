@@ -1,0 +1,37 @@
+// Plain-text serialization of game instances and strategy profiles.
+//
+// Format (line oriented, '#' comments allowed):
+//   gncg-host 1            # header + version
+//   n <count>
+//   w <u> <v> <weight>     # one line per unordered pair; "inf" allowed
+//   ...
+// and for profiles:
+//   gncg-profile 1
+//   n <count>
+//   buy <owner> <target>
+//   ...
+// Deterministic round-trips make experiment configurations shareable and
+// let the CLI tools consume externally generated instances.
+#pragma once
+
+#include <iosfwd>
+
+#include "core/game.hpp"
+#include "metric/host_graph.hpp"
+
+namespace gncg {
+
+/// Writes the host's complete weight matrix.
+void save_host(std::ostream& os, const HostGraph& host);
+
+/// Parses a host written by save_host.  Contract-fails on malformed input
+/// (bad header, missing pairs, asymmetric duplicates).
+HostGraph load_host(std::istream& is);
+
+/// Writes a strategy profile (ownership list).
+void save_profile(std::ostream& os, const StrategyProfile& profile);
+
+/// Parses a profile written by save_profile.
+StrategyProfile load_profile(std::istream& is);
+
+}  // namespace gncg

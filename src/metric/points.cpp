@@ -1,0 +1,144 @@
+#include "metric/points.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace gncg {
+
+PointSet::PointSet(int n, int dim)
+    : n_(n), dim_(dim),
+      coords_(static_cast<std::size_t>(n) * static_cast<std::size_t>(dim), 0.0) {
+  GNCG_CHECK(n >= 0 && dim >= 1, "invalid point-set shape");
+}
+
+PointSet::PointSet(std::vector<std::vector<double>> coords) {
+  n_ = static_cast<int>(coords.size());
+  GNCG_CHECK(n_ > 0, "empty coordinate list");
+  dim_ = static_cast<int>(coords.front().size());
+  GNCG_CHECK(dim_ >= 1, "points need at least one coordinate");
+  coords_.reserve(static_cast<std::size_t>(n_) * static_cast<std::size_t>(dim_));
+  for (const auto& point : coords) {
+    GNCG_CHECK(static_cast<int>(point.size()) == dim_,
+               "ragged coordinate list");
+    coords_.insert(coords_.end(), point.begin(), point.end());
+  }
+}
+
+double PointSet::coord(int point, int axis) const {
+  GNCG_DASSERT(point >= 0 && point < n_ && axis >= 0 && axis < dim_);
+  return coords_[static_cast<std::size_t>(point) * static_cast<std::size_t>(dim_) +
+                 static_cast<std::size_t>(axis)];
+}
+
+void PointSet::set_coord(int point, int axis, double value) {
+  GNCG_DASSERT(point >= 0 && point < n_ && axis >= 0 && axis < dim_);
+  coords_[static_cast<std::size_t>(point) * static_cast<std::size_t>(dim_) +
+          static_cast<std::size_t>(axis)] = value;
+}
+
+double pnorm(const std::vector<double>& delta, double p) {
+  GNCG_CHECK(p >= 1.0, "p-norms require p >= 1");
+  if (p == kPNormInf) {
+    double worst = 0.0;
+    for (double d : delta) worst = std::max(worst, std::abs(d));
+    return worst;
+  }
+  if (p == 1.0) {
+    double total = 0.0;
+    for (double d : delta) total += std::abs(d);
+    return total;
+  }
+  if (p == 2.0) {
+    double total = 0.0;
+    for (double d : delta) total += d * d;
+    return std::sqrt(total);
+  }
+  double total = 0.0;
+  for (double d : delta) total += std::pow(std::abs(d), p);
+  return std::pow(total, 1.0 / p);
+}
+
+double PointSet::distance(int a, int b, double p) const {
+  GNCG_CHECK(p >= 1.0, "p-norms require p >= 1");
+  const auto* pa = &coords_[static_cast<std::size_t>(a) *
+                            static_cast<std::size_t>(dim_)];
+  const auto* pb = &coords_[static_cast<std::size_t>(b) *
+                            static_cast<std::size_t>(dim_)];
+  if (p == kPNormInf) {
+    double worst = 0.0;
+    for (int k = 0; k < dim_; ++k)
+      worst = std::max(worst, std::abs(pa[k] - pb[k]));
+    return worst;
+  }
+  if (p == 1.0) {
+    double total = 0.0;
+    for (int k = 0; k < dim_; ++k) total += std::abs(pa[k] - pb[k]);
+    return total;
+  }
+  if (p == 2.0) {
+    double total = 0.0;
+    for (int k = 0; k < dim_; ++k) {
+      const double d = pa[k] - pb[k];
+      total += d * d;
+    }
+    return std::sqrt(total);
+  }
+  double total = 0.0;
+  for (int k = 0; k < dim_; ++k) total += std::pow(std::abs(pa[k] - pb[k]), p);
+  return std::pow(total, 1.0 / p);
+}
+
+DistanceMatrix PointSet::distance_matrix(double p) const {
+  DistanceMatrix m(n_, 0.0);
+  for (int a = 0; a < n_; ++a)
+    for (int b = a + 1; b < n_; ++b) m.set_symmetric(a, b, distance(a, b, p));
+  return m;
+}
+
+PointSet uniform_points(int n, int dim, double side, Rng& rng) {
+  PointSet points(n, dim);
+  for (int i = 0; i < n; ++i)
+    for (int k = 0; k < dim; ++k)
+      points.set_coord(i, k, rng.uniform_real(0.0, side));
+  return points;
+}
+
+PointSet clustered_points(int n, int dim, int clusters, double side,
+                          double spread, Rng& rng) {
+  GNCG_CHECK(clusters >= 1, "need at least one cluster");
+  PointSet centers = uniform_points(clusters, dim, side, rng);
+  PointSet points(n, dim);
+  for (int i = 0; i < n; ++i) {
+    const int c = i % clusters;
+    for (int k = 0; k < dim; ++k)
+      points.set_coord(i, k,
+                       centers.coord(c, k) + rng.uniform_real(-spread, spread));
+  }
+  return points;
+}
+
+PointSet grid_points(int per_side, int dim, double step) {
+  GNCG_CHECK(per_side >= 1 && dim >= 1, "invalid grid shape");
+  int n = 1;
+  for (int k = 0; k < dim; ++k) n *= per_side;
+  PointSet points(n, dim);
+  for (int i = 0; i < n; ++i) {
+    int rest = i;
+    for (int k = 0; k < dim; ++k) {
+      points.set_coord(i, k, step * (rest % per_side));
+      rest /= per_side;
+    }
+  }
+  return points;
+}
+
+PointSet line_points(const std::vector<double>& positions) {
+  PointSet points(static_cast<int>(positions.size()), 1);
+  for (int i = 0; i < points.size(); ++i)
+    points.set_coord(i, 0, positions[static_cast<std::size_t>(i)]);
+  return points;
+}
+
+}  // namespace gncg

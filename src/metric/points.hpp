@@ -1,0 +1,65 @@
+// Point sets in R^d under p-norms (the Rd-GNCG substrate).
+//
+// Supports any p >= 1 including the Chebyshev limit p = infinity.  Generators
+// cover the workloads the experiments need: uniform cubes, Gaussian-ish
+// clusters, grids, 1-D lines (Lemma 8 / Theorem 18), circle arcs (the
+// Theorem 16 Set-Cover gadget) and the Theorem 19 cross-polytope layout.
+#pragma once
+
+#include <vector>
+
+#include "graph/distance_matrix.hpp"
+#include "support/rng.hpp"
+
+namespace gncg {
+
+/// Norm exponent; use kPNormInf for the Chebyshev (max) norm.
+inline constexpr double kPNormInf = kInf;
+
+/// A set of n points in R^d, stored row-major (point-major) in a flat array.
+class PointSet {
+ public:
+  PointSet() = default;
+
+  /// Creates n points at the origin of R^d.
+  PointSet(int n, int dim);
+
+  /// Builds from explicit coordinates; `coords[i]` is point i.
+  explicit PointSet(std::vector<std::vector<double>> coords);
+
+  int size() const { return n_; }
+  int dim() const { return dim_; }
+
+  double coord(int point, int axis) const;
+  void set_coord(int point, int axis, double value);
+
+  /// p-norm distance between points a and b (p >= 1 or kPNormInf).
+  double distance(int a, int b, double p) const;
+
+  /// Full pairwise distance matrix under the given p-norm.
+  DistanceMatrix distance_matrix(double p) const;
+
+ private:
+  int n_ = 0;
+  int dim_ = 0;
+  std::vector<double> coords_;
+};
+
+/// p-norm of a coordinate difference vector (shared helper).
+double pnorm(const std::vector<double>& delta, double p);
+
+/// n i.i.d. uniform points in the axis-aligned cube [0, side]^d.
+PointSet uniform_points(int n, int dim, double side, Rng& rng);
+
+/// k cluster centers uniform in [0, side]^d; n points assigned round-robin
+/// with uniform offsets in [-spread, spread]^d.  Models city-like geometry.
+PointSet clustered_points(int n, int dim, int clusters, double side,
+                          double spread, Rng& rng);
+
+/// Axis-aligned grid of `per_side`^dim points with unit spacing `step`.
+PointSet grid_points(int per_side, int dim, double step);
+
+/// 1-D points at the given positions (Lemma 8 / Theorem 18 layouts).
+PointSet line_points(const std::vector<double>& positions);
+
+}  // namespace gncg

@@ -1,0 +1,123 @@
+#include "metric/tree.hpp"
+
+#include <algorithm>
+
+#include "graph/dijkstra.hpp"
+#include "graph/graph_algos.hpp"
+#include "support/assert.hpp"
+
+namespace gncg {
+
+WeightedTree::WeightedTree(int n, std::vector<Edge> edges)
+    : graph_(WeightedGraph::from_edges(n, edges)), edges_(std::move(edges)) {
+  GNCG_CHECK(is_tree(graph_), "WeightedTree requires a connected acyclic edge set");
+}
+
+DistanceMatrix WeightedTree::metric_closure() const {
+  const int n = node_count();
+  DistanceMatrix closure(n);
+  std::vector<double> dist;
+  for (int src = 0; src < n; ++src) {
+    dijkstra_over(
+        n, src,
+        [&](int u, auto&& visit) {
+          for (const auto& nb : graph_.neighbors(u)) visit(nb.to, nb.weight);
+        },
+        dist);
+    for (int v = 0; v < n; ++v) closure.at(src, v) = dist[static_cast<std::size_t>(v)];
+  }
+  return closure;
+}
+
+namespace {
+
+/// Decodes a Pruefer sequence into tree edges (weights filled later).
+std::vector<std::pair<int, int>> pruefer_to_edges(const std::vector<int>& code,
+                                                  int n) {
+  std::vector<int> degree(static_cast<std::size_t>(n), 1);
+  for (int v : code) ++degree[static_cast<std::size_t>(v)];
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(static_cast<std::size_t>(n - 1));
+  // Maintain the smallest leaf via a simple pointer scan (n is small).
+  int ptr = 0;
+  while (degree[static_cast<std::size_t>(ptr)] != 1) ++ptr;
+  int leaf = ptr;
+  for (int v : code) {
+    edges.emplace_back(leaf, v);
+    if (--degree[static_cast<std::size_t>(v)] == 1 && v < ptr) {
+      leaf = v;
+    } else {
+      ++ptr;
+      while (degree[static_cast<std::size_t>(ptr)] != 1) ++ptr;
+      leaf = ptr;
+    }
+  }
+  edges.emplace_back(leaf, n - 1);
+  return edges;
+}
+
+}  // namespace
+
+WeightedTree random_tree(int n, Rng& rng, double w_min, double w_max) {
+  GNCG_CHECK(n >= 1, "tree needs at least one node");
+  GNCG_CHECK(w_min >= 0.0 && w_min <= w_max, "invalid weight range");
+  std::vector<Edge> edges;
+  if (n >= 2) {
+    std::vector<int> code(static_cast<std::size_t>(std::max(0, n - 2)));
+    for (auto& c : code) c = static_cast<int>(rng.uniform_below(
+                               static_cast<std::uint64_t>(n)));
+    const auto pairs = n == 2
+                           ? std::vector<std::pair<int, int>>{{0, 1}}
+                           : pruefer_to_edges(code, n);
+    edges.reserve(pairs.size());
+    for (const auto& [u, v] : pairs)
+      edges.push_back({std::min(u, v), std::max(u, v),
+                       rng.uniform_real(w_min, w_max)});
+  }
+  return WeightedTree(n, std::move(edges));
+}
+
+WeightedTree random_tree_with_weights(int n, const std::vector<double>& weights,
+                                      Rng& rng) {
+  GNCG_CHECK(static_cast<int>(weights.size()) == n - 1,
+             "need exactly n-1 weights, got " << weights.size());
+  std::vector<double> shuffled = weights;
+  rng.shuffle(shuffled);
+  std::vector<Edge> edges;
+  if (n >= 2) {
+    std::vector<int> code(static_cast<std::size_t>(std::max(0, n - 2)));
+    for (auto& c : code) c = static_cast<int>(rng.uniform_below(
+                               static_cast<std::uint64_t>(n)));
+    const auto pairs = n == 2
+                           ? std::vector<std::pair<int, int>>{{0, 1}}
+                           : pruefer_to_edges(code, n);
+    edges.reserve(pairs.size());
+    for (std::size_t i = 0; i < pairs.size(); ++i)
+      edges.push_back({std::min(pairs[i].first, pairs[i].second),
+                       std::max(pairs[i].first, pairs[i].second), shuffled[i]});
+  }
+  return WeightedTree(n, std::move(edges));
+}
+
+WeightedTree star_tree(int n, int center, double leaf_weight) {
+  GNCG_CHECK(n >= 1, "star needs at least one node");
+  GNCG_CHECK(center >= 0 && center < n, "star center out of range");
+  GNCG_CHECK(leaf_weight >= 0.0, "negative leaf weight");
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n - 1));
+  for (int v = 0; v < n; ++v)
+    if (v != center)
+      edges.push_back({std::min(center, v), std::max(center, v), leaf_weight});
+  return WeightedTree(n, std::move(edges));
+}
+
+WeightedTree path_tree(const std::vector<double>& consecutive_weights) {
+  const int n = static_cast<int>(consecutive_weights.size()) + 1;
+  std::vector<Edge> edges;
+  edges.reserve(consecutive_weights.size());
+  for (int i = 0; i + 1 < n; ++i)
+    edges.push_back({i, i + 1, consecutive_weights[static_cast<std::size_t>(i)]});
+  return WeightedTree(n, std::move(edges));
+}
+
+}  // namespace gncg

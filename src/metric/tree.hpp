@@ -1,0 +1,54 @@
+// Weighted trees and tree metrics (the T-GNCG substrate).
+//
+// The paper's T-GNCG plays on the *metric closure* of an edge-weighted tree:
+// w(u, v) = d_T(u, v) for all pairs.  This module owns the tree
+// representation, its metric closure, and random tree generation for the
+// dynamics and equilibrium experiments (Theorems 12-15).
+#pragma once
+
+#include <vector>
+
+#include "graph/distance_matrix.hpp"
+#include "graph/weighted_graph.hpp"
+#include "support/rng.hpp"
+
+namespace gncg {
+
+/// An edge-weighted tree on n nodes.  Construction validates treeness.
+class WeightedTree {
+ public:
+  /// Builds from an edge list; contract-checks connectivity and |E| = n - 1.
+  WeightedTree(int n, std::vector<Edge> edges);
+
+  int node_count() const { return graph_.node_count(); }
+  const WeightedGraph& graph() const { return graph_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Pairwise tree distances (the tree metric), computed by n graph
+  /// traversals in O(n^2).
+  DistanceMatrix metric_closure() const;
+
+ private:
+  WeightedGraph graph_;
+  std::vector<Edge> edges_;
+};
+
+/// Uniform random labelled tree (random Pruefer sequence) with i.i.d.
+/// uniform edge weights in [w_min, w_max].
+WeightedTree random_tree(int n, Rng& rng, double w_min = 1.0,
+                         double w_max = 10.0);
+
+/// Random tree whose edge weights are a permutation of `weights`
+/// (|weights| must equal n - 1).  Used to replay the Theorem 14 / Figure 5
+/// search with the paper's weight multiset {3,7,2,5,12,9,11,2,10}.
+WeightedTree random_tree_with_weights(int n, const std::vector<double>& weights,
+                                      Rng& rng);
+
+/// Star tree: node `center` adjacent to every other node with weight
+/// `leaf_weight` (uniform) -- the shape behind Theorems 15 and 19.
+WeightedTree star_tree(int n, int center, double leaf_weight);
+
+/// Path tree v_0 - v_1 - ... - v_{n-1} with the given consecutive weights.
+WeightedTree path_tree(const std::vector<double>& consecutive_weights);
+
+}  // namespace gncg

@@ -1,0 +1,158 @@
+#include "npc/set_cover.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "support/assert.hpp"
+
+namespace gncg {
+
+namespace {
+
+std::uint32_t set_mask(const SetCoverInstance& instance, std::size_t index) {
+  std::uint32_t mask = 0;
+  for (int e : instance.sets[index]) {
+    GNCG_DASSERT(e >= 0 && e < instance.universe_size);
+    mask |= std::uint32_t{1} << e;
+  }
+  return mask;
+}
+
+struct CoverSearch {
+  const SetCoverInstance* instance = nullptr;
+  std::vector<std::uint32_t> masks;
+  std::uint32_t full = 0;
+  std::vector<int> chosen;
+  std::vector<int> best;
+  bool feasible = false;
+
+  void search(std::uint32_t covered) {
+    if (feasible && chosen.size() + 1 > best.size()) return;  // bound
+    if (covered == full) {
+      if (!feasible || chosen.size() < best.size()) {
+        best = chosen;
+        feasible = true;
+      }
+      return;
+    }
+    // Branch on the uncovered element with the fewest covering sets.
+    int branch_element = -1;
+    std::size_t fewest = masks.size() + 1;
+    for (int e = 0; e < instance->universe_size; ++e) {
+      if ((covered >> e) & 1U) continue;
+      std::size_t covering = 0;
+      for (std::size_t s = 0; s < masks.size(); ++s)
+        if ((masks[s] >> e) & 1U) ++covering;
+      if (covering < fewest) {
+        fewest = covering;
+        branch_element = e;
+      }
+    }
+    if (fewest == 0) return;  // element uncoverable on this branch
+    for (std::size_t s = 0; s < masks.size(); ++s) {
+      if (!((masks[s] >> branch_element) & 1U)) continue;
+      chosen.push_back(static_cast<int>(s));
+      search(covered | masks[s]);
+      chosen.pop_back();
+    }
+  }
+};
+
+}  // namespace
+
+bool is_cover(const SetCoverInstance& instance,
+              const std::vector<int>& chosen) {
+  std::vector<char> covered(static_cast<std::size_t>(instance.universe_size), 0);
+  for (int s : chosen) {
+    GNCG_CHECK(s >= 0 && s < static_cast<int>(instance.set_count()),
+               "set index out of range");
+    for (int e : instance.sets[static_cast<std::size_t>(s)])
+      covered[static_cast<std::size_t>(e)] = 1;
+  }
+  for (char c : covered)
+    if (!c) return false;
+  return true;
+}
+
+SetCoverSolution exact_min_set_cover(const SetCoverInstance& instance) {
+  GNCG_CHECK(instance.universe_size >= 0 && instance.universe_size <= 30,
+             "exact set cover limited to 30 elements");
+  CoverSearch search;
+  search.instance = &instance;
+  search.masks.reserve(instance.set_count());
+  for (std::size_t s = 0; s < instance.set_count(); ++s)
+    search.masks.push_back(set_mask(instance, s));
+  search.full = instance.universe_size == 0
+                    ? 0
+                    : (instance.universe_size == 30
+                           ? 0x3fffffffU
+                           : (std::uint32_t{1} << instance.universe_size) - 1);
+  search.search(0);
+  SetCoverSolution solution;
+  solution.feasible = search.feasible;
+  solution.chosen = search.best;
+  return solution;
+}
+
+SetCoverSolution greedy_set_cover(const SetCoverInstance& instance) {
+  std::vector<std::uint32_t> masks;
+  masks.reserve(instance.set_count());
+  for (std::size_t s = 0; s < instance.set_count(); ++s)
+    masks.push_back(set_mask(instance, s));
+  const std::uint32_t full =
+      instance.universe_size == 0
+          ? 0
+          : (std::uint32_t{1} << instance.universe_size) - 1;
+  SetCoverSolution solution;
+  std::uint32_t covered = 0;
+  while (covered != full) {
+    std::size_t best_set = masks.size();
+    int best_gain = 0;
+    for (std::size_t s = 0; s < masks.size(); ++s) {
+      const int gain = std::popcount(masks[s] & ~covered);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_set = s;
+      }
+    }
+    if (best_set == masks.size()) return solution;  // infeasible
+    covered |= masks[best_set];
+    solution.chosen.push_back(static_cast<int>(best_set));
+  }
+  solution.feasible = true;
+  return solution;
+}
+
+SetCoverInstance random_set_cover(int universe_size, int set_count,
+                                  double p_member, Rng& rng) {
+  GNCG_CHECK(universe_size >= 1 && set_count >= 1, "degenerate instance");
+  SetCoverInstance instance;
+  instance.universe_size = universe_size;
+  instance.sets.assign(static_cast<std::size_t>(set_count), {});
+  std::vector<char> covered(static_cast<std::size_t>(universe_size), 0);
+  for (auto& set : instance.sets) {
+    for (int e = 0; e < universe_size; ++e) {
+      if (rng.bernoulli(p_member)) {
+        set.push_back(e);
+        covered[static_cast<std::size_t>(e)] = 1;
+      }
+    }
+    if (set.empty()) {
+      const int e = static_cast<int>(
+          rng.uniform_below(static_cast<std::uint64_t>(universe_size)));
+      set.push_back(e);
+      covered[static_cast<std::size_t>(e)] = 1;
+    }
+  }
+  for (int e = 0; e < universe_size; ++e) {
+    if (!covered[static_cast<std::size_t>(e)]) {
+      auto& set = instance.sets[rng.uniform_below(
+          static_cast<std::uint64_t>(set_count))];
+      set.push_back(e);
+      std::sort(set.begin(), set.end());
+    }
+  }
+  return instance;
+}
+
+}  // namespace gncg

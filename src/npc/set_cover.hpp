@@ -1,0 +1,47 @@
+// Minimum Set Cover: exact branch-and-bound and the greedy approximation.
+//
+// The paper's best-response hardness proofs (Theorem 13 for tree metrics,
+// Theorem 16 for points in R^d) reduce FROM Minimum Set Cover: an agent's
+// best response buys exactly the set-nodes of a minimum cover.  The
+// experiments run the reduction forwards -- building game gadgets from set
+// systems -- and validate them against this exact solver.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace gncg {
+
+/// A set-cover instance: universe {0..universe_size-1} and a family of sets.
+struct SetCoverInstance {
+  int universe_size = 0;
+  std::vector<std::vector<int>> sets;
+
+  std::size_t set_count() const { return sets.size(); }
+};
+
+/// Indices of chosen sets.
+struct SetCoverSolution {
+  std::vector<int> chosen;
+  bool feasible = false;
+};
+
+/// True when the chosen sets cover the whole universe.
+bool is_cover(const SetCoverInstance& instance, const std::vector<int>& chosen);
+
+/// Exact minimum cover by branch and bound (element-driven branching).
+/// Universe limited to 30 elements (bitmask state).
+SetCoverSolution exact_min_set_cover(const SetCoverInstance& instance);
+
+/// Classic greedy (largest-uncovered-first); ln(n)-approximation.
+SetCoverSolution greedy_set_cover(const SetCoverInstance& instance);
+
+/// Random instance: each (set, element) membership with probability
+/// `p_member`; elements left uncovered are patched into a random set so the
+/// instance is always feasible.  Empty sets are patched with one element.
+SetCoverInstance random_set_cover(int universe_size, int set_count,
+                                  double p_member, Rng& rng);
+
+}  // namespace gncg

@@ -1,0 +1,133 @@
+#include "npc/vertex_cover.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace gncg {
+
+bool is_vertex_cover(const VertexCoverInstance& instance,
+                     const std::vector<int>& cover) {
+  std::vector<char> in_cover(static_cast<std::size_t>(instance.n), 0);
+  for (int v : cover) {
+    GNCG_CHECK(v >= 0 && v < instance.n, "cover vertex out of range");
+    in_cover[static_cast<std::size_t>(v)] = 1;
+  }
+  for (const auto& [u, v] : instance.edges)
+    if (!in_cover[static_cast<std::size_t>(u)] &&
+        !in_cover[static_cast<std::size_t>(v)])
+      return false;
+  return true;
+}
+
+namespace {
+
+struct VcSearch {
+  const VertexCoverInstance* instance = nullptr;
+  std::vector<char> in_cover;
+  std::vector<int> best;
+  int chosen = 0;
+
+  /// First edge not covered by the current partial cover; -1 if none.
+  int uncovered_edge() const {
+    for (std::size_t i = 0; i < instance->edges.size(); ++i) {
+      const auto& [u, v] = instance->edges[i];
+      if (!in_cover[static_cast<std::size_t>(u)] &&
+          !in_cover[static_cast<std::size_t>(v)])
+        return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  void search() {
+    if (chosen >= static_cast<int>(best.size())) return;  // bound
+    const int edge = uncovered_edge();
+    if (edge < 0) {
+      best.clear();
+      for (int v = 0; v < instance->n; ++v)
+        if (in_cover[static_cast<std::size_t>(v)]) best.push_back(v);
+      return;
+    }
+    const auto& [u, v] = instance->edges[static_cast<std::size_t>(edge)];
+    for (int pick : {u, v}) {
+      in_cover[static_cast<std::size_t>(pick)] = 1;
+      ++chosen;
+      search();
+      --chosen;
+      in_cover[static_cast<std::size_t>(pick)] = 0;
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<int> exact_min_vertex_cover(const VertexCoverInstance& instance) {
+  VcSearch search;
+  search.instance = &instance;
+  search.in_cover.assign(static_cast<std::size_t>(instance.n), 0);
+  // Start from the trivial all-vertices cover as the incumbent.
+  search.best.resize(static_cast<std::size_t>(instance.n));
+  for (int v = 0; v < instance.n; ++v)
+    search.best[static_cast<std::size_t>(v)] = v;
+  search.search();
+  return search.best;
+}
+
+std::vector<int> two_approx_vertex_cover(const VertexCoverInstance& instance) {
+  std::vector<char> matched(static_cast<std::size_t>(instance.n), 0);
+  std::vector<int> cover;
+  for (const auto& [u, v] : instance.edges) {
+    if (matched[static_cast<std::size_t>(u)] ||
+        matched[static_cast<std::size_t>(v)])
+      continue;
+    matched[static_cast<std::size_t>(u)] = 1;
+    matched[static_cast<std::size_t>(v)] = 1;
+    cover.push_back(u);
+    cover.push_back(v);
+  }
+  return cover;
+}
+
+VertexCoverInstance random_subcubic_graph(int n, Rng& rng) {
+  GNCG_CHECK(n >= 2, "need at least two vertices");
+  VertexCoverInstance instance;
+  instance.n = n;
+  std::vector<int> degree(static_cast<std::size_t>(n), 0);
+  std::vector<std::vector<char>> adjacent(
+      static_cast<std::size_t>(n),
+      std::vector<char>(static_cast<std::size_t>(n), 0));
+
+  // Random spanning path-ish tree respecting the degree cap: attach each new
+  // vertex to a uniformly random earlier vertex with remaining budget.
+  for (int v = 1; v < n; ++v) {
+    std::vector<int> hosts;
+    for (int h = 0; h < v; ++h)
+      if (degree[static_cast<std::size_t>(h)] < 3) hosts.push_back(h);
+    GNCG_CHECK(!hosts.empty(), "degree budget exhausted (cannot happen)");
+    const int h = hosts[rng.uniform_below(hosts.size())];
+    instance.edges.emplace_back(h, v);
+    ++degree[static_cast<std::size_t>(h)];
+    ++degree[static_cast<std::size_t>(v)];
+    adjacent[static_cast<std::size_t>(h)][static_cast<std::size_t>(v)] = 1;
+    adjacent[static_cast<std::size_t>(v)][static_cast<std::size_t>(h)] = 1;
+  }
+  // Extra edges while degree budgets allow (about n/2 attempts).
+  const int attempts = n;
+  for (int i = 0; i < attempts; ++i) {
+    const int u = static_cast<int>(rng.uniform_below(static_cast<std::uint64_t>(n)));
+    const int v = static_cast<int>(rng.uniform_below(static_cast<std::uint64_t>(n)));
+    if (u == v || adjacent[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)])
+      continue;
+    if (degree[static_cast<std::size_t>(u)] >= 3 ||
+        degree[static_cast<std::size_t>(v)] >= 3)
+      continue;
+    instance.edges.emplace_back(std::min(u, v), std::max(u, v));
+    ++degree[static_cast<std::size_t>(u)];
+    ++degree[static_cast<std::size_t>(v)];
+    adjacent[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)] = 1;
+    adjacent[static_cast<std::size_t>(v)][static_cast<std::size_t>(u)] = 1;
+  }
+  return instance;
+}
+
+}  // namespace gncg

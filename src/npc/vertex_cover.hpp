@@ -1,0 +1,41 @@
+// Minimum Vertex Cover: exact branch-and-bound and the matching-based
+// 2-approximation.
+//
+// Theorem 4 reduces Vertex Cover on subcubic graphs to the NE *decision*
+// problem of the 1-2-GNCG (the first hardness-of-recognizing-equilibria
+// result in the NCG literature).  The experiments instantiate that gadget
+// from random subcubic graphs and validate agent u's best response against
+// this exact solver.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace gncg {
+
+/// A plain undirected graph for the cover problem.
+struct VertexCoverInstance {
+  int n = 0;
+  std::vector<std::pair<int, int>> edges;
+};
+
+/// True when `cover` touches every edge.
+bool is_vertex_cover(const VertexCoverInstance& instance,
+                     const std::vector<int>& cover);
+
+/// Exact minimum vertex cover via branching on an endpoint of an uncovered
+/// edge, with incumbent pruning.  Practical to ~30 vertices at our scales.
+std::vector<int> exact_min_vertex_cover(const VertexCoverInstance& instance);
+
+/// Maximal-matching 2-approximation.
+std::vector<int> two_approx_vertex_cover(const VertexCoverInstance& instance);
+
+/// Random connected graph with maximum degree <= 3 (the class for which
+/// minimum vertex cover is NP-hard, as used by Theorem 4): a random
+/// spanning tree with degree budget, plus random extra edges while budgets
+/// allow.
+VertexCoverInstance random_subcubic_graph(int n, Rng& rng);
+
+}  // namespace gncg

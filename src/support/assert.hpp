@@ -1,0 +1,54 @@
+// Contract-checking macros for the gncg library.
+//
+// GNCG_CHECK enforces preconditions/invariants in all build types and throws
+// gncg::ContractViolation (so tests can assert on misuse and callers can
+// recover).  GNCG_DASSERT is a debug-only variant for hot inner loops.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gncg {
+
+/// Thrown when a GNCG_CHECK contract fails.  Carries file/line context.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_fail(const char* expr, const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << "gncg contract violated: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace detail
+}  // namespace gncg
+
+/// Always-on contract check.  `msg` is streamed, e.g.
+///   GNCG_CHECK(u < n, "node index " << u << " out of range");
+#define GNCG_CHECK(cond, msg)                                             \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream gncg_check_os_;                                  \
+      gncg_check_os_ << msg;                                              \
+      ::gncg::detail::contract_fail(#cond, __FILE__, __LINE__,            \
+                                    gncg_check_os_.str());                \
+    }                                                                     \
+  } while (false)
+
+/// Debug-only assertion for hot paths; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define GNCG_DASSERT(cond) ((void)0)
+#else
+#define GNCG_DASSERT(cond)                                                 \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::gncg::detail::contract_fail(#cond, __FILE__, __LINE__, "");        \
+  } while (false)
+#endif

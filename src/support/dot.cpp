@@ -1,0 +1,62 @@
+#include "support/dot.hpp"
+
+#include <ostream>
+
+#include "support/assert.hpp"
+#include "support/table.hpp"
+
+namespace gncg {
+
+namespace {
+
+std::string node_label(const DotOptions& options, int v) {
+  if (v < static_cast<int>(options.labels.size()))
+    return options.labels[static_cast<std::size_t>(v)];
+  return "v" + std::to_string(v);
+}
+
+void write_nodes(std::ostream& os, int n, const DotOptions& options) {
+  for (int v = 0; v < n; ++v) {
+    os << "  " << v << " [label=\"" << node_label(options, v) << '"';
+    if (options.layout != nullptr) {
+      GNCG_CHECK(options.layout->size() >= n && options.layout->dim() >= 2,
+                 "layout point set too small for the graph");
+      os << ", pos=\"" << format_double(options.layout->coord(v, 0), 3) << ','
+         << format_double(options.layout->coord(v, 1), 3) << "!\"";
+    }
+    os << "];\n";
+  }
+}
+
+}  // namespace
+
+void write_dot(std::ostream& os, const WeightedGraph& graph,
+               const DotOptions& options) {
+  os << "graph " << options.name << " {\n";
+  write_nodes(os, graph.node_count(), options);
+  for (const auto& e : graph.edges()) {
+    os << "  " << e.u << " -- " << e.v;
+    if (options.edge_weights)
+      os << " [label=\"" << format_double(e.weight, 3) << "\"]";
+    os << ";\n";
+  }
+  os << "}\n";
+}
+
+void write_dot(std::ostream& os, const Game& game, const StrategyProfile& s,
+               const DotOptions& options) {
+  os << "digraph " << options.name << " {\n";
+  write_nodes(os, game.node_count(), options);
+  for (int owner = 0; owner < game.node_count(); ++owner) {
+    s.strategy(owner).for_each([&](int target) {
+      os << "  " << owner << " -> " << target;
+      if (options.edge_weights)
+        os << " [label=\"" << format_double(game.weight(owner, target), 3)
+           << "\"]";
+      os << ";\n";
+    });
+  }
+  os << "}\n";
+}
+
+}  // namespace gncg

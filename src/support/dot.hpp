@@ -1,0 +1,38 @@
+// Graphviz DOT export of built networks, strategy profiles and host
+// layouts -- the visualization hook a downstream user needs to *see*
+// equilibria (edge direction = ownership, as in the paper's figures).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/game.hpp"
+#include "graph/weighted_graph.hpp"
+#include "metric/points.hpp"
+
+namespace gncg {
+
+/// Options controlling the DOT rendering.
+struct DotOptions {
+  /// Graph name in the DOT header.
+  std::string name = "gncg";
+  /// Node labels; defaults to node indices when empty.
+  std::vector<std::string> labels;
+  /// Print edge weights as labels.
+  bool edge_weights = true;
+  /// Use point coordinates as fixed positions (needs a 2-D point set).
+  const PointSet* layout = nullptr;
+};
+
+/// Writes an undirected weighted graph as DOT (`graph { ... }`).
+void write_dot(std::ostream& os, const WeightedGraph& graph,
+               const DotOptions& options = {});
+
+/// Writes a strategy profile as DOT (`digraph { ... }`): each bought edge
+/// is an arrow from its owner to the target, mirroring the paper's figure
+/// convention.  Double-bought edges appear twice.
+void write_dot(std::ostream& os, const Game& game, const StrategyProfile& s,
+               const DotOptions& options = {});
+
+}  // namespace gncg

@@ -1,0 +1,116 @@
+// NodeSet: a compact dynamic bitset over node indices.
+//
+// Strategy sets (the S_u of the paper) and edge-membership masks are sets of
+// node indices with n up to a few hundred.  NodeSet stores them as 64-bit
+// words with cache-friendly iteration, popcount-based cardinality, and a
+// mixing hash used by the dynamics engine for cycle detection.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace gncg {
+
+/// Fixed-universe dynamic bitset over {0, ..., universe-1}.
+class NodeSet {
+ public:
+  NodeSet() = default;
+
+  /// Creates an empty set over a universe of `universe` node indices.
+  explicit NodeSet(int universe)
+      : universe_(universe),
+        words_(static_cast<std::size_t>((universe + 63) / 64), 0) {
+    GNCG_CHECK(universe >= 0, "NodeSet universe must be non-negative");
+  }
+
+  /// Number of node indices the set ranges over (not the cardinality).
+  int universe() const { return universe_; }
+
+  bool contains(int v) const {
+    GNCG_DASSERT(in_range(v));
+    return (words_[static_cast<std::size_t>(v) >> 6] >>
+            (static_cast<unsigned>(v) & 63U)) &
+           1U;
+  }
+
+  void insert(int v) {
+    GNCG_DASSERT(in_range(v));
+    words_[static_cast<std::size_t>(v) >> 6] |=
+        std::uint64_t{1} << (static_cast<unsigned>(v) & 63U);
+  }
+
+  void erase(int v) {
+    GNCG_DASSERT(in_range(v));
+    words_[static_cast<std::size_t>(v) >> 6] &=
+        ~(std::uint64_t{1} << (static_cast<unsigned>(v) & 63U));
+  }
+
+  void clear() {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// Cardinality of the set.
+  int size() const {
+    int total = 0;
+    for (auto w : words_) total += std::popcount(w);
+    return total;
+  }
+
+  bool empty() const {
+    for (auto w : words_)
+      if (w != 0) return false;
+    return true;
+  }
+
+  /// Calls `fn(v)` for every member v in increasing order.
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w != 0) {
+        const int bit = std::countr_zero(w);
+        fn(static_cast<int>(wi * 64) + bit);
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// Members as a vector (convenience for tests and reporting).
+  std::vector<int> to_vector() const {
+    std::vector<int> out;
+    out.reserve(static_cast<std::size_t>(size()));
+    for_each([&](int v) { out.push_back(v); });
+    return out;
+  }
+
+  bool operator==(const NodeSet& other) const {
+    return universe_ == other.universe_ && words_ == other.words_;
+  }
+  bool operator!=(const NodeSet& other) const { return !(*this == other); }
+
+  /// 64-bit mixing hash (SplitMix64 over the words); used for profile
+  /// fingerprints in cycle detection.
+  std::uint64_t hash() const {
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL ^
+                      static_cast<std::uint64_t>(universe_);
+    for (auto w : words_) {
+      h ^= w + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      std::uint64_t z = h;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      h = z ^ (z >> 31);
+    }
+    return h;
+  }
+
+ private:
+  bool in_range(int v) const { return v >= 0 && v < universe_; }
+
+  int universe_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace gncg

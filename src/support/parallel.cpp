@@ -1,0 +1,151 @@
+#include "support/parallel.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+
+namespace gncg {
+
+namespace {
+
+std::atomic<std::size_t> g_thread_override{0};
+
+/// Marks threads currently executing pool work; nested parallel regions
+/// degrade to serial execution instead of deadlocking on the pool.
+thread_local bool t_inside_pool_worker = false;
+
+/// Persistent worker pool.  One top-level parallel region runs at a time
+/// (serialized by run_mutex_); workers sleep on a condition variable
+/// between regions, so dispatch costs microseconds instead of the
+/// hundreds-of-microseconds thread-spawn penalty that dominates small
+/// kernels.
+class ThreadPool {
+ public:
+  static ThreadPool& instance() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+  /// Runs body(0..threads-1), body(0) on the caller, the rest on workers.
+  void run(std::size_t threads, const std::function<void(std::size_t)>& body) {
+    const std::unique_lock<std::mutex> run_lock(run_mutex_);
+    const std::size_t helpers = std::min(threads - 1, workers_.size());
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      body_ = &body;
+      helpers_wanted_ = helpers;
+      helpers_started_ = 0;
+      helpers_done_ = 0;
+      ++generation_;
+    }
+    if (helpers > 0) work_ready_.notify_all();
+    t_inside_pool_worker = true;
+    body(0);
+    t_inside_pool_worker = false;
+    if (helpers > 0) {
+      std::unique_lock<std::mutex> lock(mutex_);
+      all_done_.wait(lock, [&] { return helpers_done_ == helpers_wanted_; });
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
+    body_ = nullptr;
+  }
+
+ private:
+  ThreadPool() {
+    const std::size_t hw = default_thread_count();
+    const std::size_t helpers = hw > 1 ? hw - 1 : 0;
+    workers_.reserve(helpers);
+    for (std::size_t i = 0; i < helpers; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  ~ThreadPool() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    work_ready_.notify_all();
+    for (auto& worker : workers_) worker.join();
+  }
+
+  void worker_loop() {
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+      std::size_t id = 0;
+      const std::function<void(std::size_t)>* body = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_ready_.wait(lock, [&] {
+          return shutdown_ || (generation_ != seen_generation &&
+                               helpers_started_ < helpers_wanted_);
+        });
+        if (shutdown_) return;
+        seen_generation = generation_;
+        id = ++helpers_started_;  // worker ids 1..helpers_wanted_
+        body = body_;
+      }
+      t_inside_pool_worker = true;
+      (*body)(id);
+      t_inside_pool_worker = false;
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (++helpers_done_ == helpers_wanted_) all_done_.notify_all();
+      }
+    }
+  }
+
+  std::mutex run_mutex_;  // one top-level region at a time
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  const std::function<void(std::size_t)>* body_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::size_t helpers_wanted_ = 0;
+  std::size_t helpers_started_ = 0;
+  std::size_t helpers_done_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;  // must outlive fields above
+};
+
+}  // namespace
+
+std::size_t default_thread_count() {
+  const std::size_t override = g_thread_override.load(std::memory_order_relaxed);
+  if (override != 0) return override;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+void set_default_thread_count(std::size_t threads) {
+  g_thread_override.store(threads, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+bool inside_parallel_region() { return t_inside_pool_worker; }
+
+void run_on_workers(std::size_t threads,
+                    const std::function<void(std::size_t)>& body) {
+  GNCG_CHECK(threads >= 1, "need at least one worker");
+  // Nested regions (a worker spawning a region) run serially: every thread
+  // id still executes exactly once, which parallel_reduce relies on.
+  if (threads == 1 || t_inside_pool_worker) {
+    for (std::size_t tid = 0; tid < threads; ++tid) body(tid);
+    return;
+  }
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  const std::function<void(std::size_t)> guarded = [&](std::size_t tid) {
+    try {
+      body(tid);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+  ThreadPool::instance().run(threads, guarded);
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace detail
+}  // namespace gncg

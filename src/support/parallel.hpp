@@ -1,0 +1,109 @@
+// Shared-memory parallel primitives for the experiment harness.
+//
+// Follows the C++ Core Guidelines concurrency rules: tasks own their data,
+// shared state is read-only or explicitly synchronized, and joins are RAII.
+// `parallel_for` block-partitions an index range over a pool of std::thread
+// workers; `parallel_reduce` combines thread-local accumulators.  Benchmarks
+// and equilibrium enumeration are data-parallel over immutable game state, so
+// these two primitives cover all concurrency in the library.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace gncg {
+
+/// Number of worker threads used by default (hardware concurrency, >= 1).
+std::size_t default_thread_count();
+
+/// Overrides the default worker count (0 restores hardware concurrency).
+/// Intended for tests and for benchmarks that measure scaling.
+void set_default_thread_count(std::size_t threads);
+
+namespace detail {
+
+/// Runs `body(thread_index)` for thread indices 0..threads-1 on the
+/// persistent worker pool (index 0 on the caller), rethrowing the first
+/// captured exception.  Nested invocations from inside a pool worker run
+/// serially.
+void run_on_workers(std::size_t threads,
+                    const std::function<void(std::size_t)>& body);
+
+/// True when the calling thread is executing inside a parallel region.
+bool inside_parallel_region();
+
+/// Work items below this count run serially: pool dispatch costs more than
+/// the work itself for tiny kernels (n-source APSP on toy graphs etc.).
+inline constexpr std::size_t kSerialCutoff = 32;
+
+}  // namespace detail
+
+/// Applies `fn(i)` for every i in [begin, end), dynamically chunked across
+/// the default worker pool.  `fn` must be safe to call concurrently on
+/// distinct indices.  `grain` is the chunk size claimed per atomic fetch.
+template <class Fn>
+void parallel_for(std::size_t begin, std::size_t end, Fn&& fn,
+                  std::size_t grain = 1) {
+  GNCG_CHECK(begin <= end, "parallel_for requires begin <= end");
+  const std::size_t total = end - begin;
+  if (total == 0) return;
+  const std::size_t threads =
+      std::min(default_thread_count(), (total + grain - 1) / grain);
+  if (threads <= 1 || total < detail::kSerialCutoff ||
+      detail::inside_parallel_region()) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{begin};
+  detail::run_on_workers(threads, [&](std::size_t) {
+    for (;;) {
+      const std::size_t lo = next.fetch_add(grain, std::memory_order_relaxed);
+      if (lo >= end) break;
+      const std::size_t hi = std::min(lo + grain, end);
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    }
+  });
+}
+
+/// Parallel reduction: each worker owns an Acc constructed from `make_acc()`,
+/// `fn(acc, i)` folds index i into it, and `combine(total, acc)` merges the
+/// per-worker results sequentially at the end.
+template <class Acc, class MakeAcc, class Fn, class Combine>
+Acc parallel_reduce(std::size_t begin, std::size_t end, MakeAcc&& make_acc,
+                    Fn&& fn, Combine&& combine, std::size_t grain = 64) {
+  GNCG_CHECK(begin <= end, "parallel_reduce requires begin <= end");
+  const std::size_t total = end - begin;
+  Acc result = make_acc();
+  if (total == 0) return result;
+  const std::size_t threads =
+      std::min(default_thread_count(), (total + grain - 1) / grain);
+  if (threads <= 1 || total < detail::kSerialCutoff ||
+      detail::inside_parallel_region()) {
+    for (std::size_t i = begin; i < end; ++i) fn(result, i);
+    return result;
+  }
+  std::vector<Acc> partials;
+  partials.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) partials.push_back(make_acc());
+  std::atomic<std::size_t> next{begin};
+  detail::run_on_workers(threads, [&](std::size_t tid) {
+    Acc& acc = partials[tid];
+    for (;;) {
+      const std::size_t lo = next.fetch_add(grain, std::memory_order_relaxed);
+      if (lo >= end) break;
+      const std::size_t hi = std::min(lo + grain, end);
+      for (std::size_t i = lo; i < hi; ++i) fn(acc, i);
+    }
+  });
+  for (auto& acc : partials) combine(result, acc);
+  return result;
+}
+
+}  // namespace gncg

@@ -1,0 +1,118 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace gncg {
+
+std::string format_double(double value, int precision) {
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  if (std::isnan(value)) return "nan";
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  std::string s = os.str();
+  // Trim trailing zeros but keep at least one digit after the point.
+  if (s.find('.') != std::string::npos) {
+    while (s.size() > 1 && s.back() == '0') s.pop_back();
+    if (s.back() == '.') s.push_back('0');
+  }
+  return s;
+}
+
+ConsoleTable::ConsoleTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  GNCG_CHECK(!headers_.empty(), "a table needs at least one column");
+}
+
+ConsoleTable& ConsoleTable::begin_row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+ConsoleTable& ConsoleTable::add(const std::string& cell) {
+  GNCG_CHECK(!rows_.empty(), "call begin_row() before add()");
+  GNCG_CHECK(rows_.back().size() < headers_.size(),
+             "row has more cells than headers");
+  rows_.back().push_back(cell);
+  return *this;
+}
+
+ConsoleTable& ConsoleTable::add(const char* cell) {
+  return add(std::string(cell));
+}
+
+ConsoleTable& ConsoleTable::add(double value, int precision) {
+  return add(format_double(value, precision));
+}
+
+ConsoleTable& ConsoleTable::add(long long value) {
+  return add(std::to_string(value));
+}
+
+ConsoleTable& ConsoleTable::add(int value) { return add(std::to_string(value)); }
+
+ConsoleTable& ConsoleTable::add(bool value) {
+  return add(std::string(value ? "yes" : "no"));
+}
+
+void ConsoleTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << ' ' << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+  auto print_rule = [&] {
+    os << '+';
+    for (auto w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+
+  print_rule();
+  print_row(headers_);
+  print_rule();
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+}
+
+void ConsoleTable::write_csv(std::ostream& os) const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += "\"\"";
+      else out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << (c ? "," : "") << quote(headers_[c]);
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << (c ? "," : "") << quote(row[c]);
+    os << '\n';
+  }
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  const std::string rule(title.size() + 4, '=');
+  os << '\n' << rule << '\n' << "= " << title << " =" << '\n' << rule << '\n';
+}
+
+}  // namespace gncg

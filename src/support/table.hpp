@@ -1,0 +1,46 @@
+// Console table and CSV output used by the benchmark harness to print
+// paper-style result rows (paper value vs measured value).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gncg {
+
+/// Builds an aligned, boxed console table.  Cells are strings; numeric
+/// convenience overloads format doubles with fixed precision.
+class ConsoleTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit ConsoleTable(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent `add` calls fill it left to right.
+  ConsoleTable& begin_row();
+  ConsoleTable& add(const std::string& cell);
+  ConsoleTable& add(const char* cell);
+  ConsoleTable& add(double value, int precision = 4);
+  ConsoleTable& add(long long value);
+  ConsoleTable& add(int value);
+  ConsoleTable& add(bool value);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders the table to `os` with a header rule and column alignment.
+  void print(std::ostream& os) const;
+
+  /// Writes the table as CSV (RFC-4180 quoting) to `os`.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double compactly ("inf" for infinities, trimmed zeros).
+std::string format_double(double value, int precision = 4);
+
+/// Prints a section banner (used between experiment blocks in benches).
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace gncg

@@ -1,0 +1,27 @@
+// Minimal wall-clock stopwatch used by benchmarks and progress reporting.
+#pragma once
+
+#include <chrono>
+
+namespace gncg {
+
+/// Wall-clock stopwatch.  Starts on construction; `seconds()`/`millis()`
+/// report elapsed time, `restart()` resets the origin.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gncg

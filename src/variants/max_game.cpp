@@ -1,0 +1,179 @@
+#include "variants/max_game.hpp"
+
+#include <algorithm>
+
+#include "graph/dijkstra.hpp"
+#include "graph/graph_algos.hpp"
+
+namespace gncg {
+
+namespace {
+
+/// Eccentricity of `u` in (environment + candidate edges) -- the
+/// egalitarian distance term.
+double eccentricity_of(const Game& game,
+                       const std::vector<std::vector<Neighbor>>& environment,
+                       int u, const NodeSet& targets) {
+  std::vector<double> dist;
+  dijkstra_over(
+      game.node_count(), u,
+      [&](int x, auto&& visit) {
+        for (const auto& nb : environment[static_cast<std::size_t>(x)])
+          visit(nb.to, nb.weight);
+        if (x == u) {
+          targets.for_each([&](int v) { visit(v, game.weight(u, v)); });
+        } else if (targets.contains(x)) {
+          visit(u, game.weight(u, x));
+        }
+      },
+      dist);
+  double worst = 0.0;
+  for (double d : dist) worst = std::max(worst, d);
+  return worst;
+}
+
+std::vector<std::vector<Neighbor>> environment_of(const Game& game,
+                                                  const StrategyProfile& s,
+                                                  int u) {
+  const int n = game.node_count();
+  std::vector<std::vector<Neighbor>> environment(static_cast<std::size_t>(n));
+  for (int owner = 0; owner < n; ++owner) {
+    if (owner == u) continue;
+    s.strategy(owner).for_each([&](int target) {
+      const double w = game.weight(owner, target);
+      environment[static_cast<std::size_t>(owner)].push_back({target, w});
+      environment[static_cast<std::size_t>(target)].push_back({owner, w});
+    });
+  }
+  return environment;
+}
+
+/// Pruned DFS over candidate subsets, mirroring the SUM-version search but
+/// with the eccentricity floor max_v d_H(u, v) as the admissible bound.
+struct MaxBrSearch {
+  const Game* game = nullptr;
+  const std::vector<std::vector<Neighbor>>* environment = nullptr;
+  int agent = 0;
+  std::vector<int> candidates;
+  std::vector<double> weights;
+  double ecc_floor = 0.0;
+  double incumbent = kInf;
+  bool first_improvement = false;
+  bool done = false;
+
+  NodeSet current;
+  double current_weight = 0.0;
+  BestResponseResult result;
+
+  double bound() const { return std::min(result.cost, incumbent); }
+
+  void evaluate() {
+    const double cost =
+        game->alpha() * current_weight +
+        eccentricity_of(*game, *environment, agent, current);
+    ++result.evaluations;
+    if (improves(cost, bound())) {
+      result.cost = cost;
+      result.strategy = current;
+      result.improved = improves(cost, incumbent);
+      if (first_improvement && result.improved) done = true;
+    }
+  }
+
+  void descend(std::size_t start) {
+    for (std::size_t i = start; i < candidates.size() && !done; ++i) {
+      const double lb =
+          game->alpha() * (current_weight + weights[i]) + ecc_floor;
+      if (!improves(lb, bound())) break;  // weight-sorted: rest are worse
+      current.insert(candidates[i]);
+      current_weight += weights[i];
+      evaluate();
+      if (!done) descend(i + 1);
+      current.erase(candidates[i]);
+      current_weight -= weights[i];
+    }
+  }
+};
+
+}  // namespace
+
+double max_agent_cost(const Game& game, const StrategyProfile& s, int u) {
+  const auto environment = environment_of(game, s, u);
+  double edge_weight = 0.0;
+  s.strategy(u).for_each([&](int v) { edge_weight += game.weight(u, v); });
+  return game.alpha() * edge_weight +
+         eccentricity_of(game, environment, u, s.strategy(u));
+}
+
+double max_social_cost(const Game& game, const StrategyProfile& s) {
+  double total = 0.0;
+  for (int u = 0; u < game.node_count(); ++u)
+    total += max_agent_cost(game, s, u);
+  return total;
+}
+
+double max_network_social_cost(const Game& game,
+                               const std::vector<Edge>& network) {
+  WeightedGraph g(game.node_count());
+  double edge_weight = 0.0;
+  for (const auto& e : network) {
+    GNCG_CHECK(game.can_buy(e.u, e.v), "network contains a forbidden edge");
+    g.add_edge(e.u, e.v, game.weight(e.u, e.v));
+    edge_weight += game.weight(e.u, e.v);
+  }
+  double ecc_total = 0.0;
+  for (double e : eccentricities(g)) ecc_total += e;
+  return game.alpha() * edge_weight + ecc_total;
+}
+
+BestResponseResult max_exact_best_response(const Game& game,
+                                           const StrategyProfile& s, int u,
+                                           const BestResponseOptions& options) {
+  const auto environment = environment_of(game, s, u);
+
+  MaxBrSearch search;
+  search.game = &game;
+  search.environment = &environment;
+  search.agent = u;
+  search.incumbent = options.incumbent;
+  search.first_improvement = options.first_improvement;
+  search.current = NodeSet(game.node_count());
+  search.result.strategy = NodeSet(game.node_count());
+  // Any built network's eccentricity of u is at least the host-closure one.
+  for (int v = 0; v < game.node_count(); ++v)
+    search.ecc_floor = std::max(search.ecc_floor, game.host_distance(u, v));
+
+  std::vector<std::pair<double, int>> order;
+  for (int v = 0; v < game.node_count(); ++v)
+    if (game.can_buy(u, v)) order.emplace_back(game.weight(u, v), v);
+  std::sort(order.begin(), order.end());
+  for (const auto& [w, v] : order) {
+    search.candidates.push_back(v);
+    search.weights.push_back(w);
+  }
+
+  search.evaluate();
+  if (!search.done) search.descend(0);
+
+  if (!(search.result.cost < kInf) && !(options.incumbent < kInf)) {
+    search.result.cost =
+        eccentricity_of(game, environment, u, search.result.strategy);
+  }
+  return search.result;
+}
+
+bool max_has_improving_deviation(const Game& game, const StrategyProfile& s,
+                                 int u) {
+  BestResponseOptions options;
+  options.incumbent = max_agent_cost(game, s, u);
+  options.first_improvement = true;
+  return max_exact_best_response(game, s, u, options).improved;
+}
+
+bool max_is_nash_equilibrium(const Game& game, const StrategyProfile& s) {
+  for (int u = 0; u < game.node_count(); ++u)
+    if (max_has_improving_deviation(game, s, u)) return false;
+  return true;
+}
+
+}  // namespace gncg

@@ -1,0 +1,182 @@
+// Tests for best-response machinery: the pruned exact search against the
+// unpruned brute force, single-move scans, and the improvement predicate.
+#include <gtest/gtest.h>
+
+#include "core/best_response.hpp"
+#include "core/dynamics.hpp"
+#include "metric/host_graph.hpp"
+#include "support/rng.hpp"
+#include "test_util.hpp"
+
+namespace gncg {
+namespace {
+
+/// Randomized hosts across model classes for property sweeps.
+Game random_game(int n, double alpha, int flavor, Rng& rng) {
+  switch (flavor % 4) {
+    case 0: return Game(random_metric_host(n, rng), alpha);
+    case 1: return Game(random_one_two_host(n, 0.5, rng), alpha);
+    case 2: return Game(random_general_host(n, rng), alpha);
+    default: return Game(random_one_inf_host(n, 0.6, rng), alpha);
+  }
+}
+
+TEST(ExactBestResponse, MatchesBruteForceAcrossModels) {
+  Rng rng(101);
+  for (int trial = 0; trial < 24; ++trial) {
+    const int n = 4 + static_cast<int>(rng.uniform_below(3));  // 4..6
+    const double alpha = rng.uniform_real(0.2, 4.0);
+    const Game game = random_game(n, alpha, trial, rng);
+    const StrategyProfile profile = random_profile(game, rng);
+    const int u = static_cast<int>(rng.uniform_below(static_cast<std::uint64_t>(n)));
+    const auto exact = exact_best_response(game, profile, u);
+    const auto brute = testing::brute_force_best_response(game, profile, u);
+    EXPECT_NEAR(exact.cost, brute.cost, 1e-9 * std::max(1.0, brute.cost))
+        << "trial " << trial << " agent " << u;
+    EXPECT_LE(exact.evaluations, brute.evaluations);
+  }
+}
+
+TEST(ExactBestResponse, PrunesSubstantially) {
+  // With a large alpha the best response buys few edges, so the edge-cost
+  // lower bound cuts nearly the whole 2^(n-1) subset tree.
+  Rng rng(103);
+  const Game game(random_metric_host(8, rng), 20.0);
+  const StrategyProfile profile = random_profile(game, rng);
+  const auto exact = exact_best_response(game, profile, 0);
+  const auto brute = testing::brute_force_best_response(game, profile, 0);
+  EXPECT_NEAR(exact.cost, brute.cost, 1e-9 * std::max(1.0, brute.cost));
+  EXPECT_LT(exact.evaluations, brute.evaluations / 2)
+      << "pruning should cut most of the 2^(n-1) subsets";
+}
+
+TEST(ExactBestResponse, IncumbentEarlyExitFindsImprovement) {
+  Rng rng(107);
+  const Game game(random_metric_host(5, rng), 1.0);
+  StrategyProfile profile(5);  // empty: every agent is at infinite cost
+  BestResponseOptions options;
+  options.incumbent = agent_cost(game, profile, 0);
+  options.first_improvement = true;
+  const auto result = exact_best_response(game, profile, 0, options);
+  EXPECT_TRUE(result.improved);
+  EXPECT_LT(result.cost, kInf);
+}
+
+TEST(ExactBestResponse, ReportsNoImprovementAtOptimum) {
+  Rng rng(109);
+  const Game game(random_metric_host(5, rng), 1.0);
+  StrategyProfile profile = random_profile(game, rng);
+  const auto full = exact_best_response(game, profile, 2);
+  StrategyProfile best = profile;
+  best.set_strategy(2, full.strategy);
+  BestResponseOptions options;
+  options.incumbent = agent_cost(game, best, 2);
+  EXPECT_FALSE(exact_best_response(game, best, 2, options).improved);
+  EXPECT_FALSE(has_improving_deviation(game, best, 2));
+}
+
+TEST(ExactBestResponse, EnvironmentCostMatchesAgentCost) {
+  Rng rng(113);
+  const Game game(random_metric_host(6, rng), 1.3);
+  const StrategyProfile profile = random_profile(game, rng);
+  for (int u = 0; u < 6; ++u) {
+    const AgentEnvironment env(game, profile, u);
+    EXPECT_NEAR(env.cost_of(profile.strategy(u)), agent_cost(game, profile, u),
+                1e-9);
+  }
+}
+
+TEST(ExactBestResponse, NeverBuysForbiddenEdges) {
+  Rng rng(127);
+  const Game game(random_one_inf_host(6, 0.5, rng), 0.7);
+  const StrategyProfile profile = random_profile(game, rng);
+  const auto result = exact_best_response(game, profile, 0);
+  result.strategy.for_each([&](int v) {
+    EXPECT_LT(game.weight(0, v), kInf);
+  });
+}
+
+TEST(SingleMoves, AdditionImprovesDisconnectedAgent) {
+  // Everyone but agent 0 forms a star; agent 0 is isolated, so any single
+  // purchase connects it to the whole network.
+  Rng rng(131);
+  const Game game(random_metric_host(5, rng), 1.0);
+  StrategyProfile profile(5);
+  for (int v = 2; v < 5; ++v) profile.add_buy(1, v);
+  const auto result = best_addition(game, profile, 0);
+  EXPECT_TRUE(result.improved);
+  EXPECT_EQ(result.move.type, MoveType::kAdd);
+  EXPECT_EQ(result.current_cost, kInf);
+  EXPECT_LT(result.cost, kInf);
+}
+
+TEST(SingleMoves, DeletionOfRedundantEdgeImproves) {
+  // Complete profile on a triangle: dropping the heaviest edge helps.
+  DistanceMatrix weights(3, 0.0);
+  weights.set_symmetric(0, 1, 1.0);
+  weights.set_symmetric(1, 2, 1.0);
+  weights.set_symmetric(0, 2, 2.0);
+  const Game game(HostGraph::from_weights(std::move(weights)), 5.0);
+  StrategyProfile profile(3);
+  profile.add_buy(0, 1);
+  profile.add_buy(1, 2);
+  profile.add_buy(0, 2);
+  const auto result = best_single_move(game, profile, 0);
+  EXPECT_TRUE(result.improved);
+  EXPECT_EQ(result.move.type, MoveType::kDelete);
+  EXPECT_EQ(result.move.remove, 2);
+}
+
+TEST(SingleMoves, SwapBeatsAddAndDeleteWhenBothNeeded) {
+  // Star at 0 on a path metric: the leaf buying the far edge should swap it
+  // for the near one.  Host: points 0,1,10 on a line.
+  const PointSet points = line_points({0.0, 1.0, 10.0});
+  const Game game(HostGraph::from_points(points, 1.0), 10.0);
+  StrategyProfile profile(3);
+  profile.add_buy(2, 0);  // node 2 buys the long edge to 0
+  profile.add_buy(0, 1);
+  const auto result = best_single_move(game, profile, 2);
+  EXPECT_TRUE(result.improved);
+  EXPECT_EQ(result.move.type, MoveType::kSwap);
+  EXPECT_EQ(result.move.remove, 0);
+  EXPECT_EQ(result.move.add, 1);
+}
+
+TEST(SingleMoves, BestSingleMoveNeverWorseThanBestResponse) {
+  Rng rng(137);
+  for (int trial = 0; trial < 12; ++trial) {
+    const Game game = random_game(5, rng.uniform_real(0.3, 3.0), trial, rng);
+    const StrategyProfile profile = random_profile(game, rng);
+    const int u = static_cast<int>(rng.uniform_below(5));
+    const auto single = best_single_move(game, profile, u);
+    const auto full = exact_best_response(game, profile, u);
+    EXPECT_GE(single.cost + 1e-9, full.cost)
+        << "single move cannot beat the exact best response";
+    EXPECT_LE(single.cost, single.current_cost + 1e-9);
+  }
+}
+
+TEST(SingleMoves, ApplyMoveMatchesReportedCost) {
+  Rng rng(139);
+  const Game game(random_metric_host(6, rng), 0.8);
+  StrategyProfile profile = random_profile(game, rng);
+  for (int u = 0; u < 6; ++u) {
+    const auto result = best_single_move(game, profile, u);
+    if (!result.improved) continue;
+    StrategyProfile moved = profile;
+    apply_move(moved, u, result.move);
+    EXPECT_NEAR(agent_cost(game, moved, u), result.cost, 1e-9);
+    return;  // one verified application suffices
+  }
+}
+
+TEST(SingleMoves, NoneMoveIsNoOp) {
+  StrategyProfile profile(3);
+  profile.add_buy(0, 1);
+  StrategyProfile copy = profile;
+  apply_move(copy, 0, SingleMove{});
+  EXPECT_EQ(copy, profile);
+}
+
+}  // namespace
+}  // namespace gncg

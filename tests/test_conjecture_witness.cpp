@@ -1,0 +1,56 @@
+// Tests for the Conjecture 1 witness: the pinned 8-point Euclidean
+// instance admits a deterministic, replay-verified best-response cycle --
+// computational support for "the Rd-GNCG has no FIP under any p-norm"
+// beyond the paper's 1-norm proof (Theorem 17 / Conjecture 1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "constructions/cycle_instances.hpp"
+#include "core/fip.hpp"
+#include "metric/host_graph.hpp"
+
+namespace gncg {
+namespace {
+
+TEST(Conjecture1Witness, PointsAreDistinctIntegersInThePlane) {
+  const auto points = conjecture1_euclidean_points();
+  ASSERT_EQ(points.size(), 8);
+  ASSERT_EQ(points.dim(), 2);
+  std::set<std::pair<double, double>> seen;
+  for (int i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points.coord(i, 0), std::floor(points.coord(i, 0)));
+    EXPECT_EQ(points.coord(i, 1), std::floor(points.coord(i, 1)));
+    EXPECT_TRUE(seen.insert({points.coord(i, 0), points.coord(i, 1)}).second)
+        << "duplicate point " << i;
+  }
+}
+
+TEST(Conjecture1Witness, EuclideanCycleReproducesDeterministically) {
+  const auto result = search_conjecture1_cycle(/*attempts=*/6);
+  ASSERT_TRUE(result.found) << "pinned Conjecture 1 cycle not reproduced";
+  EXPECT_GE(result.analysis.cycle.size(), 2u);
+  const Game game(
+      HostGraph::from_points(conjecture1_euclidean_points(), /*p=*/2.0),
+      kConjecture1Alpha);
+  EXPECT_TRUE(verify_improvement_cycle(game, result.analysis.cycle_start,
+                                       result.analysis.cycle,
+                                       /*require_best_response=*/false));
+  EXPECT_TRUE(verify_improvement_cycle(game, result.analysis.cycle_start,
+                                       result.analysis.cycle,
+                                       /*require_best_response=*/true));
+}
+
+TEST(Conjecture1Witness, HostIsAEuclideanMetric) {
+  const Game game(
+      HostGraph::from_points(conjecture1_euclidean_points(), /*p=*/2.0), 1.0);
+  EXPECT_TRUE(game.host().is_metric());
+  EXPECT_EQ(game.host().declared_model(), ModelClass::kEuclidean);
+  // All pairwise distances are positive (distinct points).
+  for (int u = 0; u < 8; ++u)
+    for (int v = u + 1; v < 8; ++v) EXPECT_GT(game.weight(u, v), 0.0);
+}
+
+}  // namespace
+}  // namespace gncg

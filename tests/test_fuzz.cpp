@@ -1,0 +1,185 @@
+// Randomized differential tests ("fuzzing light"): the optimized substrate
+// implementations are compared against independent reference computations
+// across many random instances.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "core/best_response.hpp"
+#include "core/dynamics.hpp"
+#include "graph/apsp.hpp"
+#include "graph/graph_algos.hpp"
+#include "metric/host_graph.hpp"
+#include "metric/instance_io.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+#include "test_util.hpp"
+
+namespace gncg {
+namespace {
+
+WeightedGraph random_graph(int n, double p, Rng& rng, bool zero_weights) {
+  WeightedGraph g(n);
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v)
+      if (rng.bernoulli(p)) {
+        const double w = zero_weights && rng.bernoulli(0.2)
+                             ? 0.0
+                             : rng.uniform_real(0.1, 9.9);
+        g.add_edge(u, v, w);
+      }
+  return g;
+}
+
+TEST(Fuzz, DijkstraAgreesWithFloydWarshall) {
+  Rng rng(1401);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 3 + static_cast<int>(rng.uniform_below(8));
+    const auto g = random_graph(n, 0.5, rng, /*zero_weights=*/true);
+    DistanceMatrix reference(n);
+    for (const auto& e : g.edges()) reference.set_symmetric(e.u, e.v, e.weight);
+    floyd_warshall(reference);
+    const auto fast = apsp(g);
+    for (int u = 0; u < n; ++u)
+      for (int v = 0; v < n; ++v)
+        EXPECT_NEAR(fast.at(u, v) == kInf ? -1 : fast.at(u, v),
+                    reference.at(u, v) == kInf ? -1 : reference.at(u, v), 1e-9)
+            << "trial " << trial << " pair " << u << "," << v;
+  }
+}
+
+TEST(Fuzz, NodeSetMatchesStdSetReference) {
+  Rng rng(1409);
+  NodeSet set(200);
+  std::set<int> reference;
+  for (int op = 0; op < 3000; ++op) {
+    const int v = static_cast<int>(rng.uniform_below(200));
+    switch (rng.uniform_below(3)) {
+      case 0:
+        set.insert(v);
+        reference.insert(v);
+        break;
+      case 1:
+        set.erase(v);
+        reference.erase(v);
+        break;
+      default:
+        EXPECT_EQ(set.contains(v), reference.count(v) > 0) << "op " << op;
+    }
+    if (op % 500 == 0) {
+      EXPECT_EQ(set.size(), static_cast<int>(reference.size()));
+      EXPECT_EQ(set.to_vector(),
+                std::vector<int>(reference.begin(), reference.end()));
+    }
+  }
+}
+
+TEST(Fuzz, ExactBestResponseMatchesBruteForceWithZeroWeights) {
+  // Zero-weight edges (allowed by the general model, used by the Theorem 20
+  // remark) must not confuse the pruned search.
+  Rng rng(1423);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 4;
+    DistanceMatrix weights(n, 0.0);
+    for (int u = 0; u < n; ++u)
+      for (int v = u + 1; v < n; ++v)
+        weights.set_symmetric(
+            u, v, rng.bernoulli(0.3) ? 0.0 : rng.uniform_real(0.5, 5.0));
+    const Game game(HostGraph::from_weights(std::move(weights)),
+                    rng.uniform_real(0.3, 3.0));
+    const auto profile = random_profile(game, rng);
+    for (int u = 0; u < n; ++u) {
+      const auto exact = exact_best_response(game, profile, u);
+      const auto brute = testing::brute_force_best_response(game, profile, u);
+      EXPECT_NEAR(exact.cost, brute.cost, 1e-9)
+          << "trial " << trial << " agent " << u;
+    }
+  }
+}
+
+TEST(Fuzz, SocialCostIndependentOfThreadCount) {
+  Rng rng(1427);
+  const Game game(random_metric_host(40, rng), 1.0);
+  const auto profile = random_profile(game, rng);
+  set_default_thread_count(1);
+  const double serial = social_cost(game, profile);
+  set_default_thread_count(0);
+  const double parallel = social_cost(game, profile);
+  EXPECT_DOUBLE_EQ(serial, parallel);
+}
+
+TEST(Fuzz, HostRoundTripAcrossModels) {
+  Rng rng(1429);
+  for (int flavor = 0; flavor < 4; ++flavor) {
+    HostGraph host = [&] {
+      switch (flavor) {
+        case 0: return random_metric_host(7, rng);
+        case 1: return random_one_two_host(7, 0.5, rng);
+        case 2: return random_general_host(7, rng);
+        default: return random_one_inf_host(7, 0.5, rng);
+      }
+    }();
+    std::stringstream buffer;
+    save_host(buffer, host);
+    const auto loaded = load_host(buffer);
+    for (int u = 0; u < 7; ++u)
+      for (int v = 0; v < 7; ++v)
+        EXPECT_EQ(loaded.weight(u, v), host.weight(u, v))
+            << "flavor " << flavor;
+  }
+}
+
+TEST(Fuzz, BridgesMatchDeletionConnectivityCheck) {
+  Rng rng(1433);
+  for (int trial = 0; trial < 15; ++trial) {
+    const int n = 4 + static_cast<int>(rng.uniform_below(5));
+    auto g = random_graph(n, 0.45, rng, /*zero_weights=*/false);
+    if (!is_connected(g)) continue;
+    const auto cut = bridges(g);
+    std::set<std::pair<int, int>> bridge_set;
+    for (const auto& e : cut) bridge_set.insert({e.u, e.v});
+    for (const auto& e : g.edges()) {
+      g.remove_edge(e.u, e.v);
+      const bool disconnects = !is_connected(g);
+      g.add_edge(e.u, e.v, e.weight);
+      EXPECT_EQ(disconnects, bridge_set.count({e.u, e.v}) > 0)
+          << "edge (" << e.u << "," << e.v << ") trial " << trial;
+    }
+  }
+}
+
+TEST(Fuzz, DynamicsAreDeterministicGivenSeed) {
+  Rng rng(1439);
+  const Game game(random_metric_host(6, rng), 1.0);
+  Rng start_rng_a(77), start_rng_b(77);
+  DynamicsOptions options;
+  options.scheduler = SchedulerKind::kRandomOrder;
+  options.seed = 123;
+  options.max_moves = 2000;
+  const auto a = run_dynamics(game, random_profile(game, start_rng_a), options);
+  const auto b = run_dynamics(game, random_profile(game, start_rng_b), options);
+  EXPECT_EQ(a.moves, b.moves);
+  EXPECT_EQ(a.final_profile, b.final_profile);
+}
+
+TEST(Fuzz, ProfileHashHasNoEasyCollisions) {
+  Rng rng(1447);
+  const int n = 6;
+  std::set<std::uint64_t> hashes;
+  std::vector<StrategyProfile> profiles;
+  const Game game(random_metric_host(n, rng), 1.0);
+  for (int i = 0; i < 300; ++i) {
+    auto profile = random_profile(game, rng, 0.3);
+    bool duplicate = false;
+    for (const auto& other : profiles)
+      if (other == profile) duplicate = true;
+    if (duplicate) continue;
+    const auto [it, inserted] = hashes.insert(profile.hash());
+    EXPECT_TRUE(inserted) << "hash collision between distinct profiles";
+    profiles.push_back(std::move(profile));
+  }
+}
+
+}  // namespace
+}  // namespace gncg

@@ -1,0 +1,181 @@
+// Unit tests for the graph substrate: WeightedGraph, UnionFind, Dijkstra,
+// APSP, DistanceMatrix.
+#include <gtest/gtest.h>
+
+#include "graph/apsp.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/distance_matrix.hpp"
+#include "graph/union_find.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace gncg {
+namespace {
+
+WeightedGraph triangle_plus_tail() {
+  // 0-1 (1), 1-2 (2), 0-2 (2.5), 2-3 (4)
+  WeightedGraph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(0, 2, 2.5);
+  g.add_edge(2, 3, 4.0);
+  return g;
+}
+
+TEST(WeightedGraph, AddQueryRemove) {
+  WeightedGraph g(3);
+  g.add_edge(0, 1, 1.5);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_DOUBLE_EQ(g.edge_weight(1, 0), 1.5);
+  EXPECT_EQ(g.edge_count(), 1);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 1.5);
+  g.remove_edge(0, 1);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_EQ(g.edge_count(), 0);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 0.0);
+}
+
+TEST(WeightedGraph, ZeroWeightEdgesAllowed) {
+  WeightedGraph g(2);
+  g.add_edge(0, 1, 0.0);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 0.0);
+}
+
+TEST(WeightedGraph, RejectsSelfLoopDuplicateNegativeInfinite) {
+  WeightedGraph g(3);
+  EXPECT_THROW(g.add_edge(1, 1, 1.0), ContractViolation);
+  EXPECT_THROW(g.add_edge(0, 1, -0.5), ContractViolation);
+  EXPECT_THROW(g.add_edge(0, 1, kInf), ContractViolation);
+  g.add_edge(0, 1, 1.0);
+  EXPECT_THROW(g.add_edge(1, 0, 2.0), ContractViolation);
+  EXPECT_THROW(g.remove_edge(0, 2), ContractViolation);
+}
+
+TEST(WeightedGraph, EdgesAreNormalizedAndSorted) {
+  auto g = triangle_plus_tail();
+  const auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 4u);
+  for (const auto& e : edges) EXPECT_LT(e.u, e.v);
+  EXPECT_EQ(edges[0].u, 0);
+  EXPECT_EQ(edges[0].v, 1);
+}
+
+TEST(WeightedGraph, MissingEdgeWeightIsInfinite) {
+  WeightedGraph g(3);
+  EXPECT_EQ(g.edge_weight(0, 2), kInf);
+}
+
+TEST(UnionFind, MergesAndCounts) {
+  UnionFind dsu(5);
+  EXPECT_EQ(dsu.components(), 5);
+  EXPECT_TRUE(dsu.unite(0, 1));
+  EXPECT_TRUE(dsu.unite(2, 3));
+  EXPECT_FALSE(dsu.unite(1, 0));
+  EXPECT_EQ(dsu.components(), 3);
+  EXPECT_TRUE(dsu.connected(0, 1));
+  EXPECT_FALSE(dsu.connected(0, 2));
+  EXPECT_EQ(dsu.component_size(3), 2);
+  dsu.unite(1, 2);
+  EXPECT_EQ(dsu.component_size(0), 4);
+}
+
+TEST(Dijkstra, ShortestPathsOnSmallGraph) {
+  const auto g = triangle_plus_tail();
+  const auto result = sssp(g, 0);
+  EXPECT_DOUBLE_EQ(result.dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(result.dist[1], 1.0);
+  EXPECT_DOUBLE_EQ(result.dist[2], 2.5);  // direct beats 1+2 tie... 0-2 = 2.5 vs 3
+  EXPECT_DOUBLE_EQ(result.dist[3], 6.5);
+}
+
+TEST(Dijkstra, ParentsFormShortestPathTree) {
+  const auto g = triangle_plus_tail();
+  const auto result = sssp(g, 0);
+  EXPECT_EQ(result.parent[0], -1);
+  EXPECT_EQ(result.parent[1], 0);
+  EXPECT_EQ(result.parent[3], 2);
+}
+
+TEST(Dijkstra, DisconnectedNodesAreInfinite) {
+  WeightedGraph g(3);
+  g.add_edge(0, 1, 1.0);
+  const auto result = sssp(g, 0);
+  EXPECT_EQ(result.dist[2], kInf);
+  EXPECT_EQ(distance_sum(g, 0), kInf);
+}
+
+TEST(Dijkstra, HandlesZeroWeightEdges) {
+  WeightedGraph g(3);
+  g.add_edge(0, 1, 0.0);
+  g.add_edge(1, 2, 2.0);
+  const auto result = sssp(g, 0);
+  EXPECT_DOUBLE_EQ(result.dist[1], 0.0);
+  EXPECT_DOUBLE_EQ(result.dist[2], 2.0);
+}
+
+TEST(Dijkstra, DistanceSumMatchesManualTotal) {
+  const auto g = triangle_plus_tail();
+  EXPECT_DOUBLE_EQ(distance_sum(g, 0), 0.0 + 1.0 + 2.5 + 6.5);
+}
+
+TEST(Apsp, MatchesRepeatedDijkstra) {
+  const auto g = triangle_plus_tail();
+  const auto matrix = apsp(g);
+  for (int u = 0; u < g.node_count(); ++u) {
+    const auto single = sssp(g, u);
+    for (int v = 0; v < g.node_count(); ++v)
+      EXPECT_DOUBLE_EQ(matrix.at(u, v), single.dist[static_cast<std::size_t>(v)]);
+  }
+}
+
+TEST(Apsp, SymmetricOnUndirectedGraphs) {
+  const auto matrix = apsp(triangle_plus_tail());
+  for (int u = 0; u < matrix.size(); ++u)
+    for (int v = 0; v < matrix.size(); ++v)
+      EXPECT_DOUBLE_EQ(matrix.at(u, v), matrix.at(v, u));
+}
+
+TEST(FloydWarshall, ClosesAMatrixToShortestPaths) {
+  DistanceMatrix m(4);
+  m.set_symmetric(0, 1, 1.0);
+  m.set_symmetric(1, 2, 2.0);
+  m.set_symmetric(0, 2, 2.5);
+  m.set_symmetric(2, 3, 4.0);
+  floyd_warshall(m);
+  EXPECT_DOUBLE_EQ(m.at(0, 3), 6.5);
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 2.5);
+  EXPECT_DOUBLE_EQ(m.at(1, 3), 6.0);
+}
+
+TEST(FloydWarshall, AgreesWithApsp) {
+  const auto g = triangle_plus_tail();
+  DistanceMatrix m(g.node_count());
+  for (const auto& e : g.edges()) m.set_symmetric(e.u, e.v, e.weight);
+  floyd_warshall(m);
+  const auto reference = apsp(g);
+  for (int u = 0; u < m.size(); ++u)
+    for (int v = 0; v < m.size(); ++v)
+      EXPECT_DOUBLE_EQ(m.at(u, v), reference.at(u, v));
+}
+
+TEST(DistanceMatrix, DiagonalIsZeroAndFillApplies) {
+  DistanceMatrix m(3, 7.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 7.0);
+  EXPECT_FALSE(DistanceMatrix(3).all_finite());
+  EXPECT_TRUE(m.all_finite());
+}
+
+TEST(DistanceMatrix, OrderedPairSumAndDiameter) {
+  DistanceMatrix m(3, 0.0);
+  m.set_symmetric(0, 1, 1.0);
+  m.set_symmetric(0, 2, 2.0);
+  m.set_symmetric(1, 2, 3.0);
+  EXPECT_DOUBLE_EQ(m.ordered_pair_sum(), 2.0 * (1.0 + 2.0 + 3.0));
+  EXPECT_DOUBLE_EQ(m.diameter(), 3.0);
+  DistanceMatrix with_inf(2);
+  EXPECT_EQ(with_inf.diameter(), kInf);
+}
+
+}  // namespace
+}  // namespace gncg

@@ -1,0 +1,171 @@
+// Unit tests for structural graph algorithms and MST.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/apsp.hpp"
+#include "graph/graph_algos.hpp"
+#include "graph/mst.hpp"
+#include "support/rng.hpp"
+
+namespace gncg {
+namespace {
+
+WeightedGraph path_graph(int n, double w = 1.0) {
+  WeightedGraph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1, w);
+  return g;
+}
+
+TEST(Connectivity, DetectsConnectedAndDisconnected) {
+  EXPECT_TRUE(is_connected(path_graph(5)));
+  WeightedGraph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  EXPECT_FALSE(is_connected(g));
+  EXPECT_EQ(component_count(g), 2);
+  EXPECT_EQ(component_count(WeightedGraph(3)), 3);
+}
+
+TEST(TreeCheck, PathsAreTreesCyclesAreNot) {
+  EXPECT_TRUE(is_tree(path_graph(6)));
+  WeightedGraph cycle = path_graph(4);
+  cycle.add_edge(0, 3, 1.0);
+  EXPECT_FALSE(is_tree(cycle));
+  WeightedGraph forest(4);
+  forest.add_edge(0, 1, 1.0);
+  EXPECT_FALSE(is_tree(forest));  // right edge count only if spanning
+}
+
+TEST(Diameter, WeightedPath) {
+  WeightedGraph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 5.0);
+  g.add_edge(2, 3, 2.0);
+  EXPECT_DOUBLE_EQ(diameter(g), 8.0);
+  const auto ecc = eccentricities(g);
+  EXPECT_DOUBLE_EQ(ecc[0], 8.0);
+  EXPECT_DOUBLE_EQ(ecc[1], 7.0);
+  EXPECT_DOUBLE_EQ(ecc[2], 6.0);
+}
+
+TEST(Diameter, InfiniteWhenDisconnected) {
+  WeightedGraph g(3);
+  g.add_edge(0, 1, 1.0);
+  EXPECT_EQ(diameter(g), kInf);
+}
+
+TEST(HopDiameter, IgnoresWeights) {
+  WeightedGraph g(4);
+  g.add_edge(0, 1, 100.0);
+  g.add_edge(1, 2, 100.0);
+  g.add_edge(2, 3, 100.0);
+  EXPECT_EQ(hop_diameter(g), 3);
+  g.add_edge(0, 3, 0.1);
+  EXPECT_EQ(hop_diameter(g), 2);
+  WeightedGraph disconnected(2);
+  EXPECT_EQ(hop_diameter(disconnected), -1);
+}
+
+TEST(Bridges, AllTreeEdgesAreBridges) {
+  const auto g = path_graph(5);
+  EXPECT_EQ(bridges(g).size(), 4u);
+}
+
+TEST(Bridges, CycleEdgesAreNotBridges) {
+  WeightedGraph g(5);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 0, 1.0);  // triangle
+  g.add_edge(2, 3, 1.0);  // bridge
+  g.add_edge(3, 4, 1.0);  // bridge
+  const auto cut = bridges(g);
+  ASSERT_EQ(cut.size(), 2u);
+  EXPECT_EQ(cut[0].u, 2);
+  EXPECT_EQ(cut[0].v, 3);
+  EXPECT_EQ(cut[1].u, 3);
+  EXPECT_EQ(cut[1].v, 4);
+}
+
+TEST(EdgeBetweenness, PathEdgeCountsOrderedPairs) {
+  // On a path 0-1-2, edge (0,1) carries ordered pairs (0,1),(1,0),(0,2),(2,0).
+  const auto g = path_graph(3);
+  const auto centrality = edge_betweenness(g);
+  ASSERT_EQ(centrality.size(), 2u);
+  EXPECT_DOUBLE_EQ(centrality[0], 4.0);
+  EXPECT_DOUBLE_EQ(centrality[1], 4.0);
+}
+
+TEST(EdgeBetweenness, SplitsTiesFractionally) {
+  // Square 0-1-2-3-0 with unit weights: two shortest paths between opposite
+  // corners; each edge carries 2 (adjacent ordered pairs) + 2 * 1/2 * 2.
+  WeightedGraph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+  g.add_edge(3, 0, 1.0);
+  const auto centrality = edge_betweenness(g);
+  for (double c : centrality) EXPECT_DOUBLE_EQ(c, 4.0);
+}
+
+TEST(EdgeBetweenness, TotalEqualsAllPairsPathLengthsInHops) {
+  // For unit weights, sum of edge betweenness = sum over ordered pairs of
+  // hop distance.
+  Rng rng(17);
+  WeightedGraph g(7);
+  do {
+    g = WeightedGraph(7);
+    for (int u = 0; u < 7; ++u)
+      for (int v = u + 1; v < 7; ++v)
+        if (rng.bernoulli(0.5)) g.add_edge(u, v, 1.0);
+  } while (!is_connected(g));
+  const auto centrality = edge_betweenness(g);
+  const double total =
+      std::accumulate(centrality.begin(), centrality.end(), 0.0);
+  const auto matrix = apsp(g);
+  EXPECT_NEAR(total, matrix.ordered_pair_sum(), 1e-6);
+}
+
+TEST(Mst, KruskalFindsMinimumTree) {
+  WeightedGraph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(2, 3, 3.0);
+  g.add_edge(0, 3, 10.0);
+  g.add_edge(0, 2, 2.5);
+  const auto tree = kruskal_mst(g);
+  EXPECT_EQ(tree.size(), 3u);
+  EXPECT_DOUBLE_EQ(edge_list_weight(tree), 6.0);
+}
+
+TEST(Mst, PrimMatchesKruskalOnRandomCompleteGraphs) {
+  Rng rng(23);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 6;
+    DistanceMatrix weights(n, 0.0);
+    WeightedGraph g(n);
+    for (int u = 0; u < n; ++u)
+      for (int v = u + 1; v < n; ++v) {
+        const double w = rng.uniform_real(0.5, 9.5);
+        weights.set_symmetric(u, v, w);
+        g.add_edge(u, v, w);
+      }
+    const auto prim = prim_mst(weights);
+    const auto kruskal = kruskal_mst(g);
+    EXPECT_NEAR(edge_list_weight(prim), edge_list_weight(kruskal), 1e-9);
+  }
+}
+
+TEST(Mst, KruskalRejectsDisconnected) {
+  WeightedGraph g(3);
+  g.add_edge(0, 1, 1.0);
+  EXPECT_THROW(kruskal_mst(g), ContractViolation);
+}
+
+TEST(Mst, PrimRejectsForbiddenCuts) {
+  DistanceMatrix weights(3);  // all off-diagonal infinite
+  EXPECT_THROW(prim_mst(weights), ContractViolation);
+}
+
+}  // namespace
+}  // namespace gncg

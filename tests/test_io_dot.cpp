@@ -1,0 +1,118 @@
+// Tests for the serialization features: DOT export and the plain-text
+// instance/profile round trip.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metric/instance_io.hpp"
+#include "support/dot.hpp"
+#include "support/rng.hpp"
+
+namespace gncg {
+namespace {
+
+TEST(Dot, UndirectedGraphContainsEdgesAndWeights) {
+  WeightedGraph g(3);
+  g.add_edge(0, 1, 1.5);
+  g.add_edge(1, 2, 2.0);
+  std::ostringstream os;
+  write_dot(os, g);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("graph gncg {"), std::string::npos);
+  EXPECT_NE(out.find("0 -- 1"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  EXPECT_NE(out.find("1 -- 2"), std::string::npos);
+}
+
+TEST(Dot, ProfileArrowsPointFromOwner) {
+  Rng rng(1);
+  const Game game(random_metric_host(3, rng), 1.0);
+  StrategyProfile profile(3);
+  profile.add_buy(2, 0);
+  std::ostringstream os;
+  write_dot(os, game, profile);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("digraph"), std::string::npos);
+  EXPECT_NE(out.find("2 -> 0"), std::string::npos);
+  EXPECT_EQ(out.find("0 -> 2"), std::string::npos);
+}
+
+TEST(Dot, LabelsAndLayoutAreEmitted) {
+  WeightedGraph g(2);
+  g.add_edge(0, 1, 1.0);
+  const PointSet layout({{0.0, 0.0}, {3.0, 4.0}});
+  DotOptions options;
+  options.labels = {"Hamburg", "Berlin"};
+  options.layout = &layout;
+  options.edge_weights = false;
+  std::ostringstream os;
+  write_dot(os, g, options);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Hamburg"), std::string::npos);
+  EXPECT_NE(out.find("pos=\"3.0,4.0!\""), std::string::npos);
+  EXPECT_EQ(out.find("label=\"1.0\""), std::string::npos);
+}
+
+TEST(InstanceIo, HostRoundTripPreservesWeights) {
+  Rng rng(2);
+  const auto host = random_metric_host(6, rng);
+  std::stringstream buffer;
+  save_host(buffer, host);
+  const auto loaded = load_host(buffer);
+  ASSERT_EQ(loaded.node_count(), host.node_count());
+  for (int u = 0; u < 6; ++u)
+    for (int v = 0; v < 6; ++v)
+      EXPECT_DOUBLE_EQ(loaded.weight(u, v), host.weight(u, v));
+}
+
+TEST(InstanceIo, HostRoundTripPreservesInfiniteWeights) {
+  Rng rng(3);
+  const auto host = random_one_inf_host(5, 0.5, rng);
+  std::stringstream buffer;
+  save_host(buffer, host);
+  const auto loaded = load_host(buffer);
+  for (int u = 0; u < 5; ++u)
+    for (int v = u + 1; v < 5; ++v)
+      EXPECT_EQ(loaded.weight(u, v), host.weight(u, v));
+}
+
+TEST(InstanceIo, ProfileRoundTripPreservesOwnership) {
+  StrategyProfile profile(4);
+  profile.add_buy(0, 3);
+  profile.add_buy(2, 1);
+  profile.add_buy(3, 0);  // double ownership survives the trip
+  std::stringstream buffer;
+  save_profile(buffer, profile);
+  const auto loaded = load_profile(buffer);
+  EXPECT_EQ(loaded, profile);
+}
+
+TEST(InstanceIo, CommentsAndBlankLinesAreSkipped) {
+  std::stringstream buffer;
+  buffer << "# a comment\n\ngncg-host 1\n  # another\nn 2\nw 0 1 2.5\n";
+  const auto host = load_host(buffer);
+  EXPECT_EQ(host.node_count(), 2);
+  EXPECT_DOUBLE_EQ(host.weight(0, 1), 2.5);
+}
+
+TEST(InstanceIo, RejectsMalformedInput) {
+  {
+    std::stringstream buffer("not-a-host\n");
+    EXPECT_THROW(load_host(buffer), ContractViolation);
+  }
+  {
+    std::stringstream buffer("gncg-host 1\nn 3\nw 0 1 1\n");  // missing pairs
+    EXPECT_THROW(load_host(buffer), ContractViolation);
+  }
+  {
+    std::stringstream buffer("gncg-host 1\nn 2\nw 0 1 1\nw 1 0 2\n");  // dup
+    EXPECT_THROW(load_host(buffer), ContractViolation);
+  }
+  {
+    std::stringstream buffer("gncg-profile 1\nn 2\nbuy 0 0\n");  // self loop
+    EXPECT_THROW(load_profile(buffer), ContractViolation);
+  }
+}
+
+}  // namespace
+}  // namespace gncg

@@ -1,0 +1,176 @@
+// Unit tests for the metric substrate: trees, point sets, host graphs and
+// the Figure 1 model taxonomy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/graph_algos.hpp"
+#include "metric/host_graph.hpp"
+#include "metric/points.hpp"
+#include "metric/tree.hpp"
+
+namespace gncg {
+namespace {
+
+TEST(WeightedTreeTest, RejectsNonTrees) {
+  EXPECT_THROW(WeightedTree(3, {{0, 1, 1.0}}), ContractViolation);  // forest
+  EXPECT_THROW(WeightedTree(3, {{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 1.0}}),
+               ContractViolation);  // cycle
+}
+
+TEST(WeightedTreeTest, MetricClosureOfPath) {
+  const auto tree = path_tree({1.0, 2.0, 4.0});
+  const auto closure = tree.metric_closure();
+  EXPECT_DOUBLE_EQ(closure.at(0, 3), 7.0);
+  EXPECT_DOUBLE_EQ(closure.at(1, 3), 6.0);
+  EXPECT_DOUBLE_EQ(closure.at(0, 1), 1.0);
+}
+
+TEST(WeightedTreeTest, StarTreeClosure) {
+  const auto tree = star_tree(5, /*center=*/0, /*leaf_weight=*/3.0);
+  const auto closure = tree.metric_closure();
+  for (int v = 1; v < 5; ++v) EXPECT_DOUBLE_EQ(closure.at(0, v), 3.0);
+  for (int u = 1; u < 5; ++u)
+    for (int v = u + 1; v < 5; ++v) EXPECT_DOUBLE_EQ(closure.at(u, v), 6.0);
+}
+
+TEST(WeightedTreeTest, RandomTreesAreTreesWithWeightRange) {
+  Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto tree = random_tree(8, rng, 2.0, 5.0);
+    EXPECT_TRUE(is_tree(tree.graph()));
+    for (const auto& e : tree.edges()) {
+      EXPECT_GE(e.weight, 2.0);
+      EXPECT_LE(e.weight, 5.0);
+    }
+  }
+}
+
+TEST(WeightedTreeTest, RandomTreeWithWeightsPermutesMultiset) {
+  Rng rng(37);
+  const std::vector<double> multiset{3, 7, 2, 5, 12, 9, 11, 2, 10};
+  const auto tree = random_tree_with_weights(10, multiset, rng);
+  EXPECT_TRUE(is_tree(tree.graph()));
+  std::vector<double> got;
+  for (const auto& e : tree.edges()) got.push_back(e.weight);
+  auto want = multiset;
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST(PointSetTest, PNormDistances) {
+  const PointSet points({{0.0, 0.0}, {3.0, 4.0}});
+  EXPECT_DOUBLE_EQ(points.distance(0, 1, 1.0), 7.0);
+  EXPECT_DOUBLE_EQ(points.distance(0, 1, 2.0), 5.0);
+  EXPECT_DOUBLE_EQ(points.distance(0, 1, kPNormInf), 4.0);
+  EXPECT_NEAR(points.distance(0, 1, 3.0),
+              std::pow(27.0 + 64.0, 1.0 / 3.0), 1e-12);
+}
+
+TEST(PointSetTest, NormsAreMonotoneInP) {
+  const PointSet points({{0.0, 0.0, 0.0}, {1.0, 2.0, 2.0}});
+  double previous = points.distance(0, 1, 1.0);
+  for (double p : {1.5, 2.0, 4.0, 16.0}) {
+    const double current = points.distance(0, 1, p);
+    EXPECT_LE(current, previous + 1e-12);
+    previous = current;
+  }
+  EXPECT_GE(previous, points.distance(0, 1, kPNormInf) - 1e-12);
+}
+
+TEST(PointSetTest, DistanceMatrixIsMetric) {
+  Rng rng(41);
+  const auto points = uniform_points(9, 3, 10.0, rng);
+  for (double p : {1.0, 2.0, kPNormInf}) {
+    const auto host = HostGraph::from_points(points, p);
+    EXPECT_TRUE(host.is_metric()) << "p = " << p;
+  }
+}
+
+TEST(PointSetTest, GridAndClusterGenerators) {
+  const auto grid = grid_points(3, 2, 1.0);
+  EXPECT_EQ(grid.size(), 9);
+  EXPECT_DOUBLE_EQ(grid.distance(0, 8, kPNormInf), 2.0);
+  Rng rng(43);
+  const auto clustered = clustered_points(10, 2, 3, 100.0, 1.0, rng);
+  EXPECT_EQ(clustered.size(), 10);
+}
+
+TEST(HostGraphTest, UnitHostIsNcg) {
+  const auto host = HostGraph::unit(5);
+  EXPECT_TRUE(host.is_unit());
+  EXPECT_TRUE(host.is_one_two());
+  EXPECT_TRUE(host.is_metric());
+  EXPECT_EQ(host.classify(), ModelClass::kNCG);
+}
+
+TEST(HostGraphTest, OneTwoHostsAreAlwaysMetric) {
+  Rng rng(47);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto host = random_one_two_host(7, rng.uniform01(), rng);
+    EXPECT_TRUE(host.is_metric());
+    EXPECT_TRUE(host.is_one_two());
+  }
+}
+
+TEST(HostGraphTest, TreeHostClassifiesAsMetric) {
+  Rng rng(53);
+  const auto tree = random_tree(6, rng);
+  const auto host = HostGraph::from_tree(tree);
+  EXPECT_EQ(host.declared_model(), ModelClass::kTree);
+  EXPECT_TRUE(host.is_metric());
+  ASSERT_TRUE(host.tree_edges().has_value());
+  EXPECT_EQ(host.tree_edges()->size(), 5u);
+}
+
+TEST(HostGraphTest, OneInfHost) {
+  WeightedGraph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+  const auto host = HostGraph::one_inf_from_graph(g);
+  EXPECT_TRUE(host.is_one_inf());
+  EXPECT_TRUE(host.has_infinite_weight());
+  EXPECT_FALSE(host.is_metric());  // forbidden edges break metricity
+  EXPECT_EQ(host.classify(), ModelClass::kOneInf);
+  const auto closure = host.shortest_path_closure();
+  EXPECT_DOUBLE_EQ(closure.at(0, 3), 3.0);
+}
+
+TEST(HostGraphTest, RandomMetricHostSatisfiesTriangles) {
+  Rng rng(59);
+  const auto host = random_metric_host(8, rng);
+  EXPECT_TRUE(host.is_metric());
+}
+
+TEST(HostGraphTest, RandomGeneralHostUsuallyViolatesTriangles) {
+  Rng rng(61);
+  int violations = 0;
+  for (int trial = 0; trial < 10; ++trial)
+    if (!random_general_host(8, rng, 1.0, 10.0).is_metric()) ++violations;
+  EXPECT_GT(violations, 5);
+}
+
+TEST(HostGraphTest, FromWeightsValidates) {
+  DistanceMatrix asym(2, 0.0);
+  asym.at(0, 1) = 1.0;
+  asym.at(1, 0) = 2.0;
+  EXPECT_THROW(HostGraph::from_weights(std::move(asym)), ContractViolation);
+}
+
+TEST(HostGraphTest, ModelNames) {
+  EXPECT_EQ(model_name(ModelClass::kNCG), "NCG");
+  EXPECT_EQ(model_name(ModelClass::kTree), "T-GNCG");
+  EXPECT_EQ(model_name(ModelClass::kGeneral), "GNCG");
+}
+
+TEST(HostGraphTest, RandomOneInfHostIsConnected) {
+  Rng rng(67);
+  const auto host = random_one_inf_host(8, 0.4, rng);
+  const auto closure = host.shortest_path_closure();
+  EXPECT_TRUE(closure.all_finite());
+}
+
+}  // namespace
+}  // namespace gncg

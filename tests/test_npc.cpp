@@ -1,0 +1,129 @@
+// Tests for the combinatorial solvers backing the hardness gadgets.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "npc/set_cover.hpp"
+#include "npc/vertex_cover.hpp"
+
+namespace gncg {
+namespace {
+
+TEST(SetCover, ExactSolvesHandInstance) {
+  // Universe {0..4}; optimal cover is {0,1,2} with sets {0,1},{2,3},{4}...
+  SetCoverInstance instance;
+  instance.universe_size = 5;
+  instance.sets = {{0, 1}, {2, 3}, {4}, {0, 2, 4}, {1, 3}};
+  const auto solution = exact_min_set_cover(instance);
+  ASSERT_TRUE(solution.feasible);
+  EXPECT_EQ(solution.chosen.size(), 2u);  // {0,2,4} + {1,3}
+  EXPECT_TRUE(is_cover(instance, solution.chosen));
+}
+
+TEST(SetCover, ExactMatchesBruteForceOnRandomInstances) {
+  Rng rng(501);
+  for (int trial = 0; trial < 12; ++trial) {
+    const auto instance = random_set_cover(6, 5, 0.35, rng);
+    const auto exact = exact_min_set_cover(instance);
+    ASSERT_TRUE(exact.feasible);
+    // Brute force over all subsets of sets.
+    std::size_t best = instance.set_count() + 1;
+    for (std::uint32_t mask = 0; mask < (1U << instance.set_count()); ++mask) {
+      std::vector<int> chosen;
+      for (std::size_t s = 0; s < instance.set_count(); ++s)
+        if ((mask >> s) & 1U) chosen.push_back(static_cast<int>(s));
+      if (is_cover(instance, chosen)) best = std::min(best, chosen.size());
+    }
+    EXPECT_EQ(exact.chosen.size(), best) << "trial " << trial;
+  }
+}
+
+TEST(SetCover, GreedyIsFeasibleAndNeverBetterThanExact) {
+  Rng rng(503);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto instance = random_set_cover(8, 6, 0.3, rng);
+    const auto greedy = greedy_set_cover(instance);
+    const auto exact = exact_min_set_cover(instance);
+    ASSERT_TRUE(greedy.feasible);
+    EXPECT_TRUE(is_cover(instance, greedy.chosen));
+    EXPECT_GE(greedy.chosen.size(), exact.chosen.size());
+  }
+}
+
+TEST(SetCover, DetectsInfeasibility) {
+  SetCoverInstance instance;
+  instance.universe_size = 3;
+  instance.sets = {{0}, {1}};  // element 2 uncoverable
+  EXPECT_FALSE(exact_min_set_cover(instance).feasible);
+  EXPECT_FALSE(greedy_set_cover(instance).feasible);
+}
+
+TEST(SetCover, RandomInstancesAreFeasible) {
+  Rng rng(509);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto instance = random_set_cover(10, 4, 0.2, rng);
+    EXPECT_TRUE(exact_min_set_cover(instance).feasible);
+    for (const auto& set : instance.sets) EXPECT_FALSE(set.empty());
+  }
+}
+
+TEST(VertexCover, ExactSolvesHandInstance) {
+  // Star: center 0 covers everything alone.
+  VertexCoverInstance star;
+  star.n = 5;
+  star.edges = {{0, 1}, {0, 2}, {0, 3}, {0, 4}};
+  const auto cover = exact_min_vertex_cover(star);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], 0);
+
+  // Triangle needs two vertices.
+  VertexCoverInstance triangle;
+  triangle.n = 3;
+  triangle.edges = {{0, 1}, {1, 2}, {0, 2}};
+  EXPECT_EQ(exact_min_vertex_cover(triangle).size(), 2u);
+}
+
+TEST(VertexCover, ExactMatchesBruteForce) {
+  Rng rng(521);
+  for (int trial = 0; trial < 12; ++trial) {
+    const auto instance = random_subcubic_graph(7, rng);
+    const auto exact = exact_min_vertex_cover(instance);
+    EXPECT_TRUE(is_vertex_cover(instance, exact));
+    std::size_t best = static_cast<std::size_t>(instance.n);
+    for (std::uint32_t mask = 0; mask < (1U << instance.n); ++mask) {
+      std::vector<int> cover;
+      for (int v = 0; v < instance.n; ++v)
+        if ((mask >> v) & 1U) cover.push_back(v);
+      if (is_vertex_cover(instance, cover)) best = std::min(best, cover.size());
+    }
+    EXPECT_EQ(exact.size(), best) << "trial " << trial;
+  }
+}
+
+TEST(VertexCover, TwoApproxIsFeasibleAndBounded) {
+  Rng rng(523);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto instance = random_subcubic_graph(9, rng);
+    const auto approx = two_approx_vertex_cover(instance);
+    const auto exact = exact_min_vertex_cover(instance);
+    EXPECT_TRUE(is_vertex_cover(instance, approx));
+    EXPECT_LE(approx.size(), 2 * exact.size());
+  }
+}
+
+TEST(VertexCover, SubcubicGeneratorRespectsDegreeCap) {
+  Rng rng(541);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto instance = random_subcubic_graph(10, rng);
+    std::vector<int> degree(10, 0);
+    for (const auto& [u, v] : instance.edges) {
+      ++degree[static_cast<std::size_t>(u)];
+      ++degree[static_cast<std::size_t>(v)];
+    }
+    for (int d : degree) EXPECT_LE(d, 3);
+    EXPECT_GE(instance.edges.size(), 9u);  // spanning tree at minimum
+  }
+}
+
+}  // namespace
+}  // namespace gncg

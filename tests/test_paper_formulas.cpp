@@ -1,0 +1,99 @@
+// Tests for the closed-form paper bounds collected in core/poa.hpp:
+// limits, monotonicity, cross-relations and contracts.
+#include <gtest/gtest.h>
+
+#include "core/poa.hpp"
+
+namespace gncg {
+namespace {
+
+TEST(PaperFormulas, MetricPoaIsLinearInAlpha) {
+  EXPECT_DOUBLE_EQ(paper::metric_poa(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(paper::metric_poa(2.0), 2.0);
+  EXPECT_DOUBLE_EQ(paper::metric_poa(8.0), 5.0);
+}
+
+TEST(PaperFormulas, GeneralBoundIsTheSquare) {
+  for (double alpha : {0.5, 1.0, 3.0, 10.0}) {
+    const double half = paper::metric_poa(alpha);
+    EXPECT_DOUBLE_EQ(paper::general_poa_upper(alpha), half * half);
+    EXPECT_GE(paper::general_poa_upper(alpha), half);
+  }
+}
+
+TEST(PaperFormulas, OneTwoLowAlphaBranches) {
+  EXPECT_DOUBLE_EQ(paper::one_two_poa_low_alpha(0.2), 1.0);
+  EXPECT_DOUBLE_EQ(paper::one_two_poa_low_alpha(0.49), 1.0);
+  EXPECT_DOUBLE_EQ(paper::one_two_poa_low_alpha(0.5), 3.0 / 2.5);
+  EXPECT_DOUBLE_EQ(paper::one_two_poa_low_alpha(0.75), 3.0 / 2.75);
+  EXPECT_DOUBLE_EQ(paper::one_two_poa_low_alpha(1.0), 1.5);
+  EXPECT_THROW(paper::one_two_poa_low_alpha(1.5), ContractViolation);
+}
+
+TEST(PaperFormulas, OneTwoPoaJumpsAtItsRegimeBoundaries) {
+  // The tight 1-2 PoA is genuinely discontinuous: it jumps 1 -> 1.2 at
+  // alpha = 1/2 (2-edges become worth skipping) and 3/(alpha+2) decreases
+  // back towards 1 as alpha -> 1-, then jumps to 3/2 AT alpha = 1, where
+  // buying 1-edges turns cost-neutral and worse equilibria appear.
+  EXPECT_NEAR(paper::one_two_poa_low_alpha(0.5 - 1e-9), 1.0, 1e-8);
+  EXPECT_DOUBLE_EQ(paper::one_two_poa_low_alpha(0.5), 1.2);
+  EXPECT_NEAR(paper::one_two_poa_low_alpha(1.0 - 1e-9), 1.0, 1e-8);
+  EXPECT_DOUBLE_EQ(paper::one_two_poa_low_alpha(1.0), 1.5);
+}
+
+TEST(PaperFormulas, Theorem15RatioLimitsAndMonotonicity) {
+  const double alpha = 3.0;
+  double previous = 1.0;
+  for (int n : {3, 4, 8, 32, 512, 65536}) {
+    const double ratio = paper::theorem15_ratio(n, alpha);
+    EXPECT_GT(ratio, previous);
+    EXPECT_LT(ratio, paper::metric_poa(alpha));
+    previous = ratio;
+  }
+  EXPECT_NEAR(paper::theorem15_ratio(1 << 24, alpha),
+              paper::metric_poa(alpha), 1e-4);
+  EXPECT_THROW(paper::theorem15_ratio(2, alpha), ContractViolation);
+}
+
+TEST(PaperFormulas, Theorem18LimitsAndRange) {
+  EXPECT_NEAR(paper::theorem18_lower(0.0), 1.0, 1e-12);
+  EXPECT_GT(paper::theorem18_lower(1.0), 1.0);
+  EXPECT_LT(paper::theorem18_lower(1.0), 3.0);
+  EXPECT_NEAR(paper::theorem18_lower(1e12), 3.0, 1e-9);
+  // Strictly increasing in alpha.
+  double previous = 1.0;
+  for (double alpha : {0.5, 1.0, 2.0, 8.0, 64.0}) {
+    const double value = paper::theorem18_lower(alpha);
+    EXPECT_GT(value, previous);
+    previous = value;
+  }
+}
+
+TEST(PaperFormulas, Theorem19ApproachesMetricPoaInDimension) {
+  const double alpha = 5.0;
+  double previous = 1.0;
+  for (int d : {1, 2, 4, 16, 256}) {
+    const double value = paper::theorem19_lower(alpha, d);
+    EXPECT_GT(value, previous);
+    EXPECT_LT(value, paper::metric_poa(alpha));
+    previous = value;
+  }
+  EXPECT_NEAR(paper::theorem19_lower(alpha, 1 << 20),
+              paper::metric_poa(alpha), 1e-4);
+  EXPECT_THROW(paper::theorem19_lower(alpha, 0), ContractViolation);
+}
+
+TEST(PaperFormulas, Theorem19AtDimensionOneMatchesDirectEvaluation) {
+  // d = 1: 1 + a/(2 + a) -- also the n=3 instance of the Theorem 15 family.
+  for (double alpha : {0.5, 1.0, 2.0})
+    EXPECT_NEAR(paper::theorem19_lower(alpha, 1),
+                1.0 + alpha / (2.0 + alpha), 1e-12);
+}
+
+TEST(PaperFormulas, DiameterScaleIsSqrtAlpha) {
+  EXPECT_DOUBLE_EQ(paper::theorem11_diameter_scale(16.0), 4.0);
+  EXPECT_DOUBLE_EQ(paper::theorem11_diameter_scale(0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace gncg

@@ -1,0 +1,234 @@
+// Unit tests for the support substrate: RNG, NodeSet, stats, parallel
+// primitives and table formatting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+
+#include "support/node_set.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace gncg {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = rng.uniform_below(13);
+    EXPECT_LT(x, 13u);
+  }
+}
+
+TEST(Rng, UniformBelowCoversAllResidues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = rng.uniform_int(-2, 2);
+    EXPECT_GE(x, -2);
+    EXPECT_LE(x, 2);
+    saw_lo |= x == -2;
+    saw_hi |= x == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(9);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (parent() == child()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(13);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7};
+  auto copy = items;
+  rng.shuffle(copy);
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, items);
+}
+
+TEST(Rng, RejectsZeroBound) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_below(0), ContractViolation);
+}
+
+TEST(NodeSet, InsertEraseContains) {
+  NodeSet set(10);
+  EXPECT_TRUE(set.empty());
+  set.insert(3);
+  set.insert(7);
+  EXPECT_TRUE(set.contains(3));
+  EXPECT_TRUE(set.contains(7));
+  EXPECT_FALSE(set.contains(4));
+  EXPECT_EQ(set.size(), 2);
+  set.erase(3);
+  EXPECT_FALSE(set.contains(3));
+  EXPECT_EQ(set.size(), 1);
+}
+
+TEST(NodeSet, WorksBeyondOneWord) {
+  NodeSet set(130);
+  set.insert(0);
+  set.insert(64);
+  set.insert(129);
+  EXPECT_EQ(set.size(), 3);
+  EXPECT_EQ(set.to_vector(), (std::vector<int>{0, 64, 129}));
+}
+
+TEST(NodeSet, ForEachVisitsInOrder) {
+  NodeSet set(70);
+  for (int v : {66, 2, 33}) set.insert(v);
+  std::vector<int> visited;
+  set.for_each([&](int v) { visited.push_back(v); });
+  EXPECT_EQ(visited, (std::vector<int>{2, 33, 66}));
+}
+
+TEST(NodeSet, EqualityAndHash) {
+  NodeSet a(20), b(20);
+  a.insert(5);
+  b.insert(5);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  b.insert(6);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.hash(), b.hash());  // overwhelmingly likely
+}
+
+TEST(NodeSet, ClearEmptiesTheSet) {
+  NodeSet set(8);
+  set.insert(1);
+  set.insert(2);
+  set.clear();
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.size(), 0);
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats stats;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) stats.add(x);
+  EXPECT_EQ(stats.count(), 4u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 4.0);
+  EXPECT_NEAR(stats.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.sum(), 10.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all, left, right;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.37 * i - 3.0;
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Parallel, ForCoversEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(0, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, ReduceSumsCorrectly) {
+  const auto total = parallel_reduce<long long>(
+      0, 10001, [] { return 0LL; },
+      [](long long& acc, std::size_t i) { acc += static_cast<long long>(i); },
+      [](long long& out, const long long& part) { out += part; });
+  EXPECT_EQ(total, 10000LL * 10001 / 2);
+}
+
+TEST(Parallel, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for(0, 100,
+                   [](std::size_t i) {
+                     if (i == 37) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(Parallel, ThreadCountOverride) {
+  set_default_thread_count(2);
+  EXPECT_EQ(default_thread_count(), 2u);
+  set_default_thread_count(0);
+  EXPECT_GE(default_thread_count(), 1u);
+}
+
+TEST(Table, PrintsAlignedRows) {
+  ConsoleTable table({"name", "value"});
+  table.begin_row().add("alpha").add(1.5);
+  table.begin_row().add("n").add(42);
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+}
+
+TEST(Table, CsvQuotesSpecialCharacters) {
+  ConsoleTable table({"a", "b"});
+  table.begin_row().add("x,y").add("plain");
+  std::ostringstream os;
+  table.write_csv(os);
+  EXPECT_NE(os.str().find("\"x,y\""), std::string::npos);
+}
+
+TEST(Table, RejectsTooManyCells) {
+  ConsoleTable table({"only"});
+  table.begin_row().add("one");
+  EXPECT_THROW(table.add("two"), ContractViolation);
+}
+
+TEST(FormatDouble, HandlesSpecials) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(format_double(inf), "inf");
+  EXPECT_EQ(format_double(-inf), "-inf");
+  EXPECT_EQ(format_double(1.25), "1.25");
+  EXPECT_EQ(format_double(2.0), "2.0");
+}
+
+}  // namespace
+}  // namespace gncg

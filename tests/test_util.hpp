@@ -1,0 +1,51 @@
+// Shared test helpers: brute-force reference implementations that the
+// library's optimized algorithms are validated against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/best_response.hpp"
+#include "core/cost.hpp"
+#include "core/game.hpp"
+
+namespace gncg::testing {
+
+/// Brute-force best response: evaluates every subset of purchasable targets
+/// with no pruning.  The reference for exact_best_response.
+inline BestResponseResult brute_force_best_response(const Game& game,
+                                                    const StrategyProfile& s,
+                                                    int u) {
+  const AgentEnvironment env(game, s, u);
+  std::vector<int> candidates;
+  for (int v = 0; v < game.node_count(); ++v)
+    if (game.can_buy(u, v)) candidates.push_back(v);
+  const std::size_t k = candidates.size();
+  BestResponseResult best;
+  best.strategy = NodeSet(game.node_count());
+  best.cost = kInf;
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << k); ++mask) {
+    NodeSet set(game.node_count());
+    for (std::size_t i = 0; i < k; ++i)
+      if ((mask >> i) & 1U) set.insert(candidates[i]);
+    const double cost = env.cost_of(set);
+    ++best.evaluations;
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.strategy = set;
+    }
+  }
+  return best;
+}
+
+/// Brute-force NE check via the brute-force best response.
+inline bool brute_force_is_nash(const Game& game, const StrategyProfile& s) {
+  for (int u = 0; u < game.node_count(); ++u) {
+    const double current = agent_cost(game, s, u);
+    const auto best = brute_force_best_response(game, s, u);
+    if (improves(best.cost, current)) return false;
+  }
+  return true;
+}
+
+}  // namespace gncg::testing
