@@ -7,7 +7,11 @@
 // reach (repro band: pure graph algorithms, fast equilibrium search).
 #include <benchmark/benchmark.h>
 
+#include <string_view>
+#include <vector>
+
 #include "core/best_response.hpp"
+#include "core/deviation_engine.hpp"
 #include "core/dynamics.hpp"
 #include "core/equilibrium_search.hpp"
 #include "core/facility_location.hpp"
@@ -128,6 +132,69 @@ void BM_ExactOptimum(benchmark::State& state) {
 }
 BENCHMARK(BM_ExactOptimum)->Arg(5)->Arg(6);
 
+// --- deviation engine vs naive single-move evaluation -------------------
+//
+// The core workload of equilibrium checks and greedy dynamics: the best
+// single move of EVERY agent at one profile (a random spanning tree of a
+// random metric host).  The naive path rebuilds the agent environment and
+// runs one Dijkstra per candidate move; the engine shares one adjacency and
+// n cached SSSP vectors across all scans and evaluates moves by delta.
+// The ratio of these two benchmarks is the headline number in
+// BENCH_engine.json.
+
+Game tree_start_game(int n, Rng& rng) {
+  return Game(random_metric_host(n, rng), 1.0);
+}
+
+void BM_SingleMoveSweepNaive(benchmark::State& state) {
+  Rng rng(20);
+  const Game game = tree_start_game(static_cast<int>(state.range(0)), rng);
+  Rng profile_rng(21);
+  const auto profile = random_profile(game, profile_rng, 0.0);
+  for (auto _ : state) {
+    double total = 0.0;
+    for (int u = 0; u < game.node_count(); ++u)
+      total += naive_best_single_move(game, profile, u).cost;
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SingleMoveSweepNaive)->Arg(64)->Arg(128);
+
+void BM_SingleMoveSweepEngine(benchmark::State& state) {
+  Rng rng(20);
+  const Game game = tree_start_game(static_cast<int>(state.range(0)), rng);
+  Rng profile_rng(21);
+  const auto profile = random_profile(game, profile_rng, 0.0);
+  for (auto _ : state) {
+    // From-scratch per iteration: engine construction, the n-SSSP warm-up
+    // and all scans are inside the timed region.
+    DeviationEngine engine(game, profile);
+    engine.warm_distances();
+    double total = 0.0;
+    for (int u = 0; u < game.node_count(); ++u)
+      total += engine.best_single_move_warm(u).cost;
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SingleMoveSweepEngine)->Arg(64)->Arg(128);
+
+void BM_GreedyDynamicsEngine(benchmark::State& state) {
+  Rng rng(22);
+  const Game game = tree_start_game(static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    DynamicsOptions options;
+    options.rule = MoveRule::kBestSingleMove;
+    options.max_moves = 200;
+    options.seed = 42;
+    Rng start_rng(7);
+    benchmark::DoNotOptimize(
+        run_dynamics(game, random_profile(game, start_rng, 0.0), options));
+  }
+}
+BENCHMARK(BM_GreedyDynamicsEngine)->Arg(64)->Arg(128);
+
 void BM_BestResponseDynamics(benchmark::State& state) {
   Rng rng(12);
   const Game game(random_metric_host(static_cast<int>(state.range(0)), rng), 1.0);
@@ -145,4 +212,26 @@ BENCHMARK(BM_BestResponseDynamics)->Arg(8)->Arg(12);
 }  // namespace
 }  // namespace gncg
 
-BENCHMARK_MAIN();
+// Custom main: `--smoke` runs every benchmark with minimal timing so CI can
+// exercise the whole suite (and surface perf regressions in its logs) in a
+// few seconds; all other flags pass through to google-benchmark.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") {
+      smoke = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  static char min_time[] = "--benchmark_min_time=0.01";
+  if (smoke) args.push_back(min_time);
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/deviation_engine.hpp"
 #include "graph/dijkstra.hpp"
 
 namespace gncg {
@@ -22,25 +23,42 @@ AgentEnvironment::AgentEnvironment(const Game& game, const StrategyProfile& s,
   }
 }
 
+AgentEnvironment::AgentEnvironment(const DeviationEngine& engine, int u)
+    : game_(&engine.game()), agent_(u) {
+  const int n = game_->node_count();
+  GNCG_CHECK(u >= 0 && u < n, "agent out of range");
+  const StrategyProfile& s = engine.profile();
+  environment_ = engine.adjacency();
+  const auto erase_half = [this](int from, int to) {
+    auto& list = environment_[static_cast<std::size_t>(from)];
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (list[i].to == to) {
+        list[i] = list.back();
+        list.pop_back();
+        return;
+      }
+    }
+  };
+  // Drop the edges that exist only because u buys them; edges u and a
+  // neighbor both buy stay (the neighbor keeps paying in the environment).
+  s.strategy(u).for_each([&](int target) {
+    if (s.buys(target, u)) return;
+    erase_half(u, target);
+    erase_half(target, u);
+  });
+}
+
 double AgentEnvironment::distance_cost_of(const NodeSet& targets) const {
   const int n = game_->node_count();
-  std::vector<double> dist;
-  dijkstra_over(
-      n, agent_,
-      [&](int x, auto&& visit) {
-        for (const auto& nb : environment_[static_cast<std::size_t>(x)])
-          visit(nb.to, nb.weight);
-        if (x == agent_) {
-          targets.for_each(
-              [&](int v) { visit(v, game_->weight(agent_, v)); });
-        } else if (targets.contains(x)) {
-          visit(agent_, game_->weight(agent_, x));
-        }
-      },
-      dist);
-  double total = 0.0;
-  for (double d : dist) total += d;
-  return total;
+  return distance_sum_over(n, agent_, [&](int x, auto&& visit) {
+    for (const auto& nb : environment_[static_cast<std::size_t>(x)])
+      visit(nb.to, nb.weight);
+    if (x == agent_) {
+      targets.for_each([&](int v) { visit(v, game_->weight(agent_, v)); });
+    } else if (targets.contains(x)) {
+      visit(agent_, game_->weight(agent_, x));
+    }
+  });
 }
 
 double AgentEnvironment::cost_of(const NodeSet& targets) const {
@@ -105,13 +123,11 @@ struct BrSearch {
   }
 };
 
-}  // namespace
-
-BestResponseResult exact_best_response(const Game& game,
-                                       const StrategyProfile& s, int u,
-                                       const BestResponseOptions& options) {
-  const AgentEnvironment env(game, s, u);
-
+/// Shared driver: runs the branch-and-bound search over a prebuilt
+/// environment (however it was materialized).
+BestResponseResult run_exact_best_response(const Game& game,
+                                           const AgentEnvironment& env, int u,
+                                           const BestResponseOptions& options) {
   BrSearch search;
   search.game = &game;
   search.env = &env;
@@ -141,6 +157,21 @@ BestResponseResult exact_best_response(const Game& game,
     search.result.cost = env.cost_of(search.result.strategy);
   }
   return search.result;
+}
+
+}  // namespace
+
+BestResponseResult exact_best_response(const Game& game,
+                                       const StrategyProfile& s, int u,
+                                       const BestResponseOptions& options) {
+  const AgentEnvironment env(game, s, u);
+  return run_exact_best_response(game, env, u, options);
+}
+
+BestResponseResult exact_best_response(const DeviationEngine& engine, int u,
+                                       const BestResponseOptions& options) {
+  const AgentEnvironment env(engine, u);
+  return run_exact_best_response(engine.game(), env, u, options);
 }
 
 bool has_improving_deviation(const Game& game, const StrategyProfile& s,
@@ -223,15 +254,33 @@ SingleMoveResult scan_single_moves(const Game& game, const StrategyProfile& s,
 
 SingleMoveResult best_single_move(const Game& game, const StrategyProfile& s,
                                   int u) {
-  return scan_single_moves(game, s, u, {true, true, true});
+  DeviationEngine engine(game, s);
+  return engine.best_single_move(u);
 }
 
 SingleMoveResult best_addition(const Game& game, const StrategyProfile& s,
                                int u) {
-  return scan_single_moves(game, s, u, {true, false, false});
+  DeviationEngine engine(game, s);
+  return engine.best_addition(u);
 }
 
 SingleMoveResult best_swap(const Game& game, const StrategyProfile& s, int u) {
+  DeviationEngine engine(game, s);
+  return engine.best_swap(u);
+}
+
+SingleMoveResult naive_best_single_move(const Game& game,
+                                        const StrategyProfile& s, int u) {
+  return scan_single_moves(game, s, u, {true, true, true});
+}
+
+SingleMoveResult naive_best_addition(const Game& game,
+                                     const StrategyProfile& s, int u) {
+  return scan_single_moves(game, s, u, {true, false, false});
+}
+
+SingleMoveResult naive_best_swap(const Game& game, const StrategyProfile& s,
+                                 int u) {
   return scan_single_moves(game, s, u, {false, false, true});
 }
 

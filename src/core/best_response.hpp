@@ -24,12 +24,18 @@
 
 namespace gncg {
 
+class DeviationEngine;
+
 /// The network seen by agent u when re-deciding its strategy: every edge
 /// bought by the *other* agents.  Evaluating a candidate S means one
 /// Dijkstra over (environment + edges from u to S).
 class AgentEnvironment {
  public:
   AgentEnvironment(const Game& game, const StrategyProfile& s, int u);
+
+  /// Derives the environment from an engine's materialized adjacency (drops
+  /// u's sole-owned edges) instead of rebuilding it from the profile.
+  AgentEnvironment(const DeviationEngine& engine, int u);
 
   int agent() const { return agent_; }
 
@@ -70,6 +76,11 @@ BestResponseResult exact_best_response(const Game& game,
                                        const StrategyProfile& s, int u,
                                        const BestResponseOptions& options = {});
 
+/// Exact best response against an engine's current profile, reusing the
+/// engine's materialized adjacency for the environment.
+BestResponseResult exact_best_response(const DeviationEngine& engine, int u,
+                                       const BestResponseOptions& options = {});
+
 /// True when agent u has *any* strategy strictly cheaper than its current
 /// one (early-exit exact search).
 bool has_improving_deviation(const Game& game, const StrategyProfile& s, int u);
@@ -91,7 +102,8 @@ struct SingleMoveResult {
 };
 
 /// Best single move (add, delete or swap) of agent u; `current_cost` is
-/// always filled.
+/// always filled.  Thin wrapper over a one-shot DeviationEngine; batch
+/// callers should build an engine once and reuse it across agents.
 SingleMoveResult best_single_move(const Game& game, const StrategyProfile& s,
                                   int u);
 
@@ -102,6 +114,17 @@ SingleMoveResult best_addition(const Game& game, const StrategyProfile& s,
 /// Best edge *swap* only (the move set of swap/asymmetric-swap equilibria
 /// from the basic network creation games the paper builds on).
 SingleMoveResult best_swap(const Game& game, const StrategyProfile& s, int u);
+
+/// Naive reference scans: one fresh Dijkstra per candidate move over the
+/// AgentEnvironment, no caching and no delta evaluation.  These are the
+/// differential-testing and benchmarking baselines for the DeviationEngine;
+/// production callers should use the engine-backed functions above.
+SingleMoveResult naive_best_single_move(const Game& game,
+                                        const StrategyProfile& s, int u);
+SingleMoveResult naive_best_addition(const Game& game,
+                                     const StrategyProfile& s, int u);
+SingleMoveResult naive_best_swap(const Game& game, const StrategyProfile& s,
+                                 int u);
 
 /// Applies `move` to agent u's strategy in place.
 void apply_move(StrategyProfile& s, int u, const SingleMove& move);

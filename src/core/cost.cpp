@@ -23,17 +23,10 @@ double buying_cost(const Game& game, const StrategyProfile& s, int u) {
 double distance_cost(const Game& game,
                      const std::vector<std::vector<Neighbor>>& adjacency,
                      int u) {
-  std::vector<double> dist;
-  dijkstra_over(
-      game.node_count(), u,
-      [&](int x, auto&& visit) {
-        for (const auto& nb : adjacency[static_cast<std::size_t>(x)])
-          visit(nb.to, nb.weight);
-      },
-      dist);
-  double total = 0.0;
-  for (double d : dist) total += d;
-  return total;
+  return distance_sum_over(game.node_count(), u, [&](int x, auto&& visit) {
+    for (const auto& nb : adjacency[static_cast<std::size_t>(x)])
+      visit(nb.to, nb.weight);
+  });
 }
 
 double agent_cost(const Game& game, const StrategyProfile& s, int u) {

@@ -1,0 +1,390 @@
+#include "core/deviation_engine.hpp"
+
+#include "graph/dijkstra.hpp"
+#include "support/parallel.hpp"
+
+namespace gncg {
+
+DeviationEngine::DeviationEngine(const Game& game, StrategyProfile profile)
+    : game_(&game), profile_(std::move(profile)) {
+  GNCG_CHECK(profile_.node_count() == game.node_count(),
+             "profile/game size mismatch");
+  adjacency_ = build_adjacency(game, profile_);
+  caches_.resize(static_cast<std::size_t>(game.node_count()));
+}
+
+void DeviationEngine::link(int a, int b) {
+  const double w = game_->weight(a, b);
+  adjacency_[idx(a)].push_back({b, w});
+  adjacency_[idx(b)].push_back({a, w});
+}
+
+void DeviationEngine::unlink(int a, int b) {
+  const auto erase_half = [this](int from, int to) {
+    auto& list = adjacency_[idx(from)];
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (list[i].to == to) {
+        list[i] = list.back();
+        list.pop_back();
+        return;
+      }
+    }
+    GNCG_CHECK(false, "engine adjacency missing edge (" << from << "," << to
+                                                        << ")");
+  };
+  erase_half(a, b);
+  erase_half(b, a);
+}
+
+void DeviationEngine::add_buy(int u, int v) {
+  GNCG_CHECK(game_->can_buy(u, v), "engine add_buy of a forbidden edge");
+  if (profile_.buys(u, v)) return;
+  const bool existed = profile_.has_edge(u, v);
+  profile_.add_buy(u, v);
+  // Double-ownership adds do not change the built topology: the adjacency
+  // entry already exists and every distance cache stays valid.
+  if (!existed) {
+    link(u, v);
+    ++epoch_;
+  }
+}
+
+void DeviationEngine::remove_buy(int u, int v) {
+  if (!profile_.buys(u, v)) return;
+  profile_.remove_buy(u, v);
+  if (!profile_.has_edge(u, v)) {
+    unlink(u, v);
+    ++epoch_;
+  }
+}
+
+void DeviationEngine::set_strategy(int u, NodeSet strategy) {
+  GNCG_CHECK(strategy.universe() == game_->node_count(),
+             "strategy universe mismatch");
+  GNCG_CHECK(!strategy.contains(u), "strategy may not contain the agent");
+  const NodeSet old = profile_.strategy(u);
+  old.for_each([&](int v) {
+    if (!strategy.contains(v)) remove_buy(u, v);
+  });
+  strategy.for_each([&](int v) {
+    if (!old.contains(v)) add_buy(u, v);
+  });
+}
+
+void DeviationEngine::apply_move(int u, const SingleMove& move) {
+  switch (move.type) {
+    case MoveType::kNone:
+      return;
+    case MoveType::kAdd:
+      add_buy(u, move.add);
+      return;
+    case MoveType::kDelete:
+      remove_buy(u, move.remove);
+      return;
+    case MoveType::kSwap:
+      remove_buy(u, move.remove);
+      add_buy(u, move.add);
+      return;
+  }
+}
+
+void DeviationEngine::set_profile(StrategyProfile profile) {
+  GNCG_CHECK(profile.node_count() == game_->node_count(),
+             "profile/game size mismatch");
+  profile_ = std::move(profile);
+  adjacency_ = build_adjacency(*game_, profile_);
+  ++epoch_;
+}
+
+const DeviationEngine::AgentCache& DeviationEngine::ensure(int u) {
+  AgentCache& cache = caches_[idx(u)];
+  if (cache.epoch != epoch_) {
+    tls_dijkstra_buffers().run_into(
+        cache.dist, game_->node_count(), u, [&](int y, auto&& visit) {
+          for (const auto& nb : adjacency_[idx(y)]) visit(nb.to, nb.weight);
+        });
+    double total = 0.0;
+    for (double d : cache.dist) total += d;
+    cache.dist_sum = total;
+    cache.epoch = epoch_;
+  }
+  return cache;
+}
+
+const DeviationEngine::AgentCache& DeviationEngine::warmed(int u) const {
+  const AgentCache& cache = caches_[idx(u)];
+  GNCG_CHECK(cache.epoch == epoch_,
+             "distance cache of agent " << u
+                                        << " is stale; call warm_distances()");
+  return cache;
+}
+
+void DeviationEngine::warm_distances() {
+  const int n = game_->node_count();
+  parallel_for(0, static_cast<std::size_t>(n),
+               [&](std::size_t u) { ensure(static_cast<int>(u)); });
+}
+
+const std::vector<double>& DeviationEngine::distances(int u) {
+  return ensure(u).dist;
+}
+
+double DeviationEngine::distance_cost(int u) { return ensure(u).dist_sum; }
+
+double DeviationEngine::distance_cost_warm(int u) const {
+  return warmed(u).dist_sum;
+}
+
+double DeviationEngine::strategy_weight(int u, int remove, int add) const {
+  double total = 0.0;
+  bool added = add < 0;
+  const double add_weight = add >= 0 ? game_->weight(u, add) : 0.0;
+  profile_.strategy(u).for_each([&](int v) {
+    if (v == remove) return;
+    if (!added && add < v) {
+      total += add_weight;
+      added = true;
+    }
+    total += game_->weight(u, v);
+  });
+  if (!added) total += add_weight;
+  return total;
+}
+
+double DeviationEngine::buying_cost(int u) const {
+  return game_->alpha() * strategy_weight(u, -1, -1);
+}
+
+double DeviationEngine::agent_cost(int u) {
+  return buying_cost(u) + distance_cost(u);
+}
+
+double DeviationEngine::agent_cost_warm(int u) const {
+  return buying_cost(u) + distance_cost_warm(u);
+}
+
+double DeviationEngine::addition_distance_cost(int u, int x) {
+  ensure(u);
+  ensure(x);
+  return addition_distance_cost_warm(u, x);
+}
+
+double DeviationEngine::addition_distance_cost_warm(int u, int x) const {
+  const auto& du = warmed(u).dist;
+  const auto& dx = warmed(x).dist;
+  const double w = game_->weight(u, x);
+  double total = 0.0;
+  for (std::size_t t = 0; t < du.size(); ++t)
+    total += std::min(du[t], w + dx[t]);
+  return total;
+}
+
+bool DeviationEngine::mark_reachable_without(int u, int v,
+                                             std::vector<char>& mark) const {
+  const int n = game_->node_count();
+  mark.assign(static_cast<std::size_t>(n), 0);
+  std::vector<int> stack;
+  stack.reserve(static_cast<std::size_t>(n));
+  mark[idx(u)] = 1;
+  stack.push_back(u);
+  while (!stack.empty()) {
+    const int y = stack.back();
+    stack.pop_back();
+    for (const auto& nb : adjacency_[idx(y)]) {
+      if ((y == u && nb.to == v) || (y == v && nb.to == u)) continue;
+      if (!mark[idx(nb.to)]) {
+        mark[idx(nb.to)] = 1;
+        stack.push_back(nb.to);
+      }
+    }
+  }
+  return mark[idx(v)] != 0;
+}
+
+double DeviationEngine::bridge_swap_distance_cost(
+    int u, int x, const std::vector<char>& u_side) const {
+  // Deleting bridge (u,v) splits the network into the side reachable from u
+  // (u_side) and the rest; distances within each side are untouched, and
+  // after adding (u,x) every far-side node t is reached as u -> x ~> t.
+  const auto& du = warmed(u).dist;
+  const auto& dx = warmed(x).dist;
+  const double w = game_->weight(u, x);
+  double total = 0.0;
+  for (std::size_t t = 0; t < du.size(); ++t)
+    total += u_side[t] != 0 ? du[t] : w + dx[t];
+  return total;
+}
+
+double DeviationEngine::masked_distance_cost(int u, int remove,
+                                             int add) const {
+  const double add_weight = add >= 0 ? game_->weight(u, add) : 0.0;
+  return distance_sum_over(game_->node_count(), u, [&](int y, auto&& visit) {
+    for (const auto& nb : adjacency_[idx(y)]) {
+      if ((y == u && nb.to == remove) || (y == remove && nb.to == u)) continue;
+      visit(nb.to, nb.weight);
+    }
+    if (add >= 0) {
+      if (y == u) visit(add, add_weight);
+      else if (y == add) visit(u, add_weight);
+    }
+  });
+}
+
+double DeviationEngine::cost_of_strategy(int u, const NodeSet& targets) const {
+  double edge_weight = 0.0;
+  targets.for_each([&](int v) { edge_weight += game_->weight(u, v); });
+  const double dist =
+      distance_sum_over(game_->node_count(), u, [&](int y, auto&& visit) {
+        for (const auto& nb : adjacency_[idx(y)]) {
+          // Mask u's sole-owned edges: the environment is everyone else's.
+          if (y == u && solely_owned(u, nb.to)) continue;
+          if (nb.to == u && solely_owned(u, y)) continue;
+          visit(nb.to, nb.weight);
+        }
+        if (y == u) {
+          targets.for_each([&](int v) { visit(v, game_->weight(u, v)); });
+        } else if (targets.contains(y)) {
+          visit(u, game_->weight(u, y));
+        }
+      });
+  return game_->alpha() * edge_weight + dist;
+}
+
+SingleMoveResult DeviationEngine::scan_moves(int u, const ScanFlags& flags,
+                                             bool early_exit) const {
+  const int n = game_->node_count();
+  const double alpha = game_->alpha();
+  const AgentCache& cu = warmed(u);
+
+  SingleMoveResult result;
+  result.current_cost = alpha * strategy_weight(u, -1, -1) + cu.dist_sum;
+  result.cost = result.current_cost;
+
+  const auto consider = [&](MoveType type, int remove, int add, double cost) {
+    if (improves(cost, result.cost)) {
+      result.cost = cost;
+      result.move = {type, remove, add};
+      result.improved = true;
+    }
+  };
+  // Delta evaluation of an addition from cached vectors; the u-and-x loop
+  // below never passes an x whose built edge already exists, so the warmed
+  // caches of u and x fully determine the new distances.
+  const auto addition_cost = [&](int x) {
+    return addition_distance_cost_warm(u, x);
+  };
+
+  if (flags.adds) {
+    for (int x = 0; x < n; ++x) {
+      if (x == u || !game_->can_buy(u, x) || profile_.has_edge(u, x)) continue;
+      consider(MoveType::kAdd, -1, x,
+               alpha * strategy_weight(u, -1, x) + addition_cost(x));
+      if (early_exit && result.improved) return result;
+    }
+  }
+
+  if (flags.deletes || flags.swaps) {
+    const auto owned = profile_.strategy(u).to_vector();
+    std::vector<char> u_side;
+    for (int v : owned) {
+      // If v buys the edge too, dropping u's payment keeps the topology.
+      const bool doubly = profile_.buys(v, u);
+      const bool bridge = !doubly && !mark_reachable_without(u, v, u_side);
+
+      if (flags.deletes) {
+        if (doubly) {
+          consider(MoveType::kDelete, v, -1,
+                   alpha * strategy_weight(u, v, -1) + cu.dist_sum);
+        } else if (!bridge) {
+          // Removing an edge cannot shrink any distance, so the current
+          // distance sum is an admissible bound: run Dijkstra only when the
+          // alpha saving alone could beat the incumbent.
+          const double edge_cost = alpha * strategy_weight(u, v, -1);
+          if (improves(edge_cost + cu.dist_sum, result.cost)) {
+            consider(MoveType::kDelete, v, -1,
+                     edge_cost + masked_distance_cost(u, v, -1));
+          }
+        }
+        // Deleting a bridge disconnects u: cost kInf, never improving.
+        if (early_exit && result.improved) return result;
+      }
+
+      if (flags.swaps) {
+        for (int x = 0; x < n; ++x) {
+          if (x == u || x == v || !game_->can_buy(u, x)) continue;
+          // Swapping to an already-present edge is dominated by the plain
+          // deletion, so such x are skipped when deletions are in the move
+          // set; swap-only scans must consider them (see scan semantics in
+          // best_response.cpp).
+          if (flags.deletes && profile_.has_edge(u, x)) continue;
+          if (!flags.deletes && profile_.strategy(u).contains(x)) continue;
+          const bool duplicate = profile_.has_edge(u, x);
+          const double edge_cost = alpha * strategy_weight(u, v, x);
+          double cost;
+          if (doubly) {
+            // The deleted edge stays built; the swap is a pure addition.
+            cost = edge_cost + (duplicate ? cu.dist_sum : addition_cost(x));
+          } else if (bridge) {
+            if (u_side[idx(x)] != 0) continue;  // still disconnected: kInf
+            cost = edge_cost + bridge_swap_distance_cost(u, x, u_side);
+          } else {
+            // Distances in G - (u,v) + (u,x) are bounded below by distances
+            // in G + (u,x) (deleting only hurts), which the cached vectors
+            // evaluate in O(n); Dijkstra runs only past that bound.
+            const double dist_bound =
+                duplicate ? cu.dist_sum : addition_cost(x);
+            if (!improves(edge_cost + dist_bound, result.cost)) continue;
+            cost = edge_cost + masked_distance_cost(u, v, x);
+          }
+          consider(MoveType::kSwap, v, x, cost);
+          if (early_exit && result.improved) return result;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+SingleMoveResult DeviationEngine::best_single_move(int u) {
+  warm_distances();
+  return scan_moves(u, {true, true, true}, false);
+}
+
+SingleMoveResult DeviationEngine::best_addition(int u) {
+  warm_distances();
+  return scan_moves(u, {true, false, false}, false);
+}
+
+SingleMoveResult DeviationEngine::best_swap(int u) {
+  warm_distances();
+  return scan_moves(u, {false, false, true}, false);
+}
+
+bool DeviationEngine::has_improving_single_move(int u) {
+  warm_distances();
+  return scan_moves(u, {true, true, true}, true).improved;
+}
+
+bool DeviationEngine::has_improving_addition(int u) {
+  warm_distances();
+  return scan_moves(u, {true, false, false}, true).improved;
+}
+
+bool DeviationEngine::has_improving_swap(int u) {
+  warm_distances();
+  return scan_moves(u, {false, false, true}, true).improved;
+}
+
+SingleMoveResult DeviationEngine::best_single_move_warm(int u) const {
+  return scan_moves(u, {true, true, true}, false);
+}
+
+SingleMoveResult DeviationEngine::best_addition_warm(int u) const {
+  return scan_moves(u, {true, false, false}, false);
+}
+
+SingleMoveResult DeviationEngine::best_swap_warm(int u) const {
+  return scan_moves(u, {false, false, true}, false);
+}
+
+}  // namespace gncg

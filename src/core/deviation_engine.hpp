@@ -1,0 +1,189 @@
+// Incremental deviation engine: cached game state + delta move evaluation.
+//
+// Every experiment in the paper (equilibrium checks, best-response dynamics,
+// PoA sweeps) reduces to evaluating many candidate deviations against the
+// *same* strategy profile.  The naive path pays a full adjacency rebuild and
+// a fresh Dijkstra per candidate; this engine amortizes that work:
+//
+//  * It owns the materialized adjacency of the current StrategyProfile and
+//    updates it incrementally under add_buy/remove_buy/apply_move/
+//    set_strategy -- no build_adjacency per evaluation.  Ownership changes
+//    that do not alter the built topology (double-ownership adds/removes)
+//    leave the distance caches valid.
+//  * It caches one SSSP distance vector per agent, invalidated lazily via a
+//    topology epoch: a mutation bumps the epoch, and each agent's vector is
+//    recomputed only when next queried.
+//  * Single-move deviations are evaluated by *delta* where an exact closed
+//    form exists, and by a buffer-reusing Dijkstra otherwise:
+//      - addition (u,x):  d'(u,t) = min(d(u,t), w(u,x) + d(x,t)) over the
+//        cached vectors of u and x -- O(n) per candidate, no Dijkstra;
+//      - deleting a *bridge* (and swapping it for (u,x)): the graph splits
+//        into the side reachable from u and the rest, and distances on each
+//        side are unchanged, so the swap re-costs from cached vectors plus
+//        one reachability sweep per owned edge;
+//      - all remaining deletes/swaps re-run Dijkstra over a masked view of
+//        the engine adjacency with thread-local scratch buffers, pruned by
+//        the admissible bound "distances cannot shrink when an edge is
+//        removed".
+//
+// Scan order and tie-breaking replicate the naive scan_single_moves exactly,
+// so on hosts whose weights sum exactly in doubles (unit, 1-2, integer
+// weights) the engine returns bit-identical costs and identical moves; on
+// real-weighted hosts results agree up to floating-point associativity (see
+// tests/test_deviation_engine.cpp for the differential contract).
+//
+// Invalidation contract (for code building on the engine): `distances(u)` /
+// `distance_cost(u)` / `agent_cost(u)` are valid only until the next
+// topology mutation; references returned by `distances`/`adjacency` are
+// invalidated by any mutation.  `*_warm` members require `warm_distances()`
+// after the last mutation and are const + thread-safe, which is what the
+// dynamics scheduler's parallel proposal batching runs on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/best_response.hpp"
+#include "core/cost.hpp"
+#include "core/game.hpp"
+
+namespace gncg {
+
+class DeviationEngine {
+ public:
+  /// Takes ownership of `profile` and materializes its adjacency once.
+  DeviationEngine(const Game& game, StrategyProfile profile);
+
+  const Game& game() const { return *game_; }
+  const StrategyProfile& profile() const { return profile_; }
+
+  /// Materialized adjacency of the built network (double ownership collapsed
+  /// into one undirected entry).  Invalidated by mutations.
+  const std::vector<std::vector<Neighbor>>& adjacency() const {
+    return adjacency_;
+  }
+
+  // --- mutations (incremental adjacency, lazy cache invalidation) ---
+
+  void add_buy(int u, int v);
+  void remove_buy(int u, int v);
+  void set_strategy(int u, NodeSet strategy);
+  void apply_move(int u, const SingleMove& move);
+
+  /// Replaces the whole profile (full rebuild; for dynamics restarts).
+  void set_profile(StrategyProfile profile);
+
+  // --- cached state queries (compute on first use after a mutation) ---
+
+  /// SSSP distance vector of agent u in the built network.
+  const std::vector<double>& distances(int u);
+
+  /// Sum of agent u's distances (kInf when disconnected).
+  double distance_cost(int u);
+
+  /// alpha * total weight of u's bought edges (recomputed per call in the
+  /// same summation order as the naive path; cheap).
+  double buying_cost(int u) const;
+
+  /// cost(u, G(s)) = buying_cost(u) + distance_cost(u).
+  double agent_cost(int u);
+
+  /// Ensures every agent's distance cache is valid (parallel over agents).
+  void warm_distances();
+
+  // --- move evaluation ---
+
+  /// Distance cost of agent u after buying the extra edge (u,x), from the
+  /// cached vectors of u and x: sum_t min(d(u,t), w(u,x) + d(x,t)).
+  double addition_distance_cost(int u, int x);
+
+  /// Best single move / addition / swap of agent u.  Same semantics, scan
+  /// order and tie-breaking as the naive free functions.
+  SingleMoveResult best_single_move(int u);
+  SingleMoveResult best_addition(int u);
+  SingleMoveResult best_swap(int u);
+
+  /// Early-exit existence checks (equilibrium predicates): true when some
+  /// move of the family strictly improves u's cost.
+  bool has_improving_single_move(int u);
+  bool has_improving_addition(int u);
+  bool has_improving_swap(int u);
+
+  // --- warm (const, thread-safe) variants for parallel proposal batching.
+  // Require warm_distances() after the last mutation. ---
+
+  double distance_cost_warm(int u) const;
+  double agent_cost_warm(int u) const;
+  SingleMoveResult best_single_move_warm(int u) const;
+  SingleMoveResult best_addition_warm(int u) const;
+  SingleMoveResult best_swap_warm(int u) const;
+
+  /// cost(u) if u plays exactly `targets` (everyone else fixed): Dijkstra
+  /// over the engine adjacency with u's sole-owned edges masked and the
+  /// target edges added, using thread-local scratch.  Const and thread-safe.
+  double cost_of_strategy(int u, const NodeSet& targets) const;
+
+ private:
+  struct AgentCache {
+    std::vector<double> dist;
+    double dist_sum = 0.0;
+    std::uint64_t epoch = 0;  ///< topology epoch the cache was filled at
+  };
+
+  struct ScanFlags {
+    bool adds = false;
+    bool deletes = false;
+    bool swaps = false;
+  };
+
+  std::size_t idx(int u) const { return static_cast<std::size_t>(u); }
+
+  /// True when the built edge (u,t) exists only because u buys it (removing
+  /// u's buy removes the edge).
+  bool solely_owned(int u, int t) const {
+    return profile_.buys(u, t) && !profile_.buys(t, u);
+  }
+
+  /// Inserts / removes the undirected adjacency entry for (a, b).
+  void link(int a, int b);
+  void unlink(int a, int b);
+
+  /// alpha-free total weight of (S_u \ {remove}) ∪ {add} summed in
+  /// increasing-target order (exactly the naive NodeSet::for_each order, so
+  /// integer-weight hosts match the naive path bit-for-bit).  Pass -1 to
+  /// skip either part; `add` must not already be in S_u.
+  double strategy_weight(int u, int remove, int add) const;
+
+  const AgentCache& warmed(int u) const;
+  const AgentCache& ensure(int u);
+
+  /// Warm-cache body of addition_distance_cost (shared with scan_moves).
+  double addition_distance_cost_warm(int u, int x) const;
+
+  /// Marks the nodes reachable from u in the built network minus edge (u,v)
+  /// into `mark`; returns true when v is still reachable (the edge is not a
+  /// bridge).
+  bool mark_reachable_without(int u, int v, std::vector<char>& mark) const;
+
+  /// Distance cost of u after swapping bridge (u,v) for (u,x): cached u-side
+  /// distances plus w(u,x) + cached x-distances on the far side.
+  double bridge_swap_distance_cost(int u, int x,
+                                   const std::vector<char>& u_side) const;
+
+  /// Dijkstra distance cost of u with edge (u,remove) masked out of the
+  /// adjacency and, when add >= 0, edge (u,add) visited additionally.
+  double masked_distance_cost(int u, int remove, int add) const;
+
+  /// Shared single-move scan (const: caches must be warm).  With
+  /// `early_exit` the scan stops at the first improving candidate.
+  SingleMoveResult scan_moves(int u, const ScanFlags& flags,
+                              bool early_exit) const;
+
+  const Game* game_;
+  StrategyProfile profile_;
+  std::vector<std::vector<Neighbor>> adjacency_;
+  std::vector<AgentCache> caches_;
+  std::uint64_t epoch_ = 1;
+};
+
+}  // namespace gncg

@@ -4,8 +4,10 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "core/deviation_engine.hpp"
 #include "core/facility_location.hpp"
 #include "graph/union_find.hpp"
+#include "support/parallel.hpp"
 
 namespace gncg {
 
@@ -19,15 +21,17 @@ struct Proposal {
   double new_cost = kInf;
 };
 
-Proposal propose(const Game& game, const StrategyProfile& s, int u,
-                 MoveRule rule) {
+/// Proposal for one agent against warm engine state.  Const on the engine,
+/// so the kMaxGain scheduler can fan all agents out over the worker pool.
+Proposal propose_warm(const DeviationEngine& engine, int u, MoveRule rule) {
+  const Game& game = engine.game();
   Proposal proposal;
   switch (rule) {
     case MoveRule::kBestResponse: {
-      const double current = agent_cost(game, s, u);
+      const double current = engine.agent_cost_warm(u);
       BestResponseOptions options;
       options.incumbent = current;
-      const auto br = exact_best_response(game, s, u, options);
+      const auto br = exact_best_response(engine, u, options);
       proposal.old_cost = current;
       if (br.improved) {
         proposal.improving = true;
@@ -39,12 +43,12 @@ Proposal propose(const Game& game, const StrategyProfile& s, int u,
     case MoveRule::kBestSingleMove:
     case MoveRule::kBestAddition: {
       const auto move = rule == MoveRule::kBestSingleMove
-                            ? best_single_move(game, s, u)
-                            : best_addition(game, s, u);
+                            ? engine.best_single_move_warm(u)
+                            : engine.best_addition_warm(u);
       proposal.old_cost = move.current_cost;
       if (move.improved) {
         proposal.improving = true;
-        NodeSet next = s.strategy(u);
+        NodeSet next = engine.profile().strategy(u);
         if (move.move.remove >= 0) next.erase(move.move.remove);
         if (move.move.add >= 0) next.insert(move.move.add);
         proposal.strategy = std::move(next);
@@ -53,12 +57,12 @@ Proposal propose(const Game& game, const StrategyProfile& s, int u,
       return proposal;
     }
     case MoveRule::kUmflResponse: {
-      const double current = agent_cost(game, s, u);
-      NodeSet candidate = approx_best_response_umfl(game, s, u);
-      const AgentEnvironment env(game, s, u);
-      const double cost = env.cost_of(candidate);
+      const double current = engine.agent_cost_warm(u);
+      NodeSet candidate = approx_best_response_umfl(game, engine.profile(), u);
+      const double cost = engine.cost_of_strategy(u, candidate);
       proposal.old_cost = current;
-      if (improves(cost, current) && !(candidate == s.strategy(u))) {
+      if (improves(cost, current) &&
+          !(candidate == engine.profile().strategy(u))) {
         proposal.improving = true;
         proposal.strategy = std::move(candidate);
         proposal.new_cost = cost;
@@ -67,6 +71,42 @@ Proposal propose(const Game& game, const StrategyProfile& s, int u,
     }
   }
   return proposal;
+}
+
+Proposal propose(DeviationEngine& engine, int u, MoveRule rule) {
+  // Single-move scans read every agent's cached vector; the other rules
+  // only read u's (the BR/UMFL searches run their own Dijkstras), so a
+  // full warm-up would waste n-1 SSSP per proposal.
+  if (rule == MoveRule::kBestSingleMove || rule == MoveRule::kBestAddition) {
+    engine.warm_distances();
+  } else {
+    engine.distance_cost(u);
+  }
+  return propose_warm(engine, u, rule);
+}
+
+/// One agent's entry in the kMaxGain tournament.
+struct BestProposal {
+  int agent = -1;
+  double gain = 0.0;
+  Proposal proposal;
+};
+
+/// Folds agent u's proposal into the accumulator: largest gain wins, ties go
+/// to the smallest agent id (the order the sequential scan would keep).
+void fold_proposal(BestProposal& best, const DeviationEngine& engine, int u,
+                   MoveRule rule) {
+  Proposal p = propose_warm(engine, u, rule);
+  if (!p.improving) return;
+  const double gain = (p.old_cost < kInf && p.new_cost < kInf)
+                          ? p.old_cost - p.new_cost
+                          : kInf;
+  if (best.agent < 0 || gain > best.gain ||
+      (gain == best.gain && u < best.agent)) {
+    best.agent = u;
+    best.gain = gain;
+    best.proposal = std::move(p);
+  }
 }
 
 /// Tracks visited profiles for cycle detection (hash index + full-profile
@@ -102,9 +142,9 @@ DynamicsResult run_dynamics(const Game& game, StrategyProfile start,
   Rng rng(options.seed);
 
   DynamicsResult result;
-  StrategyProfile profile = std::move(start);
+  DeviationEngine engine(game, std::move(start));
   ProfileHistory history;
-  if (options.detect_cycles) history.record(profile, 0);
+  if (options.detect_cycles) history.record(engine.profile(), 0);
 
   std::vector<int> order(static_cast<std::size_t>(n));
   std::iota(order.begin(), order.end(), 0);
@@ -112,15 +152,15 @@ DynamicsResult run_dynamics(const Game& game, StrategyProfile start,
   auto take_step = [&](int agent, Proposal&& proposal) -> bool {
     DynamicsStep step;
     step.agent = agent;
-    step.old_strategy = profile.strategy(agent);
+    step.old_strategy = engine.profile().strategy(agent);
     step.new_strategy = proposal.strategy;
     step.old_cost = proposal.old_cost;
     step.new_cost = proposal.new_cost;
-    profile.set_strategy(agent, std::move(proposal.strategy));
+    engine.set_strategy(agent, std::move(proposal.strategy));
     result.steps.push_back(std::move(step));
     ++result.moves;
     if (options.detect_cycles) {
-      const std::size_t prev = history.record(profile, result.moves);
+      const std::size_t prev = history.record(engine.profile(), result.moves);
       if (prev != ProfileHistory::npos) {
         result.cycle_found = true;
         result.cycle_start = prev;
@@ -136,31 +176,32 @@ DynamicsResult run_dynamics(const Game& game, StrategyProfile start,
     ++result.rounds;
     bool any_move = false;
     if (options.scheduler == SchedulerKind::kMaxGain) {
-      // Activate the agent with the single largest improvement.
-      int best_agent = -1;
-      Proposal best;
-      double best_gain = 0.0;
-      for (int u = 0; u < n && !stop; ++u) {
-        Proposal p = propose(game, profile, u, options.rule);
-        if (!p.improving) continue;
-        const double gain = (p.old_cost < kInf && p.new_cost < kInf)
-                                ? p.old_cost - p.new_cost
-                                : kInf;
-        if (best_agent < 0 || gain > best_gain) {
-          best_agent = u;
-          best = std::move(p);
-          best_gain = gain;
-        }
-      }
-      if (best_agent >= 0) {
+      // Activate the agent with the single largest improvement.  All agents
+      // are proposed against the same warm engine state, fanned out over
+      // the worker pool.
+      engine.warm_distances();
+      BestProposal best = parallel_reduce<BestProposal>(
+          0, static_cast<std::size_t>(n), [] { return BestProposal{}; },
+          [&](BestProposal& acc, std::size_t u) {
+            fold_proposal(acc, engine, static_cast<int>(u), options.rule);
+          },
+          [](BestProposal& total, BestProposal& acc) {
+            if (acc.agent < 0) return;
+            if (total.agent < 0 || acc.gain > total.gain ||
+                (acc.gain == total.gain && acc.agent < total.agent)) {
+              total = std::move(acc);
+            }
+          },
+          /*grain=*/1);
+      if (best.agent >= 0) {
         any_move = true;
-        stop = take_step(best_agent, std::move(best));
+        stop = take_step(best.agent, std::move(best.proposal));
       }
     } else {
       if (options.scheduler == SchedulerKind::kRandomOrder) rng.shuffle(order);
       for (int u : order) {
         if (stop) break;
-        Proposal p = propose(game, profile, u, options.rule);
+        Proposal p = propose(engine, u, options.rule);
         if (!p.improving) continue;
         any_move = true;
         stop = take_step(u, std::move(p));
@@ -171,7 +212,7 @@ DynamicsResult run_dynamics(const Game& game, StrategyProfile start,
       break;
     }
   }
-  result.final_profile = std::move(profile);
+  result.final_profile = engine.profile();
   return result;
 }
 

@@ -16,6 +16,8 @@
 
 namespace gncg {
 
+class DeviationEngine;
+
 /// True when no agent can strictly improve by buying one extra edge.
 bool is_add_only_equilibrium(const Game& game, const StrategyProfile& s);
 
@@ -32,6 +34,10 @@ bool is_swap_equilibrium(const Game& game, const StrategyProfile& s);
 /// Exponential in n per agent; intended for the small instances where the
 /// experiments verify constructions exactly.
 bool is_nash_equilibrium(const Game& game, const StrategyProfile& s);
+
+/// Engine-state variant of the exact NE check: shares the engine's cached
+/// adjacency and costs (used by enumeration, one engine per profile).
+bool is_nash_equilibrium(DeviationEngine& engine);
 
 /// The realized beta of the profile as an approximate NE:
 ///   beta = max_u cost(u) / cost(u's exact best response).

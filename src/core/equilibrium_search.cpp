@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <mutex>
 
+#include "core/deviation_engine.hpp"
 #include "core/equilibrium.hpp"
 #include "graph/union_find.hpp"
 #include "support/parallel.hpp"
@@ -59,10 +60,13 @@ EquilibriumSet enumerate_nash_equilibria(const Game& game,
         if (dsu.components() != 1) return;  // only connected equilibria
 
         // Cheap rejection: most profiles admit an improving single move.
+        // One engine per candidate profile shares the adjacency and SSSP
+        // caches across all agents' early-exit scans.
+        DeviationEngine engine(game, profile);
         for (int u = 0; u < n; ++u)
-          if (best_single_move(game, profile, u).improved) return;
-        // Full exact check.
-        if (!is_nash_equilibrium(game, profile)) return;
+          if (engine.has_improving_single_move(u)) return;
+        // Full exact check over the same engine state.
+        if (!is_nash_equilibrium(engine)) return;
 
         const double cost = social_cost(game, profile);
         const std::lock_guard<std::mutex> lock(result_mutex);

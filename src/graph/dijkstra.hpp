@@ -12,6 +12,8 @@
 // Weights are non-negative doubles (zero allowed); unreachable nodes get kInf.
 #pragma once
 
+#include <algorithm>
+#include <functional>
 #include <queue>
 #include <utility>
 #include <vector>
@@ -66,6 +68,88 @@ void dijkstra_over(int n, int source, NeighborFn&& neighbor_fn,
   }
 }
 
+/// Reusable Dijkstra workspace: the distance vector and the heap's backing
+/// store survive across runs, so hot paths (single-move scans, best-response
+/// candidate evaluation, the deviation engine's cache refills) do not pay a
+/// heap/vector allocation per call.  Not thread-safe; use the per-thread
+/// instance from tls_dijkstra_buffers() inside parallel regions.
+///
+/// The heap is a binary min-heap over (distance, node) pairs driven by
+/// std::push_heap/std::pop_heap with the same comparator std::priority_queue
+/// uses, so pop order (and therefore floating-point relaxation order) is
+/// identical to dijkstra_over's.
+class DijkstraBuffers {
+ public:
+  /// Runs Dijkstra from `source` over the implicit graph `neighbor_fn`,
+  /// filling `dist` (external storage, e.g. a cache vector owned by the
+  /// caller).  `dist` is resized to n and kInf-initialized.
+  template <class NeighborFn>
+  void run_into(std::vector<double>& dist, int n, int source,
+                NeighborFn&& neighbor_fn) {
+    GNCG_CHECK(source >= 0 && source < n, "source out of range");
+    dist.assign(static_cast<std::size_t>(n), kInf);
+    heap_.clear();
+    dist[static_cast<std::size_t>(source)] = 0.0;
+    push(0.0, source);
+    while (!heap_.empty()) {
+      const auto [d, u] = pop();
+      if (d > dist[static_cast<std::size_t>(u)]) continue;  // stale entry
+      neighbor_fn(u, [&](int v, double w) {
+        GNCG_DASSERT(w >= 0.0);
+        const double candidate = d + w;
+        if (candidate < dist[static_cast<std::size_t>(v)]) {
+          dist[static_cast<std::size_t>(v)] = candidate;
+          push(candidate, v);
+        }
+      });
+    }
+  }
+
+  /// Runs Dijkstra into the internally owned distance vector and returns it.
+  /// The reference stays valid until the next run on this workspace -- do
+  /// not hold it across another run (in particular, not across a nested use
+  /// of the same thread-local instance).
+  template <class NeighborFn>
+  const std::vector<double>& run(int n, int source, NeighborFn&& neighbor_fn) {
+    run_into(dist_, n, source, std::forward<NeighborFn>(neighbor_fn));
+    return dist_;
+  }
+
+ private:
+  void push(double d, int v) {
+    heap_.emplace_back(d, v);
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  }
+
+  detail::HeapEntry pop() {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    const detail::HeapEntry entry = heap_.back();
+    heap_.pop_back();
+    return entry;
+  }
+
+  std::vector<double> dist_;
+  std::vector<detail::HeapEntry> heap_;
+};
+
+/// Per-thread Dijkstra workspace for hot paths.
+inline DijkstraBuffers& tls_dijkstra_buffers() {
+  static thread_local DijkstraBuffers buffers;
+  return buffers;
+}
+
+/// Sum of distances from `source` over an implicit graph, computed with the
+/// thread-local workspace (no per-call allocation).  kInf-propagating: any
+/// unreachable node makes the sum kInf.
+template <class NeighborFn>
+double distance_sum_over(int n, int source, NeighborFn&& neighbor_fn) {
+  const auto& dist = tls_dijkstra_buffers().run(
+      n, source, std::forward<NeighborFn>(neighbor_fn));
+  double total = 0.0;
+  for (double d : dist) total += d;
+  return total;
+}
+
 /// Single-source shortest paths on a materialized graph.
 inline SsspResult sssp(const WeightedGraph& g, int source) {
   SsspResult result;
@@ -81,16 +165,9 @@ inline SsspResult sssp(const WeightedGraph& g, int source) {
 /// Sum of distances from `source` to all nodes (the paper's distance cost
 /// d_G(u, V)); kInf when the graph is disconnected from `source`.
 inline double distance_sum(const WeightedGraph& g, int source) {
-  std::vector<double> dist;
-  dijkstra_over(
-      g.node_count(), source,
-      [&](int u, auto&& visit) {
-        for (const auto& nb : g.neighbors(u)) visit(nb.to, nb.weight);
-      },
-      dist);
-  double total = 0.0;
-  for (double d : dist) total += d;
-  return total;
+  return distance_sum_over(g.node_count(), source, [&](int u, auto&& visit) {
+    for (const auto& nb : g.neighbors(u)) visit(nb.to, nb.weight);
+  });
 }
 
 }  // namespace gncg

@@ -1,0 +1,272 @@
+// Differential fuzz tests for the incremental deviation engine.
+//
+// Contract proven here (the precondition for ever deleting naive paths):
+//  * On hosts whose weights sum exactly in doubles (unit, {1,2}, {1,inf},
+//    small-integer weights) the engine's costs and chosen moves match the
+//    naive AgentEnvironment/Dijkstra-per-candidate scans BIT-FOR-BIT.
+//  * On real-weighted hosts the delta formulas re-associate floating-point
+//    sums, so costs agree to a 1e-12 relative tolerance (far below the
+//    kImproveEps = 1e-9 decision threshold) and decisions coincide.
+//
+// The fuzz axes: random games (four host families) x random profiles (trees
+// and trees-plus-chords, random ownership, double ownership) x random move
+// sequences (add_buy / remove_buy / set_strategy / apply_move).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/best_response.hpp"
+#include "core/cost.hpp"
+#include "core/deviation_engine.hpp"
+#include "core/dynamics.hpp"
+#include "core/equilibrium.hpp"
+#include "metric/host_graph.hpp"
+#include "support/rng.hpp"
+
+namespace gncg {
+namespace {
+
+/// Random complete host with integer weights in [1, 9]: generally
+/// non-metric, and every distance/cost sums exactly in doubles.
+HostGraph random_integer_host(int n, Rng& rng) {
+  DistanceMatrix weights(n, 0.0);
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v)
+      weights.set_symmetric(u, v,
+                            static_cast<double>(rng.uniform_int(1, 9)));
+  return HostGraph::from_weights(std::move(weights));
+}
+
+/// Expects exact equality, treating two infinities as equal.
+void expect_cost_eq(double engine_cost, double naive_cost) {
+  if (!(naive_cost < kInf)) {
+    EXPECT_FALSE(engine_cost < kInf);
+  } else {
+    EXPECT_DOUBLE_EQ(engine_cost, naive_cost);
+  }
+}
+
+void expect_cost_near(double engine_cost, double naive_cost) {
+  if (!(naive_cost < kInf)) {
+    EXPECT_FALSE(engine_cost < kInf);
+  } else {
+    const double scale = std::max(1.0, std::abs(naive_cost));
+    EXPECT_NEAR(engine_cost, naive_cost, 1e-12 * scale);
+  }
+}
+
+void expect_move_eq(const SingleMoveResult& from_engine,
+                    const SingleMoveResult& from_naive, bool exact) {
+  EXPECT_EQ(from_engine.improved, from_naive.improved);
+  EXPECT_EQ(from_engine.move.type, from_naive.move.type);
+  EXPECT_EQ(from_engine.move.remove, from_naive.move.remove);
+  EXPECT_EQ(from_engine.move.add, from_naive.move.add);
+  if (exact) {
+    expect_cost_eq(from_engine.cost, from_naive.cost);
+    expect_cost_eq(from_engine.current_cost, from_naive.current_cost);
+  } else {
+    expect_cost_near(from_engine.cost, from_naive.cost);
+    expect_cost_near(from_engine.current_cost, from_naive.current_cost);
+  }
+}
+
+/// Compares every scan family and the cached costs of every agent between
+/// the engine and the naive evaluators on one fixed profile.
+void compare_all_agents(const Game& game, const StrategyProfile& s,
+                        bool exact) {
+  DeviationEngine engine(game, s);
+  ASSERT_TRUE(engine.profile() == s);
+  for (int u = 0; u < game.node_count(); ++u) {
+    SCOPED_TRACE(::testing::Message() << "agent " << u);
+    const double naive_cost = agent_cost(game, s, u);
+    if (exact) expect_cost_eq(engine.agent_cost(u), naive_cost);
+    else expect_cost_near(engine.agent_cost(u), naive_cost);
+
+    expect_move_eq(engine.best_single_move(u), naive_best_single_move(game, s, u),
+                   exact);
+    expect_move_eq(engine.best_addition(u), naive_best_addition(game, s, u),
+                   exact);
+    expect_move_eq(engine.best_swap(u), naive_best_swap(game, s, u), exact);
+
+    EXPECT_EQ(engine.has_improving_single_move(u),
+              naive_best_single_move(game, s, u).improved);
+  }
+}
+
+Game random_game(int family, int n, Rng& rng) {
+  const double alpha = rng.uniform_real(0.2, 4.0);
+  switch (family) {
+    case 0:
+      return Game(random_one_two_host(n, 0.5, rng), alpha);
+    case 1:
+      return Game(random_one_inf_host(n, 0.6, rng), alpha);
+    case 2:
+      return Game(random_integer_host(n, rng), alpha);
+    default:
+      return Game(random_metric_host(n, rng), alpha);
+  }
+}
+
+TEST(DeviationEngineDifferential, SingleMoveScansMatchNaiveOnIntegerHosts) {
+  Rng rng(101);
+  for (int round = 0; round < 12; ++round) {
+    const int family = round % 3;  // integer-exact families only
+    const int n = 4 + static_cast<int>(rng.uniform_below(5));
+    const Game game = random_game(family, n, rng);
+    // Trees exercise the bridge-delta path; chords the Dijkstra fallback.
+    const double extra = round % 2 == 0 ? 0.0 : 0.3;
+    const StrategyProfile profile = random_profile(game, rng, extra);
+    SCOPED_TRACE(::testing::Message()
+                 << "round " << round << " family " << family << " n " << n);
+    compare_all_agents(game, profile, /*exact=*/true);
+  }
+}
+
+TEST(DeviationEngineDifferential, SingleMoveScansAgreeOnRealHosts) {
+  Rng rng(202);
+  for (int round = 0; round < 8; ++round) {
+    const int n = 4 + static_cast<int>(rng.uniform_below(5));
+    const Game game = random_game(3, n, rng);
+    const StrategyProfile profile =
+        random_profile(game, rng, round % 2 == 0 ? 0.0 : 0.25);
+    SCOPED_TRACE(::testing::Message() << "round " << round << " n " << n);
+    compare_all_agents(game, profile, /*exact=*/false);
+  }
+}
+
+TEST(DeviationEngineDifferential, DoubleOwnershipStatesMatchNaive) {
+  Rng rng(303);
+  for (int round = 0; round < 6; ++round) {
+    const int n = 4 + static_cast<int>(rng.uniform_below(4));
+    const Game game = random_game(round % 3, n, rng);
+    StrategyProfile profile = random_profile(game, rng, 0.2);
+    // Force some doubly-owned edges: dynamics must pass through such states.
+    for (int u = 0; u < n; ++u)
+      for (int v = 0; v < n; ++v)
+        if (u != v && profile.buys(u, v) && rng.bernoulli(0.4))
+          profile.add_buy(v, u);
+    SCOPED_TRACE(::testing::Message() << "round " << round << " n " << n);
+    compare_all_agents(game, profile, /*exact=*/true);
+  }
+}
+
+TEST(DeviationEngineDifferential, RandomMoveSequencesKeepStateInSync) {
+  Rng rng(404);
+  for (int round = 0; round < 6; ++round) {
+    const int family = round % 3;
+    const int n = 4 + static_cast<int>(rng.uniform_below(4));
+    const Game game = random_game(family, n, rng);
+    StrategyProfile shadow = random_profile(game, rng, 0.2);
+    DeviationEngine engine(game, shadow);
+
+    for (int step = 0; step < 40; ++step) {
+      const int op = static_cast<int>(rng.uniform_below(4));
+      const int u = static_cast<int>(rng.uniform_below(n));
+      const int v = static_cast<int>(rng.uniform_below(n));
+      switch (op) {
+        case 0:
+          if (game.can_buy(u, v)) {
+            engine.add_buy(u, v);
+            shadow.add_buy(u, v);
+          }
+          break;
+        case 1:
+          if (u != v) {
+            engine.remove_buy(u, v);
+            shadow.remove_buy(u, v);
+          }
+          break;
+        case 2: {
+          NodeSet strategy(n);
+          for (int t = 0; t < n; ++t)
+            if (game.can_buy(u, t) && rng.bernoulli(0.3)) strategy.insert(t);
+          engine.set_strategy(u, strategy);
+          shadow.set_strategy(u, strategy);
+          break;
+        }
+        default: {
+          const auto move = naive_best_single_move(game, shadow, u);
+          engine.apply_move(u, move.move);
+          apply_move(shadow, u, move.move);
+          break;
+        }
+      }
+      ASSERT_TRUE(engine.profile() == shadow) << "round " << round
+                                              << " step " << step;
+      const int probe = static_cast<int>(rng.uniform_below(n));
+      expect_cost_eq(engine.agent_cost(probe), agent_cost(game, shadow, probe));
+    }
+    // Full scan comparison on the final mutated state.
+    compare_all_agents(game, shadow, /*exact=*/true);
+  }
+}
+
+TEST(DeviationEngineDifferential, CostOfStrategyMatchesAgentEnvironment) {
+  Rng rng(505);
+  for (int round = 0; round < 6; ++round) {
+    const int n = 4 + static_cast<int>(rng.uniform_below(4));
+    const Game game = random_game(round % 3, n, rng);
+    const StrategyProfile profile = random_profile(game, rng, 0.25);
+    const DeviationEngine engine(game, profile);
+    for (int u = 0; u < n; ++u) {
+      const AgentEnvironment env(game, profile, u);
+      const AgentEnvironment env_from_engine(engine, u);
+      for (int trial = 0; trial < 5; ++trial) {
+        NodeSet targets(n);
+        for (int t = 0; t < n; ++t)
+          if (game.can_buy(u, t) && rng.bernoulli(0.35)) targets.insert(t);
+        const double reference = env.cost_of(targets);
+        expect_cost_eq(engine.cost_of_strategy(u, targets), reference);
+        expect_cost_eq(env_from_engine.cost_of(targets), reference);
+      }
+    }
+  }
+}
+
+TEST(DeviationEngineDifferential, EquilibriumPredicatesMatchNaiveScans) {
+  Rng rng(606);
+  for (int round = 0; round < 6; ++round) {
+    const int n = 4 + static_cast<int>(rng.uniform_below(3));
+    const Game game = random_game(round % 3, n, rng);
+    const StrategyProfile profile = random_profile(game, rng, 0.3);
+
+    bool naive_ge = true, naive_ae = true, naive_se = true;
+    for (int u = 0; u < n; ++u) {
+      naive_ge = naive_ge && !naive_best_single_move(game, profile, u).improved;
+      naive_ae = naive_ae && !naive_best_addition(game, profile, u).improved;
+      naive_se = naive_se && !naive_best_swap(game, profile, u).improved;
+    }
+    EXPECT_EQ(is_greedy_equilibrium(game, profile), naive_ge);
+    EXPECT_EQ(is_add_only_equilibrium(game, profile), naive_ae);
+    EXPECT_EQ(is_swap_equilibrium(game, profile), naive_se);
+  }
+}
+
+TEST(DeviationEngine, DistanceCachesSurviveOwnershipOnlyMutations) {
+  // A double-ownership add/remove changes who pays, not the topology: the
+  // engine must keep distances identical (and, per the invalidation
+  // contract, may keep the caches warm).
+  Rng rng(707);
+  const Game game = random_game(0, 6, rng);
+  StrategyProfile profile = random_profile(game, rng, 0.2);
+  int owner = -1, target = -1;
+  for (int u = 0; u < 6 && owner < 0; ++u)
+    for (int v = 0; v < 6 && owner < 0; ++v)
+      if (u != v && profile.buys(u, v) && !profile.buys(v, u)) {
+        owner = u;
+        target = v;
+      }
+  ASSERT_GE(owner, 0);
+  DeviationEngine engine(game, profile);
+  const double before = engine.distance_cost(target);
+  engine.apply_move(target, {MoveType::kAdd, -1, owner});  // double-own
+  EXPECT_DOUBLE_EQ(engine.distance_cost(target), before);
+  EXPECT_DOUBLE_EQ(engine.agent_cost(target),
+                   agent_cost(game, engine.profile(), target));
+  engine.apply_move(target, {MoveType::kDelete, owner, -1});
+  EXPECT_DOUBLE_EQ(engine.distance_cost(target), before);
+  EXPECT_TRUE(engine.profile() == profile);
+}
+
+}  // namespace
+}  // namespace gncg
