@@ -7,6 +7,7 @@
 // reach (repro band: pure graph algorithms, fast equilibrium search).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <string_view>
 #include <vector>
 
@@ -215,16 +216,37 @@ BENCHMARK(BM_BestResponseDynamics)->Arg(8)->Arg(12);
 // Custom main: `--smoke` runs every benchmark with minimal timing so CI can
 // exercise the whole suite (and surface perf regressions in its logs) in a
 // few seconds; all other flags pass through to google-benchmark.
+//
+// Non-optimized builds refuse to run unless --allow-debug is passed:
+// BENCH_engine.json was once recorded from a debug build, and numbers from
+// unoptimized binaries must never look recordable again.
 int main(int argc, char** argv) {
   std::vector<char*> args;
   bool smoke = false;
+  bool allow_debug = false;
   for (int i = 0; i < argc; ++i) {
     if (std::string_view(argv[i]) == "--smoke") {
       smoke = true;
       continue;
     }
+    if (std::string_view(argv[i]) == "--allow-debug") {
+      allow_debug = true;
+      continue;
+    }
     args.push_back(argv[i]);
   }
+#ifndef NDEBUG
+  if (!allow_debug) {
+    std::fprintf(stderr,
+                 "bench_kernels: refusing to benchmark a non-optimized build "
+                 "(NDEBUG is not set).\n"
+                 "Configure with -DCMAKE_BUILD_TYPE=Release, or pass "
+                 "--allow-debug for a non-recorded run.\n");
+    return 2;
+  }
+#else
+  (void)allow_debug;
+#endif
   static char min_time[] = "--benchmark_min_time=0.01";
   if (smoke) args.push_back(min_time);
   int filtered_argc = static_cast<int>(args.size());

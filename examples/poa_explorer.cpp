@@ -1,25 +1,40 @@
 // PoA explorer -- a small CLI over the equilibrium-search machinery.
 //
-// Usage:
-//   poa_explorer [model] [n] [alpha] [seeds]
-//     model : one-two | one-inf | tree | plane | metric | general (default
-//             metric)
-//     n     : number of agents (default 5; exact enumeration needs n <= 5)
-//     alpha : edge price factor (default 1.0)
-//     seeds : number of random instances (default 3)
+// Two modes:
 //
-// For each sampled instance the tool reports the exact (or sampled) Price
-// of Anarchy and Stability next to the paper's bound for that model class.
+// 1. Table mode (positional args, the original interface):
+//      poa_explorer [model] [n] [alpha] [seeds]
+//        model : one-two | one-inf | tree | plane | metric | general
+//                (default metric)
+//        n     : number of agents (default 5; exact enumeration needs n <= 5)
+//        alpha : edge price factor (default 1.0)
+//        seeds : number of random instances (default 3)
+//    For each sampled instance the tool reports the exact (or sampled) Price
+//    of Anarchy and Stability next to the paper's bound for that model class.
+//
+// 2. Sweep mode (flag args): scriptable large-n runs on the host-backend
+//    layer, one JSONL record per sweep point on stdout.
+//      poa_explorer --host <dense|lazy|euclidean|tree> --n <agents>
+//                   --seed <seed> [--alpha a] [--rounds r] [--agents k]
+//    Per round, the sweep scans `k` evenly spaced agents with the deviation
+//    engine's exact best-single-move, applies the improving moves, and
+//    emits {host, n, seed, alpha, round, social_cost, agents_scanned,
+//    agents_improved, elapsed_ms}.  Euclidean and tree hosts run implicitly
+//    (no O(n^2) matrix), so n in the thousands is fine:
+//      poa_explorer --host euclidean --n 4096 --seed 7 --rounds 3
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
 
+#include "core/deviation_engine.hpp"
 #include "core/equilibrium_search.hpp"
 #include "core/poa.hpp"
 #include "core/social_optimum.hpp"
 #include "metric/host_graph.hpp"
 #include "metric/tree.hpp"
 #include "support/table.hpp"
+#include "support/timer.hpp"
 
 using namespace gncg;
 
@@ -44,18 +59,7 @@ double paper_bound(const std::string& model, double alpha) {
   return paper::metric_poa(alpha);
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const std::string model = argc > 1 ? argv[1] : "metric";
-  const int n = argc > 2 ? std::atoi(argv[2]) : 5;
-  const double alpha = argc > 3 ? std::atof(argv[3]) : 1.0;
-  const int seeds = argc > 4 ? std::atoi(argv[4]) : 3;
-  if (n < 2 || alpha <= 0.0 || seeds < 1) {
-    std::cerr << "usage: poa_explorer [one-two|one-inf|tree|plane|metric|"
-                 "general] [n>=2] [alpha>0] [seeds>=1]\n";
-    return 1;
-  }
+int table_mode(const std::string& model, int n, double alpha, int seeds) {
   const bool exact = n <= 5;
 
   print_banner(std::cout, "PoA explorer: " + model + ", n=" +
@@ -98,4 +102,162 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
   return 0;
+}
+
+// --- sweep (JSONL) mode ---------------------------------------------------
+
+struct SweepOptions {
+  std::string host = "euclidean";
+  int n = 1024;
+  std::uint64_t seed = 1;
+  double alpha = 1.0;
+  int rounds = 3;
+  int agents = 64;  ///< agents scanned per round (evenly spaced)
+};
+
+/// Builds the requested host without ever materializing an O(n^2) matrix
+/// for the geometric kinds.  "dense"/"lazy" use the canonical random 1-2
+/// host (metric by construction, so no cubic repair pass at large n).
+Game sweep_game(const SweepOptions& options, Rng& rng) {
+  if (options.host == "tree")
+    return Game(HostGraph::from_tree(random_tree(options.n, rng, 1.0, 10.0)),
+                options.alpha);
+  if (options.host == "dense" || options.host == "lazy") {
+    auto host = random_one_two_host(options.n, 0.5, rng);
+    if (options.host == "lazy")
+      host = HostGraph::from_weights_lazy(host.weights(), ModelClass::kOneTwo);
+    return Game(std::move(host), options.alpha);
+  }
+  return Game(HostGraph::from_points(
+                  uniform_points(options.n, 2, 1000.0, rng), 2.0),
+              options.alpha);
+}
+
+/// Connected start profile with O(n) memory: a random recursive tree (node i
+/// buys an edge to a uniform earlier node).
+StrategyProfile sweep_start_profile(const Game& game, Rng& rng) {
+  StrategyProfile profile(game.node_count());
+  for (int v = 1; v < game.node_count(); ++v) {
+    const int u = static_cast<int>(rng.uniform_below(
+        static_cast<std::uint64_t>(v)));
+    profile.add_buy(v, u);
+  }
+  return profile;
+}
+
+double sweep_social_cost(DeviationEngine& engine) {
+  engine.warm_distances();
+  double total = 0.0;
+  for (int u = 0; u < engine.game().node_count(); ++u)
+    total += engine.agent_cost_warm(u);
+  return total;
+}
+
+int sweep_mode(const SweepOptions& options) {
+  if (options.host != "dense" && options.host != "lazy" &&
+      options.host != "euclidean" && options.host != "tree") {
+    std::cerr << "unknown --host " << options.host
+              << " (want dense|lazy|euclidean|tree)\n";
+    return 1;
+  }
+  if (options.n < 2 || options.alpha <= 0.0 || options.rounds < 1 ||
+      options.agents < 1) {
+    std::cerr << "invalid sweep options (need n>=2, alpha>0, rounds>=1, "
+                 "agents>=1)\n";
+    return 1;
+  }
+
+  Rng rng(options.seed);
+  Stopwatch construct_timer;
+  const Game game = sweep_game(options, rng);
+  DeviationEngine engine(game, sweep_start_profile(game, rng));
+  const double construct_ms = construct_timer.millis();
+
+  // Exactly min(agents, n) distinct agents, evenly spaced over the whole id
+  // range (u_i = i*n/agents is strictly increasing while agents <= n).
+  const int per_round = std::min(options.agents, options.n);
+  for (int round = 0; round < options.rounds; ++round) {
+    Stopwatch round_timer;
+    int scanned = 0;
+    int improved = 0;
+    engine.warm_distances();
+    for (int i = 0; i < per_round; ++i) {
+      const int u = static_cast<int>(
+          (static_cast<long long>(i) * options.n) / per_round);
+      ++scanned;
+      const auto result = engine.best_single_move(u);
+      if (result.improved) {
+        ++improved;
+        engine.apply_move(u, result.move);
+      }
+    }
+    const double social_cost = sweep_social_cost(engine);
+    std::printf(
+        "{\"host\":\"%s\",\"n\":%d,\"seed\":%llu,\"alpha\":%.17g,"
+        "\"round\":%d,\"social_cost\":%.17g,\"agents_scanned\":%d,"
+        "\"agents_improved\":%d,\"construct_ms\":%.3f,\"elapsed_ms\":%.3f}\n",
+        options.host.c_str(), options.n,
+        static_cast<unsigned long long>(options.seed), options.alpha, round,
+        social_cost, scanned, improved, round == 0 ? construct_ms : 0.0,
+        round_timer.millis());
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Flag mode: any --option switches to the JSONL sweep.
+  bool sweep = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]).rfind("--", 0) == 0) sweep = true;
+
+  if (sweep) {
+    const auto sweep_usage = [] {
+      std::cerr << "usage: poa_explorer --host <dense|lazy|euclidean|tree> "
+                   "--n <agents> --seed <seed> [--alpha a] [--rounds r] "
+                   "[--agents k]\n";
+    };
+    SweepOptions options;
+    for (int i = 1; i < argc; ++i) {
+      const std::string flag = argv[i];
+      if (flag == "--help" || flag == "-h") {
+        sweep_usage();
+        return 0;
+      }
+      if (i + 1 >= argc) {
+        std::cerr << "flag " << flag << " is missing its value\n";
+        sweep_usage();
+        return 1;
+      }
+      const std::string value = argv[++i];
+      if (flag == "--host") options.host = value;
+      else if (flag == "--n") options.n = std::atoi(value.c_str());
+      else if (flag == "--seed")
+        options.seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+      else if (flag == "--alpha") options.alpha = std::atof(value.c_str());
+      else if (flag == "--rounds") options.rounds = std::atoi(value.c_str());
+      else if (flag == "--agents") options.agents = std::atoi(value.c_str());
+      else {
+        std::cerr << "unknown flag " << flag << "\n";
+        sweep_usage();
+        return 1;
+      }
+    }
+    return sweep_mode(options);
+  }
+
+  const std::string model = argc > 1 ? argv[1] : "metric";
+  const int n = argc > 2 ? std::atoi(argv[2]) : 5;
+  const double alpha = argc > 3 ? std::atof(argv[3]) : 1.0;
+  const int seeds = argc > 4 ? std::atoi(argv[4]) : 3;
+  if (n < 2 || alpha <= 0.0 || seeds < 1) {
+    std::cerr << "usage: poa_explorer [one-two|one-inf|tree|plane|metric|"
+                 "general] [n>=2] [alpha>0] [seeds>=1]\n"
+              << "   or: poa_explorer --host <dense|lazy|euclidean|tree> "
+                 "--n <agents> --seed <seed>  (JSONL sweep mode)\n";
+    return 1;
+  }
+  return table_mode(model, n, alpha, seeds);
 }

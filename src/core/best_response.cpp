@@ -134,6 +134,9 @@ BestResponseResult run_exact_best_response(const Game& game,
   search.agent = u;
   search.incumbent = options.incumbent;
   search.first_improvement = options.first_improvement;
+  // Admissible pruning floor, served by the host backend's cached sums
+  // (eager-once closure on dense hosts, O(n)/O(n^2)-once geometric sums on
+  // implicit ones; see the host-backend query contract in ROADMAP.md).
   search.dist_lower_bound = game.host_distance_sum(u);
   search.current = NodeSet(game.node_count());
   search.result.strategy = NodeSet(game.node_count());

@@ -38,6 +38,12 @@
 // invalidated by any mutation.  `*_warm` members require `warm_distances()`
 // after the last mutation and are const + thread-safe, which is what the
 // dynamics scheduler's parallel proposal batching runs on.
+//
+// Host weights are queried per candidate through Game::weight, i.e. the
+// host-metric backend (metric/host_backend.hpp): stable, const and
+// thread-safe, O(1) on dense hosts and O(d)/O(1) on implicit geometric
+// ones -- which is what lets a euclidean n=4096 sweep run without any
+// O(n^2) host matrix existing.
 #pragma once
 
 #include <cstdint>

@@ -1,20 +1,10 @@
 #include "core/game.hpp"
 
-#include "graph/apsp.hpp"
-
 namespace gncg {
 
 Game::Game(HostGraph host, double alpha)
-    : host_(std::move(host)), alpha_(alpha), closure_(host_.weights()) {
+    : host_(std::move(host)), alpha_(alpha) {
   GNCG_CHECK(alpha > 0.0, "alpha must be positive, got " << alpha);
-  floyd_warshall(closure_);
-  const int n = host_.node_count();
-  closure_sums_.resize(static_cast<std::size_t>(n), 0.0);
-  for (int u = 0; u < n; ++u) {
-    double total = 0.0;
-    for (int v = 0; v < n; ++v) total += closure_.at(u, v);
-    closure_sums_[static_cast<std::size_t>(u)] = total;
-  }
 }
 
 StrategyProfile::StrategyProfile(int n) {

@@ -23,9 +23,11 @@
 
 namespace gncg {
 
-/// An immutable game instance: host graph + alpha.  Precomputes the host's
-/// shortest-path closure, which lower-bounds any built network's distances
-/// and powers the branch-and-bound in best response and optimum search.
+/// An immutable game instance: host graph + alpha.  Host shortest-path
+/// distances -- which lower-bound any built network's distances and power
+/// the branch-and-bound in best response and optimum search -- are served by
+/// the host's metric backend (dense closure computed once on first use;
+/// implicit geometric backends answer in O(d)/O(1) with no O(n^2) state).
 class Game {
  public:
   Game(HostGraph host, double alpha);
@@ -36,13 +38,14 @@ class Game {
   double weight(int u, int v) const { return host_.weight(u, v); }
 
   /// Shortest-path distance in the host graph (closure of the weights).
-  double host_distance(int u, int v) const { return closure_.at(u, v); }
-  const DistanceMatrix& host_closure() const { return closure_; }
+  double host_distance(int u, int v) const {
+    return host_.host_distance(u, v);
+  }
 
   /// Sum over v of host_distance(u, v): an admissible lower bound on any
-  /// strategy's distance cost for agent u.
+  /// strategy's distance cost for agent u (cached by the backend).
   double host_distance_sum(int u) const {
-    return closure_sums_[static_cast<std::size_t>(u)];
+    return host_.host_distance_sum(u);
   }
 
   /// True when agent u may buy the edge towards v (finite host weight).
@@ -53,8 +56,6 @@ class Game {
  private:
   HostGraph host_;
   double alpha_;
-  DistanceMatrix closure_;
-  std::vector<double> closure_sums_;
 };
 
 /// A strategy profile: one bought-set per agent.

@@ -11,6 +11,14 @@ namespace gncg {
 
 namespace {
 
+/// Host MST via the implicit-weight Prim: identical to running prim_mst on
+/// the materialized matrix, but backend-served hosts never materialize one.
+std::vector<Edge> host_mst(const Game& game) {
+  return prim_mst_over(game.node_count(), [&game](int u, int v) {
+    return game.weight(u, v);
+  });
+}
+
 /// Purchasable pairs of the host, sorted for stable enumeration.
 std::vector<Edge> purchasable_pairs(const Game& game) {
   std::vector<Edge> pairs;
@@ -88,7 +96,7 @@ NetworkDesign exact_social_optimum(const Game& game,
         static_cast<std::size_t>(game.node_count()));
     std::vector<double> dist;
     best_cost = mask_cost(game, pairs, best_mask, adjacency, dist);
-    const auto mst = prim_mst(game.host().weights());
+    const auto mst = host_mst(game);
     std::uint64_t mst_mask = 0;
     for (const auto& e : mst)
       for (std::size_t i = 0; i < p; ++i)
@@ -175,7 +183,7 @@ NetworkDesign tree_optimum(const Game& game) {
 }
 
 NetworkDesign mst_network(const Game& game) {
-  return design_from_edges(game, prim_mst(game.host().weights()));
+  return design_from_edges(game, host_mst(game));
 }
 
 NetworkDesign local_search_optimum(const Game& game,
@@ -183,7 +191,7 @@ NetworkDesign local_search_optimum(const Game& game,
   const auto pairs = purchasable_pairs(game);
   std::vector<char> selected(pairs.size(), 0);
   {
-    const auto mst = prim_mst(game.host().weights());
+    const auto mst = host_mst(game);
     for (const auto& e : mst)
       for (std::size_t i = 0; i < pairs.size(); ++i)
         if (pairs[i].u == e.u && pairs[i].v == e.v) selected[i] = 1;
@@ -218,7 +226,7 @@ NetworkDesign local_search_optimum(const Game& game,
 }
 
 double social_optimum_lower_bound(const Game& game) {
-  const auto mst = prim_mst(game.host().weights());
+  const auto mst = host_mst(game);
   double dist_floor = 0.0;
   for (int u = 0; u < game.node_count(); ++u)
     dist_floor += game.host_distance_sum(u);

@@ -16,15 +16,23 @@ DistanceMatrix network_distances(const Game& game,
   return apsp(g);
 }
 
+/// Stretch of `sub_dist` against the host closure, queried pairwise from
+/// the host backend instead of a materialized closure matrix.
+double stretch_vs_host(const Game& game, const DistanceMatrix& sub_dist) {
+  return max_stretch_over(
+      game.node_count(),
+      [&game](int u, int v) { return game.host_distance(u, v); }, sub_dist);
+}
+
 }  // namespace
 
 double profile_stretch(const Game& game, const StrategyProfile& s) {
   const WeightedGraph g = built_graph(game, s);
-  return max_stretch(game.host_closure(), apsp(g));
+  return stretch_vs_host(game, apsp(g));
 }
 
 double network_stretch(const Game& game, const std::vector<Edge>& network) {
-  return max_stretch(game.host_closure(), network_distances(game, network));
+  return stretch_vs_host(game, network_distances(game, network));
 }
 
 double max_pair_sigma(const Game& game, const StrategyProfile& equilibrium,

@@ -24,13 +24,46 @@ DistanceMatrix apsp(const WeightedGraph& g) {
 void floyd_warshall(DistanceMatrix& m) {
   const int n = m.size();
   for (int k = 0; k < n; ++k) {
+    const double* row_k = m.row(k);
     for (int i = 0; i < n; ++i) {
       const double dik = m.at(i, k);
       if (!(dik < kInf)) continue;
+      double* row_i = m.row(i);
       for (int j = 0; j < n; ++j) {
-        const double through = dik + m.at(k, j);
-        if (through < m.at(i, j)) m.at(i, j) = through;
+        const double through = dik + row_k[j];
+        if (through < row_i[j]) row_i[j] = through;
       }
+    }
+  }
+}
+
+void closure_row(const DistanceMatrix& weights, int src,
+                 std::vector<double>& out) {
+  const int n = weights.size();
+  GNCG_CHECK(src >= 0 && src < n, "closure_row source out of range");
+  out.assign(static_cast<std::size_t>(n), kInf);
+  std::vector<char> done(static_cast<std::size_t>(n), 0);
+  out[static_cast<std::size_t>(src)] = 0.0;
+  for (int round = 0; round < n; ++round) {
+    int u = -1;
+    double best = kInf;
+    for (int v = 0; v < n; ++v) {
+      if (!done[static_cast<std::size_t>(v)] &&
+          out[static_cast<std::size_t>(v)] < best) {
+        best = out[static_cast<std::size_t>(v)];
+        u = v;
+      }
+    }
+    if (u < 0) break;  // remaining nodes unreachable
+    done[static_cast<std::size_t>(u)] = 1;
+    const double* row_u = weights.row(u);
+    for (int v = 0; v < n; ++v) {
+      if (done[static_cast<std::size_t>(v)]) continue;
+      const double w = row_u[v];
+      if (!(w < kInf)) continue;
+      const double through = best + w;
+      if (through < out[static_cast<std::size_t>(v)])
+        out[static_cast<std::size_t>(v)] = through;
     }
   }
 }

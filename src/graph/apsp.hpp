@@ -1,11 +1,17 @@
 // All-pairs shortest paths.
 //
-// Two strategies, both exposed because they are useful at different scales:
+// Three strategies, all exposed because they are useful at different scales:
 //  * `apsp(graph)` -- n Dijkstra runs fanned out over the worker pool
 //    (O(n * m log n)); the default for the sparse game networks.
 //  * `floyd_warshall(matrix)` -- in-place O(n^3) closure of a dense weight
 //    matrix; used for metric repair / metric closure of host weights.
+//  * `closure_row(matrix, src, out)` -- one row of the closure in O(n^2)
+//    (array-based Dijkstra, no heap: optimal on complete graphs).  The
+//    lazy-closure host backend serves d_H(u, .) queries from this without
+//    ever paying the full cubic closure.
 #pragma once
+
+#include <vector>
 
 #include "graph/distance_matrix.hpp"
 #include "graph/weighted_graph.hpp"
@@ -19,5 +25,11 @@ DistanceMatrix apsp(const WeightedGraph& g);
 /// Entries may be kInf (absent edges).  After the call, m(u, v) is the
 /// shortest-path distance in the graph whose edge weights were m.
 void floyd_warshall(DistanceMatrix& m);
+
+/// Fills `out` with row `src` of the shortest-path closure of `weights`
+/// without touching any other row: dense O(n^2) Dijkstra over the complete
+/// graph described by the matrix (kInf entries are forbidden edges).
+void closure_row(const DistanceMatrix& weights, int src,
+                 std::vector<double>& out);
 
 }  // namespace gncg

@@ -4,6 +4,8 @@
 // closures.  Storage is a flat row-major n*n vector of doubles.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <vector>
 
 #include "graph/weighted_graph.hpp"
@@ -25,9 +27,49 @@ class DistanceMatrix {
                      fill) {
     GNCG_CHECK(n >= 0, "matrix size must be non-negative");
     for (int v = 0; v < n; ++v) at(v, v) = 0.0;
+    note_allocation();
   }
 
+  // Copies are counted by the allocation probe (a copied matrix is a fresh
+  // O(n^2) buffer); moves transfer an existing buffer and are not.
+  DistanceMatrix(const DistanceMatrix& other)
+      : n_(other.n_), data_(other.data_) {
+    note_allocation();
+  }
+  DistanceMatrix& operator=(const DistanceMatrix& other) {
+    if (this != &other) {
+      n_ = other.n_;
+      data_ = other.data_;
+      note_allocation();
+    }
+    return *this;
+  }
+  DistanceMatrix(DistanceMatrix&&) = default;
+  DistanceMatrix& operator=(DistanceMatrix&&) = default;
+
   int size() const { return n_; }
+
+  /// Process-wide count of matrix cells ever allocated (constructions and
+  /// copies; moves excluded).  Tests and benches snapshot this around
+  /// implicit-backend workloads to prove that no O(n^2) host weight or
+  /// closure matrix is materialized on those paths.
+  static std::uint64_t allocated_cells_total() {
+    return allocated_cells_.load(std::memory_order_relaxed);
+  }
+
+  /// Contiguous row of u (n doubles); stable while the matrix is alive and
+  /// unresized.  Lets closure kernels and backends stream a row without
+  /// per-entry index arithmetic.
+  const double* row(int u) const {
+    GNCG_DASSERT(in_range(u));
+    return data_.data() +
+           static_cast<std::size_t>(u) * static_cast<std::size_t>(n_);
+  }
+  double* row(int u) {
+    GNCG_DASSERT(in_range(u));
+    return data_.data() +
+           static_cast<std::size_t>(u) * static_cast<std::size_t>(n_);
+  }
 
   double& at(int u, int v) {
     GNCG_DASSERT(in_range(u) && in_range(v));
@@ -82,6 +124,16 @@ class DistanceMatrix {
 
  private:
   bool in_range(int v) const { return v >= 0 && v < n_; }
+
+  void note_allocation() const {
+    if (n_ > 0) {
+      allocated_cells_.fetch_add(
+          static_cast<std::uint64_t>(n_) * static_cast<std::uint64_t>(n_),
+          std::memory_order_relaxed);
+    }
+  }
+
+  static inline std::atomic<std::uint64_t> allocated_cells_{0};
 
   int n_ = 0;
   std::vector<double> data_;

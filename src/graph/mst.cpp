@@ -23,8 +23,8 @@ std::vector<Edge> kruskal_mst(const WeightedGraph& g) {
   return tree;
 }
 
-std::vector<Edge> prim_mst(const DistanceMatrix& weights) {
-  const int n = weights.size();
+std::vector<Edge> prim_mst_over(
+    int n, const std::function<double(int, int)>& weight_fn) {
   std::vector<Edge> tree;
   if (n <= 1) return tree;
   std::vector<char> in_tree(static_cast<std::size_t>(n), 0);
@@ -46,12 +46,11 @@ std::vector<Edge> prim_mst(const DistanceMatrix& weights) {
     in_tree[static_cast<std::size_t>(u)] = 1;
     if (link[static_cast<std::size_t>(u)] >= 0) {
       const int p = link[static_cast<std::size_t>(u)];
-      tree.push_back(
-          {std::min(p, u), std::max(p, u), weights.at(p, u)});
+      tree.push_back({std::min(p, u), std::max(p, u), weight_fn(p, u)});
     }
     for (int v = 0; v < n; ++v) {
       if (in_tree[static_cast<std::size_t>(v)] || v == u) continue;
-      const double w = weights.at(u, v);
+      const double w = weight_fn(u, v);
       if (w < best[static_cast<std::size_t>(v)]) {
         best[static_cast<std::size_t>(v)] = w;
         link[static_cast<std::size_t>(v)] = u;
@@ -59,6 +58,12 @@ std::vector<Edge> prim_mst(const DistanceMatrix& weights) {
     }
   }
   return tree;
+}
+
+std::vector<Edge> prim_mst(const DistanceMatrix& weights) {
+  return prim_mst_over(weights.size(), [&weights](int u, int v) {
+    return weights.at(u, v);
+  });
 }
 
 double edge_list_weight(const std::vector<Edge>& edges) {

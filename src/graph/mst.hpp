@@ -5,6 +5,7 @@
 // social-optimum local-search heuristic.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "graph/distance_matrix.hpp"
@@ -19,6 +20,14 @@ std::vector<Edge> kruskal_mst(const WeightedGraph& g);
 /// (O(n^2), optimal for complete graphs).  Entries of kInf are treated as
 /// forbidden edges; contract-checks that a spanning tree exists.
 std::vector<Edge> prim_mst(const DistanceMatrix& weights);
+
+/// Prim over an *implicit* complete host: `weight_fn(u, v)` returns the edge
+/// weight (kInf = forbidden).  Same algorithm, scan order and tie-breaking
+/// as the matrix overload, so both agree exactly; this is what host-backend
+/// consumers (social optimum seeding on geometric hosts) call to avoid
+/// materializing an O(n^2) matrix.
+std::vector<Edge> prim_mst_over(
+    int n, const std::function<double(int, int)>& weight_fn);
 
 /// Total weight of an edge list.
 double edge_list_weight(const std::vector<Edge>& edges);

@@ -9,15 +9,14 @@
 
 namespace gncg {
 
-double max_stretch(const DistanceMatrix& host_dist,
-                   const DistanceMatrix& sub_dist) {
-  GNCG_CHECK(host_dist.size() == sub_dist.size(),
-             "stretch: dimension mismatch");
-  const int n = host_dist.size();
+double max_stretch_over(int n,
+                        const std::function<double(int, int)>& host_dist_fn,
+                        const DistanceMatrix& sub_dist) {
+  GNCG_CHECK(sub_dist.size() == n, "stretch: dimension mismatch");
   double worst = 1.0;
   for (int u = 0; u < n; ++u) {
     for (int v = u + 1; v < n; ++v) {
-      const double dh = host_dist.at(u, v);
+      const double dh = host_dist_fn(u, v);
       const double ds = sub_dist.at(u, v);
       if (dh == 0.0) {
         if (ds > 0.0) return kInf;
@@ -29,6 +28,15 @@ double max_stretch(const DistanceMatrix& host_dist,
     }
   }
   return worst;
+}
+
+double max_stretch(const DistanceMatrix& host_dist,
+                   const DistanceMatrix& sub_dist) {
+  GNCG_CHECK(host_dist.size() == sub_dist.size(),
+             "stretch: dimension mismatch");
+  return max_stretch_over(
+      host_dist.size(),
+      [&host_dist](int u, int v) { return host_dist.at(u, v); }, sub_dist);
 }
 
 bool is_k_spanner(const DistanceMatrix& host_dist,

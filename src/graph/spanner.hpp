@@ -15,6 +15,7 @@
 // small.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "graph/distance_matrix.hpp"
@@ -27,6 +28,13 @@ namespace gncg {
 /// Returns kInf when the subgraph disconnects any pair the host connects.
 double max_stretch(const DistanceMatrix& host_dist,
                    const DistanceMatrix& sub_dist);
+
+/// Same kernel over an *implicit* host metric: `host_dist_fn(u, v)` returns
+/// d_host(u, v).  Host-backend consumers (spanner_bounds) use this so
+/// geometric hosts never materialize a closure matrix.
+double max_stretch_over(int n,
+                        const std::function<double(int, int)>& host_dist_fn,
+                        const DistanceMatrix& sub_dist);
 
 /// True when sub is a k-spanner of host: d_sub <= k * d_host for all pairs
 /// (with an eps slack for float comparisons).

@@ -21,7 +21,27 @@ std::string model_name(ModelClass model) {
   return "?";
 }
 
-HostGraph HostGraph::from_weights(DistanceMatrix weights, ModelClass declared) {
+std::optional<ModelClass> model_from_name(const std::string& name) {
+  for (ModelClass model :
+       {ModelClass::kNCG, ModelClass::kOneTwo, ModelClass::kOneInf,
+        ModelClass::kTree, ModelClass::kEuclidean, ModelClass::kMetric,
+        ModelClass::kGeneral}) {
+    if (model_name(model) == name) return model;
+  }
+  return std::nullopt;
+}
+
+HostGraph::HostGraph(std::shared_ptr<const HostBackend> backend,
+                     ModelClass declared)
+    : backend_(std::move(backend)),
+      dense_weights_(backend_->dense_weights()),
+      n_(backend_->node_count()),
+      declared_(declared) {
+  if (dense_weights_ == nullptr)
+    materialized_ = std::make_shared<MaterializedWeights>();
+}
+
+DistanceMatrix HostGraph::validated(DistanceMatrix weights) {
   const int n = weights.size();
   GNCG_CHECK(n >= 1, "host graph needs at least one node");
   for (int u = 0; u < n; ++u) {
@@ -35,38 +55,64 @@ HostGraph HostGraph::from_weights(DistanceMatrix weights, ModelClass declared) {
                  "host weights must be symmetric at (" << u << "," << v << ")");
     }
   }
-  return HostGraph(std::move(weights), declared);
+  return weights;
+}
+
+HostGraph HostGraph::from_weights(DistanceMatrix weights, ModelClass declared) {
+  return HostGraph(make_dense_backend(validated(std::move(weights))),
+                   declared);
+}
+
+HostGraph HostGraph::from_weights_lazy(DistanceMatrix weights,
+                                       ModelClass declared) {
+  return HostGraph(make_lazy_closure_backend(validated(std::move(weights))),
+                   declared);
 }
 
 HostGraph HostGraph::from_tree(const WeightedTree& tree) {
-  HostGraph host(tree.metric_closure(), ModelClass::kTree);
+  HostGraph host(make_tree_backend(tree), ModelClass::kTree);
   host.tree_edges_ = tree.edges();
   return host;
 }
 
 HostGraph HostGraph::from_points(const PointSet& points, double p) {
-  HostGraph host(points.distance_matrix(p), ModelClass::kEuclidean);
-  host.points_ = points;
-  host.norm_p_ = p;
-  return host;
+  return HostGraph(make_euclidean_backend(points, p), ModelClass::kEuclidean);
+}
+
+const PointSet* HostGraph::points() const {
+  const auto* euclidean =
+      dynamic_cast<const EuclideanHostBackend*>(backend_.get());
+  return euclidean != nullptr ? &euclidean->points() : nullptr;
+}
+
+std::optional<double> HostGraph::norm_p() const {
+  const auto* euclidean =
+      dynamic_cast<const EuclideanHostBackend*>(backend_.get());
+  if (euclidean == nullptr) return std::nullopt;
+  return euclidean->norm_p();
 }
 
 HostGraph HostGraph::unit(int n) {
+  GNCG_CHECK(n >= 1, "host graph needs at least one node");
   DistanceMatrix weights(n, 1.0);
-  return HostGraph(std::move(weights), ModelClass::kNCG);
+  return HostGraph(make_dense_backend(std::move(weights)), ModelClass::kNCG);
 }
 
 HostGraph HostGraph::one_inf_from_graph(const WeightedGraph& g) {
   const int n = g.node_count();
+  GNCG_CHECK(n >= 1, "host graph needs at least one node");
   DistanceMatrix weights(n, kInf);
   for (const auto& e : g.edges()) weights.set_symmetric(e.u, e.v, 1.0);
-  return HostGraph(std::move(weights), ModelClass::kOneInf);
+  return HostGraph(make_dense_backend(std::move(weights)),
+                   ModelClass::kOneInf);
 }
 
-DistanceMatrix HostGraph::shortest_path_closure() const {
-  DistanceMatrix closure = weights_;
-  floyd_warshall(closure);
-  return closure;
+const DistanceMatrix& HostGraph::weights() const {
+  if (dense_weights_ != nullptr) return *dense_weights_;
+  std::call_once(materialized_->once, [this] {
+    materialized_->matrix = backend_->materialize_weights();
+  });
+  return materialized_->matrix;
 }
 
 bool HostGraph::is_metric(double eps) const {

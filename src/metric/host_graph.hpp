@@ -8,16 +8,24 @@
 //   T-GNCG (tree metric closure)           -> M-GNCG -> GNCG
 //   Rd-GNCG (p-norm points)                -> M-GNCG -> GNCG
 //
-// A HostGraph stores a complete symmetric weight matrix (kInf encodes
-// forbidden edges as in the 1-inf model), its declared model class, and
-// optional provenance (the generating point set or tree) so experiments can
-// report where an instance came from.
+// A HostGraph is a cheap shared handle over a HostBackend (see
+// metric/host_backend.hpp): dense hosts keep the materialized symmetric
+// weight matrix of the seed implementation (kInf encodes forbidden edges as
+// in the 1-inf model), while geometric hosts (point sets, tree metrics)
+// serve weights and host distances implicitly and never allocate an O(n^2)
+// matrix.  The declared model class and the generating provenance (point
+// set / tree) ride along so experiments can report where an instance came
+// from, and copying a HostGraph -- which Game does by value -- shares the
+// backend instead of duplicating matrices.
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 
 #include "graph/distance_matrix.hpp"
+#include "metric/host_backend.hpp"
 #include "metric/points.hpp"
 #include "metric/tree.hpp"
 #include "support/rng.hpp"
@@ -38,19 +46,30 @@ enum class ModelClass {
 /// Human-readable model name ("1-2-GNCG", "T-GNCG", ...).
 std::string model_name(ModelClass model);
 
+/// Inverse of model_name; nullopt for unknown names.
+std::optional<ModelClass> model_from_name(const std::string& name);
+
 /// Complete weighted host graph with model metadata.
 class HostGraph {
  public:
-  /// Builds from an explicit weight matrix.  Contract-checks symmetry, a
-  /// zero diagonal and non-negative entries.  `declared` records how the
-  /// instance was generated (defaults to the general model).
+  /// Builds a dense-backend host from an explicit weight matrix.
+  /// Contract-checks symmetry, a zero diagonal and non-negative entries.
+  /// `declared` records how the instance was generated (defaults to the
+  /// general model).
   static HostGraph from_weights(DistanceMatrix weights,
                                 ModelClass declared = ModelClass::kGeneral);
 
-  /// Metric closure of a weighted tree (the T-GNCG host).
+  /// Like from_weights, but closure rows are Dijkstra'd on demand instead of
+  /// paying the eager O(n^3) Floyd-Warshall (see LazyClosureHostBackend).
+  static HostGraph from_weights_lazy(
+      DistanceMatrix weights, ModelClass declared = ModelClass::kGeneral);
+
+  /// Metric closure of a weighted tree (the T-GNCG host).  Implicit
+  /// tree-metric backend: no O(n^2) matrix is materialized.
   static HostGraph from_tree(const WeightedTree& tree);
 
-  /// p-norm distances between points (the Rd-GNCG host).
+  /// p-norm distances between points (the Rd-GNCG host).  Implicit
+  /// euclidean backend: no O(n^2) matrix is materialized.
   static HostGraph from_points(const PointSet& points, double p);
 
   /// The original NCG: an unweighted clique (all weights 1).
@@ -60,15 +79,43 @@ class HostGraph {
   /// edge get weight 1, everything else weight inf (cannot be bought).
   static HostGraph one_inf_from_graph(const WeightedGraph& g);
 
-  int node_count() const { return weights_.size(); }
-  double weight(int u, int v) const { return weights_.at(u, v); }
-  const DistanceMatrix& weights() const { return weights_; }
+  int node_count() const { return n_; }
+
+  /// Host edge weight w(u, v).  Branch-free matrix read on dense backends;
+  /// O(d) / O(1) computation on implicit ones.
+  double weight(int u, int v) const {
+    return dense_weights_ != nullptr ? dense_weights_->at(u, v)
+                                     : backend_->weight(u, v);
+  }
+
+  /// Shortest-path distance d_H(u, v) in the host (== weight on metric
+  /// backends; closure row / matrix on dense ones, computed on first use).
+  double host_distance(int u, int v) const {
+    return backend_->host_distance(u, v);
+  }
+
+  /// Sum over v of host_distance(u, v) -- the admissible lower bound on any
+  /// network's distance cost for agent u, served from the backend's cache.
+  double host_distance_sum(int u) const {
+    return backend_->host_distance_sum(u);
+  }
+
+  const HostBackend& backend() const { return *backend_; }
+  HostBackendKind backend_kind() const { return backend_->kind(); }
+
+  /// Dense weight matrix view.  On dense backends this is the backing
+  /// matrix; on implicit backends the matrix is materialized (O(n^2)) once
+  /// and cached -- a small-n escape hatch for matrix-shaped consumers
+  /// (spanner construction, tests).  Large-n implicit workloads must not
+  /// call this.
+  const DistanceMatrix& weights() const;
+
   ModelClass declared_model() const { return declared_; }
 
-  /// Sum over all ordered pairs of d_H(u,v) -- the admissible lower bound on
-  /// any network's total distance cost (any subgraph distance >= the host
-  /// shortest-path distance).  Cached on first use by callers.
-  DistanceMatrix shortest_path_closure() const;
+  /// Full shortest-path closure matrix (O(n^2) memory; small-n only).
+  DistanceMatrix shortest_path_closure() const {
+    return backend_->materialize_closure();
+  }
 
   /// True when all finite weights satisfy the triangle inequality (pairs
   /// with infinite weight are exempt: such edges are forbidden, not long).
@@ -83,21 +130,36 @@ class HostGraph {
   /// distinguish tree/euclidean provenance; those stay kMetric).
   ModelClass classify(double eps = 1e-9) const;
 
-  /// Provenance accessors (present when built by the respective factory).
-  const std::optional<PointSet>& points() const { return points_; }
-  std::optional<double> norm_p() const { return norm_p_; }
+  /// Generating point set, served from the euclidean backend (nullptr for
+  /// every other backend -- the backend's copy is the single source of
+  /// truth).
+  const PointSet* points() const;
+  std::optional<double> norm_p() const;
+
+  /// Generating tree edges (present when built by from_tree; the backend
+  /// keeps only LCA tables, so the edge list lives here).
   const std::optional<std::vector<Edge>>& tree_edges() const {
     return tree_edges_;
   }
 
  private:
-  explicit HostGraph(DistanceMatrix weights, ModelClass declared)
-      : weights_(std::move(weights)), declared_(declared) {}
+  HostGraph(std::shared_ptr<const HostBackend> backend, ModelClass declared);
 
-  DistanceMatrix weights_;
+  static DistanceMatrix validated(DistanceMatrix weights);
+
+  std::shared_ptr<const HostBackend> backend_;
+  const DistanceMatrix* dense_weights_ = nullptr;  ///< into backend_, if dense
+  int n_ = 0;
   ModelClass declared_;
-  std::optional<PointSet> points_;
-  std::optional<double> norm_p_;
+
+  /// Lazily materialized weight matrix for implicit backends (shared across
+  /// HostGraph copies; filled at most once).
+  struct MaterializedWeights {
+    std::once_flag once;
+    DistanceMatrix matrix;
+  };
+  std::shared_ptr<MaterializedWeights> materialized_;
+
   std::optional<std::vector<Edge>> tree_edges_;
 };
 

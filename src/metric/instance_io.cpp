@@ -1,10 +1,12 @@
 #include "metric/instance_io.hpp"
 
+#include <cmath>
 #include <istream>
 #include <limits>
 #include <ostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "support/assert.hpp"
 
@@ -37,31 +39,20 @@ std::string format_weight(double w) {
   return os.str();
 }
 
-}  // namespace
-
-void save_host(std::ostream& os, const HostGraph& host) {
-  const int n = host.node_count();
-  os << "gncg-host 1\n";
-  os << "# complete weighted host graph, " << model_name(host.declared_model())
-     << "\n";
-  os << "n " << n << "\n";
-  for (int u = 0; u < n; ++u)
-    for (int v = u + 1; v < n; ++v)
-      os << "w " << u << ' ' << v << ' ' << format_weight(host.weight(u, v))
-         << "\n";
-}
-
-HostGraph load_host(std::istream& is) {
-  std::string line;
-  GNCG_CHECK(next_line(is, line) && line.rfind("gncg-host", 0) == 0,
-             "missing gncg-host header");
+/// Reads "n <count>" from the next content line.
+int read_node_count(std::istream& is, std::string& line) {
   GNCG_CHECK(next_line(is, line) && line.rfind("n ", 0) == 0,
              "missing node count");
   const int n = std::stoi(line.substr(2));
   GNCG_CHECK(n >= 1, "invalid node count " << n);
+  return n;
+}
 
+/// Shared "w" pair-list parser (v1 body and the v2 dense/lazy payload).
+DistanceMatrix read_weight_lines(std::istream& is, std::string& line, int n) {
   DistanceMatrix weights(n, kInf);
-  std::vector<char> seen(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0);
+  std::vector<char> seen(
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0);
   while (next_line(is, line)) {
     std::istringstream tokens(line);
     std::string tag, weight_token;
@@ -84,7 +75,153 @@ HostGraph load_host(std::istream& is) {
       GNCG_CHECK(seen[index],
                  "host file misses pair (" << u << "," << v << ")");
     }
-  return HostGraph::from_weights(std::move(weights));
+  return weights;
+}
+
+HostGraph load_host_v2(std::istream& is, std::string& line) {
+  GNCG_CHECK(next_line(is, line) && line.rfind("backend ", 0) == 0,
+             "missing backend line");
+  const std::string backend = line.substr(8);
+  GNCG_CHECK(next_line(is, line) && line.rfind("model ", 0) == 0,
+             "missing model line");
+  const auto model = model_from_name(line.substr(6));
+  GNCG_CHECK(model.has_value(), "unknown model name in host file: " << line);
+
+  if (backend == "euclidean") {
+    // from_points always declares Rd-GNCG; a file claiming otherwise is
+    // inconsistent, not silently rewritable.
+    GNCG_CHECK(*model == ModelClass::kEuclidean,
+               "euclidean backend requires model "
+                   << model_name(ModelClass::kEuclidean) << ", file says "
+                   << model_name(*model));
+    GNCG_CHECK(next_line(is, line) && line.rfind("p ", 0) == 0,
+               "missing norm line");
+    const double p = parse_weight(line.substr(2));
+    GNCG_CHECK(next_line(is, line) && line.rfind("dim ", 0) == 0,
+               "missing dim line");
+    const int dim = std::stoi(line.substr(4));
+    GNCG_CHECK(dim >= 1, "invalid point dimension " << dim);
+    const int n = read_node_count(is, line);
+    PointSet points(n, dim);
+    std::vector<char> seen(static_cast<std::size_t>(n), 0);
+    while (next_line(is, line)) {
+      std::istringstream tokens(line);
+      std::string tag;
+      int i = -1;
+      tokens >> tag >> i;
+      GNCG_CHECK(tag == "point" && tokens, "malformed point line: " << line);
+      GNCG_CHECK(i >= 0 && i < n, "point index out of range: " << line);
+      GNCG_CHECK(!seen[static_cast<std::size_t>(i)],
+                 "duplicate point in host file: " << line);
+      seen[static_cast<std::size_t>(i)] = 1;
+      for (int k = 0; k < dim; ++k) {
+        std::string coord;
+        tokens >> coord;
+        GNCG_CHECK(tokens, "point line has too few coordinates: " << line);
+        const double value = parse_weight(coord);
+        // Coordinates may be negative but must be finite: a NaN/inf here
+        // would silently poison every weight, unlike the dense path where
+        // HostGraph::validated rejects such entries.
+        GNCG_CHECK(std::isfinite(value),
+                   "non-finite point coordinate: " << line);
+        points.set_coord(i, k, value);
+      }
+    }
+    for (int i = 0; i < n; ++i)
+      GNCG_CHECK(seen[static_cast<std::size_t>(i)],
+                 "host file misses point " << i);
+    return HostGraph::from_points(points, p);
+  }
+
+  if (backend == "tree") {
+    GNCG_CHECK(*model == ModelClass::kTree,
+               "tree backend requires model "
+                   << model_name(ModelClass::kTree) << ", file says "
+                   << model_name(*model));
+    const int n = read_node_count(is, line);
+    std::vector<Edge> edges;
+    while (next_line(is, line)) {
+      std::istringstream tokens(line);
+      std::string tag, weight_token;
+      int u = -1, v = -1;
+      tokens >> tag >> u >> v >> weight_token;
+      GNCG_CHECK(tag == "tedge" && tokens, "malformed tree line: " << line);
+      GNCG_CHECK(u >= 0 && u < n && v >= 0 && v < n && u != v,
+                 "tree edge out of range: " << line);
+      edges.push_back({u, v, parse_weight(weight_token)});
+    }
+    return HostGraph::from_tree(WeightedTree(n, std::move(edges)));
+  }
+
+  GNCG_CHECK(backend == "dense" || backend == "lazy",
+             "unknown backend in host file: " << backend);
+  const int n = read_node_count(is, line);
+  DistanceMatrix weights = read_weight_lines(is, line, n);
+  return backend == "lazy"
+             ? HostGraph::from_weights_lazy(std::move(weights), *model)
+             : HostGraph::from_weights(std::move(weights), *model);
+}
+
+}  // namespace
+
+void save_host(std::ostream& os, const HostGraph& host) {
+  const int n = host.node_count();
+  os << "gncg-host 2\n";
+  os << "# complete weighted host graph, " << model_name(host.declared_model())
+     << "\n";
+  os << "backend " << backend_name(host.backend_kind()) << "\n";
+  os << "model " << model_name(host.declared_model()) << "\n";
+
+  if (host.backend_kind() == HostBackendKind::kEuclidean) {
+    const PointSet* points = host.points();
+    GNCG_CHECK(points != nullptr && host.norm_p().has_value(),
+               "euclidean host lost its point provenance");
+    os << "p " << format_weight(*host.norm_p()) << "\n";
+    os << "dim " << points->dim() << "\n";
+    os << "n " << n << "\n";
+    std::ostringstream coords;
+    coords.precision(17);
+    for (int i = 0; i < n; ++i) {
+      coords.str("");
+      coords << "point " << i;
+      for (int k = 0; k < points->dim(); ++k)
+        coords << ' ' << points->coord(i, k);
+      os << coords.str() << "\n";
+    }
+    return;
+  }
+
+  if (host.backend_kind() == HostBackendKind::kTree) {
+    const auto& edges = host.tree_edges();
+    GNCG_CHECK(edges.has_value(), "tree host lost its tree provenance");
+    os << "n " << n << "\n";
+    for (const auto& e : *edges)
+      os << "tedge " << e.u << ' ' << e.v << ' ' << format_weight(e.weight)
+         << "\n";
+    return;
+  }
+
+  os << "n " << n << "\n";
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v)
+      os << "w " << u << ' ' << v << ' ' << format_weight(host.weight(u, v))
+         << "\n";
+}
+
+HostGraph load_host(std::istream& is) {
+  std::string line;
+  GNCG_CHECK(next_line(is, line) && line.rfind("gncg-host", 0) == 0,
+             "missing gncg-host header");
+  std::istringstream header(line);
+  std::string tag;
+  int version = 0;
+  header >> tag >> version;
+  GNCG_CHECK(version == 1 || version == 2,
+             "unsupported gncg-host version: " << line);
+  if (version == 2) return load_host_v2(is, line);
+
+  const int n = read_node_count(is, line);
+  return HostGraph::from_weights(read_weight_lines(is, line, n));
 }
 
 void save_profile(std::ostream& os, const StrategyProfile& profile) {

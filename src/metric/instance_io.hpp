@@ -1,15 +1,25 @@
 // Plain-text serialization of game instances and strategy profiles.
 //
-// Format (line oriented, '#' comments allowed):
-//   gncg-host 1            # header + version
+// Hosts (version 2; version 1 files still load):
+//   gncg-host 2            # header + version
+//   backend <dense|lazy|euclidean|tree>
+//   model <model-name>     # declared model (model_name token, e.g. T-GNCG)
 //   n <count>
-//   w <u> <v> <weight>     # one line per unordered pair; "inf" allowed
-//   ...
-// and for profiles:
+// followed by a backend-specific payload:
+//   * dense / lazy:  one "w <u> <v> <weight>" line per unordered pair
+//                    ("inf" allowed);
+//   * euclidean:     "p <norm|inf>", "dim <d>", then one
+//                    "point <i> <x0> ... <x_{d-1}>" line per point;
+//   * tree:          one "tedge <u> <v> <weight>" line per tree edge.
+// Geometric hosts round-trip their *provenance* (point set / tree), not the
+// expanded O(n^2) matrix: a loaded euclidean or tree host reconstructs the
+// same implicit backend, bit-identical weights included (coordinates and
+// weights are printed with round-trip precision).
+//
+// Profiles:
 //   gncg-profile 1
 //   n <count>
 //   buy <owner> <target>
-//   ...
 // Deterministic round-trips make experiment configurations shareable and
 // let the CLI tools consume externally generated instances.
 #pragma once
@@ -21,11 +31,13 @@
 
 namespace gncg {
 
-/// Writes the host's complete weight matrix.
+/// Writes the host in the version-2 format above: provenance payload for
+/// geometric backends, the complete weight matrix otherwise.
 void save_host(std::ostream& os, const HostGraph& host);
 
-/// Parses a host written by save_host.  Contract-fails on malformed input
-/// (bad header, missing pairs, asymmetric duplicates).
+/// Parses a host written by save_host (version 1 or 2), reconstructing the
+/// recorded backend kind.  Contract-fails on malformed input (bad header,
+/// missing pairs, asymmetric duplicates, unknown backend).
 HostGraph load_host(std::istream& is);
 
 /// Writes a strategy profile (ownership list).

@@ -90,6 +90,13 @@ double PointSet::distance(int a, int b, double p) const {
   return std::pow(total, 1.0 / p);
 }
 
+void PointSet::distances_from(int a, double p, std::vector<double>& out) const {
+  GNCG_CHECK(a >= 0 && a < n_, "point index out of range");
+  out.resize(static_cast<std::size_t>(n_));
+  for (int b = 0; b < n_; ++b)
+    out[static_cast<std::size_t>(b)] = b == a ? 0.0 : distance(a, b, p);
+}
+
 DistanceMatrix PointSet::distance_matrix(double p) const {
   DistanceMatrix m(n_, 0.0);
   for (int a = 0; a < n_; ++a)

@@ -36,6 +36,11 @@ class PointSet {
   /// p-norm distance between points a and b (p >= 1 or kPNormInf).
   double distance(int a, int b, double p) const;
 
+  /// Fills `out` with the distances from point a to every point (out[a] = 0),
+  /// in index order.  One row of distance_matrix(p) without materializing the
+  /// matrix -- the euclidean host backend streams rows through this.
+  void distances_from(int a, double p, std::vector<double>& out) const;
+
   /// Full pairwise distance matrix under the given p-norm.
   DistanceMatrix distance_matrix(double p) const;
 

@@ -95,6 +95,56 @@ TEST(InstanceIo, CommentsAndBlankLinesAreSkipped) {
   EXPECT_DOUBLE_EQ(host.weight(0, 1), 2.5);
 }
 
+TEST(InstanceIo, LegacyVersionOneLoadsAsDense) {
+  std::stringstream buffer;
+  buffer << "gncg-host 1\nn 3\nw 0 1 1\nw 0 2 2\nw 1 2 2\n";
+  const auto host = load_host(buffer);
+  EXPECT_EQ(host.backend_kind(), HostBackendKind::kDense);
+  EXPECT_EQ(host.declared_model(), ModelClass::kGeneral);
+}
+
+TEST(InstanceIo, LiteralVersionTwoEuclideanText) {
+  std::stringstream buffer;
+  buffer << "gncg-host 2\nbackend euclidean\nmodel Rd-GNCG\n"
+         << "p 2\ndim 2\nn 2\npoint 0 0 0\npoint 1 3 4\n";
+  const auto host = load_host(buffer);
+  EXPECT_EQ(host.backend_kind(), HostBackendKind::kEuclidean);
+  EXPECT_EQ(host.node_count(), 2);
+  EXPECT_DOUBLE_EQ(host.weight(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(host.host_distance(0, 1), 5.0);
+}
+
+TEST(InstanceIo, RejectsUnknownBackendAndModel) {
+  {
+    std::stringstream buffer("gncg-host 2\nbackend warp\nmodel GNCG\nn 1\n");
+    EXPECT_THROW(load_host(buffer), ContractViolation);
+  }
+  {
+    std::stringstream buffer("gncg-host 2\nbackend dense\nmodel X\nn 1\n");
+    EXPECT_THROW(load_host(buffer), ContractViolation);
+  }
+  {
+    std::stringstream buffer("gncg-host 3\nn 1\n");
+    EXPECT_THROW(load_host(buffer), ContractViolation);
+  }
+  {
+    // Geometric backends pin their model class; a contradicting file is
+    // rejected instead of silently rewritten.
+    std::stringstream buffer(
+        "gncg-host 2\nbackend euclidean\nmodel M-GNCG\n"
+        "p 2\ndim 1\nn 1\npoint 0 0\n");
+    EXPECT_THROW(load_host(buffer), ContractViolation);
+  }
+  {
+    // Non-finite coordinates would silently poison every weight (the dense
+    // path rejects NaN entries via from_weights validation).
+    std::stringstream buffer(
+        "gncg-host 2\nbackend euclidean\nmodel Rd-GNCG\n"
+        "p 2\ndim 1\nn 2\npoint 0 0\npoint 1 nan\n");
+    EXPECT_THROW(load_host(buffer), ContractViolation);
+  }
+}
+
 TEST(InstanceIo, RejectsMalformedInput) {
   {
     std::stringstream buffer("not-a-host\n");

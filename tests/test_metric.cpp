@@ -97,6 +97,73 @@ TEST(PointSetTest, GridAndClusterGenerators) {
   EXPECT_EQ(clustered.size(), 10);
 }
 
+TEST(PointSetTest, GridSpacingAndShape) {
+  // 4x4 grid, spacing 2.5: index i maps to (i % 4, i / 4) * 2.5.
+  const auto grid = grid_points(4, 2, 2.5);
+  ASSERT_EQ(grid.size(), 16);
+  EXPECT_EQ(grid.dim(), 2);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_DOUBLE_EQ(grid.coord(i, 0), 2.5 * (i % 4));
+    EXPECT_DOUBLE_EQ(grid.coord(i, 1), 2.5 * (i / 4));
+  }
+  // Axis neighbors are one step apart under every norm; the main diagonal
+  // separates L1, L2 and Chebyshev.
+  EXPECT_DOUBLE_EQ(grid.distance(0, 1, 1.0), 2.5);
+  EXPECT_DOUBLE_EQ(grid.distance(0, 1, 2.0), 2.5);
+  EXPECT_DOUBLE_EQ(grid.distance(0, 1, kPNormInf), 2.5);
+  EXPECT_DOUBLE_EQ(grid.distance(0, 15, 1.0), 15.0);
+  EXPECT_DOUBLE_EQ(grid.distance(0, 15, kPNormInf), 7.5);
+  EXPECT_NEAR(grid.distance(0, 15, 2.0), 7.5 * std::sqrt(2.0), 1e-12);
+  // Degenerate one-cell and dim-1 grids.
+  EXPECT_EQ(grid_points(1, 3, 1.0).size(), 1);
+  const auto line_grid = grid_points(5, 1, 0.5);
+  EXPECT_EQ(line_grid.size(), 5);
+  EXPECT_DOUBLE_EQ(line_grid.distance(0, 4, 2.0), 2.0);
+}
+
+TEST(PointSetTest, ChebyshevAndOneNormEdgeCases) {
+  // On a 1-D line every p-norm degenerates to |x - y|.
+  const auto line = line_points({-2.0, 0.0, 0.0, 5.5});
+  for (const double p : {1.0, 2.0, 7.0, kPNormInf}) {
+    EXPECT_DOUBLE_EQ(line.distance(0, 3, p), 7.5) << "p = " << p;
+    EXPECT_DOUBLE_EQ(line.distance(1, 2, p), 0.0) << "p = " << p;  // co-located
+  }
+  // Chebyshev picks the dominant axis; L1 sums all of them.
+  const PointSet points({{0.0, 0.0, 0.0}, {-1.0, 4.0, -2.0}});
+  EXPECT_DOUBLE_EQ(points.distance(0, 1, kPNormInf), 4.0);
+  EXPECT_DOUBLE_EQ(points.distance(0, 1, 1.0), 7.0);
+  // p < 1 is not a norm and must be rejected.
+  EXPECT_THROW(points.distance(0, 1, 0.5), ContractViolation);
+  EXPECT_THROW(pnorm({1.0}, 0.0), ContractViolation);
+}
+
+TEST(PointSetTest, DistancesFromMatchesMatrixRow) {
+  Rng rng(44);
+  const auto points = uniform_points(11, 3, 10.0, rng);
+  for (const double p : {1.0, 2.0, kPNormInf}) {
+    const auto matrix = points.distance_matrix(p);
+    std::vector<double> row;
+    for (int a = 0; a < 11; ++a) {
+      points.distances_from(a, p, row);
+      ASSERT_EQ(static_cast<int>(row.size()), 11);
+      for (int b = 0; b < 11; ++b)
+        EXPECT_EQ(row[static_cast<std::size_t>(b)], matrix.at(a, b))
+            << "p=" << p << " (" << a << "," << b << ")";
+    }
+  }
+}
+
+TEST(PointSetTest, ClusteredPointsStayNearTheirCenters) {
+  Rng rng(45);
+  const int clusters = 4;
+  const double spread = 0.25;
+  const auto points = clustered_points(20, 2, clusters, 100.0, spread, rng);
+  // Round-robin assignment: points i and i + clusters share a center, so
+  // their distance is at most the spread diameter under the max norm.
+  for (int i = 0; i + clusters < 20; ++i)
+    EXPECT_LE(points.distance(i, i + clusters, kPNormInf), 2.0 * spread);
+}
+
 TEST(HostGraphTest, UnitHostIsNcg) {
   const auto host = HostGraph::unit(5);
   EXPECT_TRUE(host.is_unit());
