@@ -56,7 +56,10 @@ int main() {
         options.rule = rule.rule;
         options.scheduler = sched.kind;
         options.max_moves = 2000;
-        options.seed = 1000 + i;
+        // Independent stream per (rule, scheduler, instance): raw `base + i`
+        // seeds are correlated shifts of one another (see stream_seed).
+        options.seed = stream_seed(
+            std::string(rule.name) + "/" + sched.name, i, 2020);
         Stopwatch timer;
         const auto run = run_dynamics(games[i], starts[i], options);
         millis.add(timer.millis());

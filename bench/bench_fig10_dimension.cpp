@@ -4,41 +4,49 @@
 //     PoA >= 1 + alpha / (2 + alpha/(2d-1)),
 // which approaches the metric upper bound (alpha+2)/2 as d grows -- so in
 // high-dimensional 1-norm spaces the geometric PoA is essentially tight.
+//
+// The workload itself lives in the sweep subsystem as the registered
+// scenario `fig10_dimension` (src/sweep/scenarios_builtin.cpp); this driver
+// only declares the grid, runs it through the SweepRunner and prints the
+// table rows the BENCH workflow has always recorded.
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "constructions/ratio_constructions.hpp"
-#include "core/equilibrium.hpp"
-#include "core/poa.hpp"
+#include "sweep/runner.hpp"
 
 using namespace gncg;
 
 int main() {
   print_banner(std::cout,
                "E13 | Figure 10 / Theorem 19: dimension sweep, 1-norm");
+
+  SweepPlan plan;
+  plan.scenarios = {"fig10_dimension"};
+  plan.hosts = {"euclidean"};
+  plan.ns = {1, 2, 3, 4, 6, 8, 12};  // the dimension d
+  plan.alphas = {0.5, 1.0, 2.0, 4.0};
+  plan.norm_ps = {1.0};  // Theorem 19 is a 1-norm construction
+  const SweepReport report = run_sweep(plan);
+
+  // Legacy row order: alpha outer, d inner (the plan expands d-major).
   ConsoleTable table({"d", "n=2d+1", "alpha", "measured ratio",
                       "paper formula", "limit (a+2)/2", "NE check",
                       "agreement"});
-  for (double alpha : {0.5, 1.0, 2.0, 4.0}) {
-    for (int d : {1, 2, 3, 4, 6, 8, 12}) {
-      const auto c = theorem19_construction(d, alpha);
-      const double measured =
-          bench::measured_ratio(c.game, c.equilibrium, c.optimum);
-      std::string check = "-";
-      if (d <= 4)
-        check = is_nash_equilibrium(c.game, c.equilibrium) ? "exact NE"
-                                                           : "NOT NE";
-      table.begin_row()
-          .add(d)
-          .add(2 * d + 1)
-          .add(alpha, 2)
-          .add(measured, 6)
-          .add(paper::theorem19_lower(alpha, d), 6)
-          .add(paper::metric_poa(alpha), 4)
-          .add(check)
-          .add(bench::verdict(measured, paper::theorem19_lower(alpha, d)));
-    }
-  }
+  for (const double alpha : plan.alphas)
+    for (const int d : plan.ns)
+      for (const SweepOutcome& outcome : report.outcomes) {
+        if (outcome.point.n != d || outcome.point.alpha != alpha) continue;
+        const ScenarioRow& row = outcome.result.rows.front();
+        table.begin_row()
+            .add(d)
+            .add(static_cast<int>(row.metric_or_nan("n_nodes")))
+            .add(alpha, 2)
+            .add(row.metric_or_nan("measured_ratio"), 6)
+            .add(row.metric_or_nan("paper_formula"), 6)
+            .add(row.metric_or_nan("metric_limit"), 4)
+            .add(row.tag_or_empty("ne_check"))
+            .add(row.tag_or_empty("agreement"));
+      }
   table.print(std::cout);
   std::cout << "Shape check: measured == formula for every (d, alpha) and\n"
                "the ratio climbs towards (alpha+2)/2 with the dimension.\n";

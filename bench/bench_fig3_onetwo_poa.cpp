@@ -5,44 +5,45 @@
 // (alpha+2)N^4 + Theta(N^2); the PoA therefore tends to 3/2 for alpha = 1
 // and to 3/(alpha+2) for 1/2 <= alpha < 1 as N grows.
 //
-// The optimum reference here is Algorithm 1, which Theorem 6 proves exact
-// for alpha <= 1.
+// The workload itself lives in the sweep subsystem as the registered
+// scenario `fig3_onetwo_poa` (src/sweep/scenarios_builtin.cpp); this driver
+// only declares the grid, runs it through the SweepRunner and prints the
+// table rows the BENCH workflow has always recorded.
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "constructions/ratio_constructions.hpp"
-#include "core/equilibrium.hpp"
+#include "sweep/runner.hpp"
 
 using namespace gncg;
 
 int main() {
   print_banner(std::cout,
                "E2 | Figure 3 / Theorem 8: 1-2-GNCG PoA -> 3/(alpha+2)");
+
+  SweepPlan plan;
+  plan.scenarios = {"fig3_onetwo_poa"};
+  plan.hosts = {"dense"};
+  plan.ns = {2, 3, 4, 6, 8, 10, 12};  // the clique parameter N
+  plan.alphas = {0.5, 0.75, 1.0};
+  const SweepReport report = run_sweep(plan);
+
+  // Legacy row order: alpha outer, N inner (the plan expands N-major).
   ConsoleTable table({"N", "n", "alpha", "measured ratio", "paper limit",
                       "gap to limit", "equilibrium check"});
-  for (double alpha : {0.5, 0.75, 1.0}) {
-    const double limit = alpha == 1.0 ? 1.5 : 3.0 / (alpha + 2.0);
-    for (int N : {2, 3, 4, 6, 8, 10, 12}) {
-      const auto c = theorem8_construction(N, alpha);
-      const double measured =
-          bench::measured_ratio(c.game, c.equilibrium, c.optimum);
-      std::string check = "-";
-      if (N <= 2)
-        check = is_nash_equilibrium(c.game, c.equilibrium) ? "exact NE"
-                                                           : "NOT NE";
-      else if (N <= 4)
-        check = is_greedy_equilibrium(c.game, c.equilibrium) ? "greedy eq"
-                                                             : "NOT GE";
-      table.begin_row()
-          .add(N)
-          .add(c.game.node_count())
-          .add(alpha, 2)
-          .add(measured, 5)
-          .add(limit, 5)
-          .add(limit - measured, 5)
-          .add(check);
-    }
-  }
+  for (const double alpha : plan.alphas)
+    for (const int N : plan.ns)
+      for (const SweepOutcome& outcome : report.outcomes) {
+        if (outcome.point.n != N || outcome.point.alpha != alpha) continue;
+        const ScenarioRow& row = outcome.result.rows.front();
+        table.begin_row()
+            .add(N)
+            .add(static_cast<int>(row.metric_or_nan("n_nodes")))
+            .add(alpha, 2)
+            .add(row.metric_or_nan("measured_ratio"), 5)
+            .add(row.metric_or_nan("paper_limit"), 5)
+            .add(row.metric_or_nan("gap_to_limit"), 5)
+            .add(row.tag_or_empty("equilibrium_check"));
+      }
   table.print(std::cout);
   std::cout << "Shape check: the measured ratio climbs monotonically towards\n"
                "the paper's limit (3/2 at alpha=1, 3/(alpha+2) below), so the\n"

@@ -12,29 +12,33 @@
 //    For each sampled instance the tool reports the exact (or sampled) Price
 //    of Anarchy and Stability next to the paper's bound for that model class.
 //
-// 2. Sweep mode (flag args): scriptable large-n runs on the host-backend
-//    layer, one JSONL record per sweep point on stdout.
+// 2. Sweep mode (flag args): scriptable large-n runs, one JSONL record per
+//    dynamics round on stdout -- a thin wrapper over the sweep subsystem's
+//    `br_dynamics` scenario (src/sweep/, `sweep_runner` is the full CLI).
 //      poa_explorer --host <dense|lazy|euclidean|tree> --n <agents>
 //                   --seed <seed> [--alpha a] [--rounds r] [--agents k]
 //    Per round, the sweep scans `k` evenly spaced agents with the deviation
 //    engine's exact best-single-move, applies the improving moves, and
 //    emits {host, n, seed, alpha, round, social_cost, agents_scanned,
-//    agents_improved, elapsed_ms}.  Euclidean and tree hosts run implicitly
-//    (no O(n^2) matrix), so n in the thousands is fine:
+//    agents_improved, construct_ms, elapsed_ms} -- the same record schema
+//    as before the subsystem existed.  The RNG stream now derives from the
+//    job identity via stream_seed (uncorrelated across seeds), so recorded
+//    values differ from pre-subsystem runs of the same --seed; flags and
+//    schema are unchanged.  Euclidean and tree hosts run implicitly (no
+//    O(n^2) matrix), so n in the thousands is fine:
 //      poa_explorer --host euclidean --n 4096 --seed 7 --rounds 3
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
 
-#include "core/deviation_engine.hpp"
 #include "core/equilibrium_search.hpp"
 #include "core/poa.hpp"
 #include "core/social_optimum.hpp"
 #include "metric/host_graph.hpp"
 #include "metric/tree.hpp"
 #include "support/table.hpp"
-#include "support/timer.hpp"
+#include "sweep/runner.hpp"
 
 using namespace gncg;
 
@@ -115,44 +119,9 @@ struct SweepOptions {
   int agents = 64;  ///< agents scanned per round (evenly spaced)
 };
 
-/// Builds the requested host without ever materializing an O(n^2) matrix
-/// for the geometric kinds.  "dense"/"lazy" use the canonical random 1-2
-/// host (metric by construction, so no cubic repair pass at large n).
-Game sweep_game(const SweepOptions& options, Rng& rng) {
-  if (options.host == "tree")
-    return Game(HostGraph::from_tree(random_tree(options.n, rng, 1.0, 10.0)),
-                options.alpha);
-  if (options.host == "dense" || options.host == "lazy") {
-    auto host = random_one_two_host(options.n, 0.5, rng);
-    if (options.host == "lazy")
-      host = HostGraph::from_weights_lazy(host.weights(), ModelClass::kOneTwo);
-    return Game(std::move(host), options.alpha);
-  }
-  return Game(HostGraph::from_points(
-                  uniform_points(options.n, 2, 1000.0, rng), 2.0),
-              options.alpha);
-}
-
-/// Connected start profile with O(n) memory: a random recursive tree (node i
-/// buys an edge to a uniform earlier node).
-StrategyProfile sweep_start_profile(const Game& game, Rng& rng) {
-  StrategyProfile profile(game.node_count());
-  for (int v = 1; v < game.node_count(); ++v) {
-    const int u = static_cast<int>(rng.uniform_below(
-        static_cast<std::uint64_t>(v)));
-    profile.add_buy(v, u);
-  }
-  return profile;
-}
-
-double sweep_social_cost(DeviationEngine& engine) {
-  engine.warm_distances();
-  double total = 0.0;
-  for (int u = 0; u < engine.game().node_count(); ++u)
-    total += engine.agent_cost_warm(u);
-  return total;
-}
-
+/// One-job plan over the registered br_dynamics scenario: the flags map
+/// onto the plan axes (--seed becomes the replicate seed value) and the
+/// per-round rows come back from the runner.
 int sweep_mode(const SweepOptions& options) {
   if (options.host != "dense" && options.host != "lazy" &&
       options.host != "euclidean" && options.host != "tree") {
@@ -167,39 +136,29 @@ int sweep_mode(const SweepOptions& options) {
     return 1;
   }
 
-  Rng rng(options.seed);
-  Stopwatch construct_timer;
-  const Game game = sweep_game(options, rng);
-  DeviationEngine engine(game, sweep_start_profile(game, rng));
-  const double construct_ms = construct_timer.millis();
+  SweepPlan plan;
+  plan.scenarios = {"br_dynamics"};
+  plan.hosts = {options.host};
+  plan.ns = {options.n};
+  plan.alphas = {options.alpha};
+  plan.seeds = 1;
+  plan.seed_base = options.seed;
+  plan.extras = {{"agents", static_cast<double>(options.agents)},
+                 {"rounds", static_cast<double>(options.rounds)}};
+  const SweepReport report = run_sweep(plan);
 
-  // Exactly min(agents, n) distinct agents, evenly spaced over the whole id
-  // range (u_i = i*n/agents is strictly increasing while agents <= n).
-  const int per_round = std::min(options.agents, options.n);
-  for (int round = 0; round < options.rounds; ++round) {
-    Stopwatch round_timer;
-    int scanned = 0;
-    int improved = 0;
-    engine.warm_distances();
-    for (int i = 0; i < per_round; ++i) {
-      const int u = static_cast<int>(
-          (static_cast<long long>(i) * options.n) / per_round);
-      ++scanned;
-      const auto result = engine.best_single_move(u);
-      if (result.improved) {
-        ++improved;
-        engine.apply_move(u, result.move);
-      }
-    }
-    const double social_cost = sweep_social_cost(engine);
+  for (const ScenarioRow& row : report.outcomes.front().result.rows) {
     std::printf(
         "{\"host\":\"%s\",\"n\":%d,\"seed\":%llu,\"alpha\":%.17g,"
         "\"round\":%d,\"social_cost\":%.17g,\"agents_scanned\":%d,"
         "\"agents_improved\":%d,\"construct_ms\":%.3f,\"elapsed_ms\":%.3f}\n",
         options.host.c_str(), options.n,
-        static_cast<unsigned long long>(options.seed), options.alpha, round,
-        social_cost, scanned, improved, round == 0 ? construct_ms : 0.0,
-        round_timer.millis());
+        static_cast<unsigned long long>(options.seed), options.alpha,
+        static_cast<int>(row.metric_or_nan("round")),
+        row.metric_or_nan("social_cost"),
+        static_cast<int>(row.metric_or_nan("agents_scanned")),
+        static_cast<int>(row.metric_or_nan("agents_improved")),
+        row.metric_or_nan("construct_ms"), row.metric_or_nan("elapsed_ms"));
     std::fflush(stdout);
   }
   return 0;

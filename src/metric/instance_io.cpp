@@ -1,6 +1,7 @@
 #include "metric/instance_io.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <istream>
 #include <limits>
 #include <ostream>
@@ -39,13 +40,48 @@ std::string format_weight(double w) {
   return os.str();
 }
 
-/// Reads "n <count>" from the next content line.
-int read_node_count(std::istream& is, std::string& line) {
-  GNCG_CHECK(next_line(is, line) && line.rfind("n ", 0) == 0,
-             "missing node count");
+/// Parses "n <count>" from an already-read content line.
+int parse_node_count(const std::string& line, bool have_line) {
+  GNCG_CHECK(have_line && line.rfind("n ", 0) == 0, "missing node count");
   const int n = std::stoi(line.substr(2));
   GNCG_CHECK(n >= 1, "invalid node count " << n);
   return n;
+}
+
+/// Reads "n <count>" from the next content line.
+int read_node_count(std::istream& is, std::string& line) {
+  return parse_node_count(line, next_line(is, line));
+}
+
+/// Consumes the optional `x-<key> <value>` extension block.  Known keys fill
+/// `provenance` (when non-null); unknown x- keys are skipped for forward
+/// compatibility.  On return `line` holds the first non-extension line and
+/// the result says whether one exists.
+bool read_extension_block(std::istream& is, std::string& line,
+                          HostProvenance* provenance) {
+  bool have_line = next_line(is, line);
+  while (have_line && line.rfind("x-", 0) == 0) {
+    std::istringstream tokens(line);
+    std::string key, value;
+    tokens >> key >> value;
+    GNCG_CHECK(!value.empty(), "extension line misses its value: " << line);
+    if (provenance != nullptr) {
+      // stoull throws raw std::invalid_argument/out_of_range; keep the
+      // header's "contract-fails on malformed input" promise instead.
+      try {
+        if (key == "x-scenario") provenance->scenario = value;
+        else if (key == "x-point")
+          provenance->point_index = std::stoull(value);
+        else if (key == "x-stream")
+          provenance->stream = std::stoull(value, nullptr, 16);
+        // other x- keys: written by a newer tool, intentionally ignored
+      } catch (const std::exception&) {
+        GNCG_CHECK(false, "malformed extension value: " << line);
+      }
+    }
+    have_line = next_line(is, line);
+  }
+  return have_line;
 }
 
 /// Shared "w" pair-list parser (v1 body and the v2 dense/lazy payload).
@@ -78,7 +114,8 @@ DistanceMatrix read_weight_lines(std::istream& is, std::string& line, int n) {
   return weights;
 }
 
-HostGraph load_host_v2(std::istream& is, std::string& line) {
+HostGraph load_host_v2(std::istream& is, std::string& line,
+                       HostProvenance* provenance) {
   GNCG_CHECK(next_line(is, line) && line.rfind("backend ", 0) == 0,
              "missing backend line");
   const std::string backend = line.substr(8);
@@ -86,6 +123,7 @@ HostGraph load_host_v2(std::istream& is, std::string& line) {
              "missing model line");
   const auto model = model_from_name(line.substr(6));
   GNCG_CHECK(model.has_value(), "unknown model name in host file: " << line);
+  const bool have_payload = read_extension_block(is, line, provenance);
 
   if (backend == "euclidean") {
     // from_points always declares Rd-GNCG; a file claiming otherwise is
@@ -94,7 +132,7 @@ HostGraph load_host_v2(std::istream& is, std::string& line) {
                "euclidean backend requires model "
                    << model_name(ModelClass::kEuclidean) << ", file says "
                    << model_name(*model));
-    GNCG_CHECK(next_line(is, line) && line.rfind("p ", 0) == 0,
+    GNCG_CHECK(have_payload && line.rfind("p ", 0) == 0,
                "missing norm line");
     const double p = parse_weight(line.substr(2));
     GNCG_CHECK(next_line(is, line) && line.rfind("dim ", 0) == 0,
@@ -138,7 +176,7 @@ HostGraph load_host_v2(std::istream& is, std::string& line) {
                "tree backend requires model "
                    << model_name(ModelClass::kTree) << ", file says "
                    << model_name(*model));
-    const int n = read_node_count(is, line);
+    const int n = parse_node_count(line, have_payload);
     std::vector<Edge> edges;
     while (next_line(is, line)) {
       std::istringstream tokens(line);
@@ -155,7 +193,7 @@ HostGraph load_host_v2(std::istream& is, std::string& line) {
 
   GNCG_CHECK(backend == "dense" || backend == "lazy",
              "unknown backend in host file: " << backend);
-  const int n = read_node_count(is, line);
+  const int n = parse_node_count(line, have_payload);
   DistanceMatrix weights = read_weight_lines(is, line, n);
   return backend == "lazy"
              ? HostGraph::from_weights_lazy(std::move(weights), *model)
@@ -164,13 +202,26 @@ HostGraph load_host_v2(std::istream& is, std::string& line) {
 
 }  // namespace
 
-void save_host(std::ostream& os, const HostGraph& host) {
+void save_host(std::ostream& os, const HostGraph& host,
+               const HostProvenance* provenance) {
   const int n = host.node_count();
   os << "gncg-host 2\n";
   os << "# complete weighted host graph, " << model_name(host.declared_model())
      << "\n";
   os << "backend " << backend_name(host.backend_kind()) << "\n";
   os << "model " << model_name(host.declared_model()) << "\n";
+  if (provenance != nullptr) {
+    GNCG_CHECK(!provenance->scenario.empty() &&
+                   provenance->scenario.find_first_of(" \t\r\n") ==
+                       std::string::npos,
+               "provenance scenario must be a non-empty token");
+    char stream_hex[20];
+    std::snprintf(stream_hex, sizeof(stream_hex), "%016llx",
+                  static_cast<unsigned long long>(provenance->stream));
+    os << "x-scenario " << provenance->scenario << "\n";
+    os << "x-point " << provenance->point_index << "\n";
+    os << "x-stream " << stream_hex << "\n";
+  }
 
   if (host.backend_kind() == HostBackendKind::kEuclidean) {
     const PointSet* points = host.points();
@@ -208,7 +259,7 @@ void save_host(std::ostream& os, const HostGraph& host) {
          << "\n";
 }
 
-HostGraph load_host(std::istream& is) {
+HostGraph load_host(std::istream& is, HostProvenance* provenance) {
   std::string line;
   GNCG_CHECK(next_line(is, line) && line.rfind("gncg-host", 0) == 0,
              "missing gncg-host header");
@@ -218,7 +269,7 @@ HostGraph load_host(std::istream& is) {
   header >> tag >> version;
   GNCG_CHECK(version == 1 || version == 2,
              "unsupported gncg-host version: " << line);
-  if (version == 2) return load_host_v2(is, line);
+  if (version == 2) return load_host_v2(is, line, provenance);
 
   const int n = read_node_count(is, line);
   return HostGraph::from_weights(read_weight_lines(is, line, n));

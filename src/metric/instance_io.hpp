@@ -4,8 +4,15 @@
 //   gncg-host 2            # header + version
 //   backend <dense|lazy|euclidean|tree>
 //   model <model-name>     # declared model (model_name token, e.g. T-GNCG)
+//   x-scenario <name>      # optional provenance: sweep scenario,
+//   x-point <index>        #   position in the expanded sweep plan,
+//   x-stream <hex64>       #   derived RNG stream (support/rng stream_seed)
 //   n <count>
-// followed by a backend-specific payload:
+// `x-` lines are an extension block: zero or more may follow `model`, and
+// readers skip unknown `x-` keys, so provenance-stamped files stay loadable
+// by older tools and vice versa.  The sweep pipeline stamps these so a
+// dumped instance names the exact job that produced it.
+// The header is followed by a backend-specific payload:
 //   * dense / lazy:  one "w <u> <v> <weight>" line per unordered pair
 //                    ("inf" allowed);
 //   * euclidean:     "p <norm|inf>", "dim <d>", then one
@@ -24,21 +31,36 @@
 // let the CLI tools consume externally generated instances.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <string>
 
 #include "core/game.hpp"
 #include "metric/host_graph.hpp"
 
 namespace gncg {
 
-/// Writes the host in the version-2 format above: provenance payload for
-/// geometric backends, the complete weight matrix otherwise.
-void save_host(std::ostream& os, const HostGraph& host);
+/// Where a host instance came from: the sweep job identity.  `stream` is
+/// the job's derived RNG seed (stream_seed), so the instance can be rebuilt
+/// or the job re-run from the file alone.
+struct HostProvenance {
+  std::string scenario;
+  std::uint64_t point_index = 0;
+  std::uint64_t stream = 0;
+};
+
+/// Writes the host in the version-2 format above: generating payload for
+/// geometric backends, the complete weight matrix otherwise.  A non-null
+/// `provenance` is recorded as the x- extension block.
+void save_host(std::ostream& os, const HostGraph& host,
+               const HostProvenance* provenance = nullptr);
 
 /// Parses a host written by save_host (version 1 or 2), reconstructing the
 /// recorded backend kind.  Contract-fails on malformed input (bad header,
-/// missing pairs, asymmetric duplicates, unknown backend).
-HostGraph load_host(std::istream& is);
+/// missing pairs, asymmetric duplicates, unknown backend).  When
+/// `provenance` is non-null and the file carries an x- block, it is filled
+/// in (left untouched otherwise).
+HostGraph load_host(std::istream& is, HostProvenance* provenance = nullptr);
 
 /// Writes a strategy profile (ownership list).
 void save_profile(std::ostream& os, const StrategyProfile& profile);

@@ -48,15 +48,19 @@ inline constexpr std::size_t kSerialCutoff = 32;
 /// Applies `fn(i)` for every i in [begin, end), dynamically chunked across
 /// the default worker pool.  `fn` must be safe to call concurrently on
 /// distinct indices.  `grain` is the chunk size claimed per atomic fetch.
+/// `serial_cutoff` is the work-item count below which dispatch is not worth
+/// it -- the default is tuned for tiny kernels; callers whose items are
+/// entire jobs (the sweep runner) pass a small value to fan out regardless.
 template <class Fn>
 void parallel_for(std::size_t begin, std::size_t end, Fn&& fn,
-                  std::size_t grain = 1) {
+                  std::size_t grain = 1,
+                  std::size_t serial_cutoff = detail::kSerialCutoff) {
   GNCG_CHECK(begin <= end, "parallel_for requires begin <= end");
   const std::size_t total = end - begin;
   if (total == 0) return;
   const std::size_t threads =
       std::min(default_thread_count(), (total + grain - 1) / grain);
-  if (threads <= 1 || total < detail::kSerialCutoff ||
+  if (threads <= 1 || total < serial_cutoff ||
       detail::inside_parallel_region()) {
     for (std::size_t i = begin; i < end; ++i) fn(i);
     return;

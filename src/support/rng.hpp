@@ -11,6 +11,7 @@
 #include <array>
 #include <cstdint>
 #include <limits>
+#include <string_view>
 
 #include "support/assert.hpp"
 
@@ -23,6 +24,35 @@ constexpr std::uint64_t splitmix64(std::uint64_t& state) {
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
+}
+
+/// Folds `value` into hash `h` through a full SplitMix64 round.  Unlike the
+/// boost-style xor-shift combine, every input bit avalanches over the whole
+/// word, so nearby values (seed, seed+1, ...) yield uncorrelated hashes.
+constexpr std::uint64_t hash_combine(std::uint64_t h, std::uint64_t value) {
+  std::uint64_t state = h ^ (value + 0x9e3779b97f4a7c15ULL);
+  return splitmix64(state);
+}
+
+/// Platform-stable string hash built from hash_combine (NOT std::hash, whose
+/// value is implementation-defined and would break cross-machine journals).
+constexpr std::uint64_t hash_string(std::string_view text) {
+  std::uint64_t h = 0x6a09e667f3bcc909ULL;  // sqrt(2) fractional bits
+  for (const char c : text)
+    h = hash_combine(h, static_cast<unsigned char>(c));
+  return hash_combine(h, text.size());
+}
+
+/// Derives the RNG stream seed for one experiment job.  Independent streams
+/// come from hashing the full job identity -- scenario name, position in the
+/// expanded plan and replicate seed -- instead of the raw `seed + i`
+/// convention, whose streams are correlated shifts of one another under
+/// counter-based seeding.  Every sweep job and every bench replicate must
+/// seed through this (or split an Rng) rather than arithmetic on seeds.
+constexpr std::uint64_t stream_seed(std::string_view scenario,
+                                    std::uint64_t point_index,
+                                    std::uint64_t seed) {
+  return hash_combine(hash_combine(hash_string(scenario), point_index), seed);
 }
 
 /// xoshiro256** PRNG.  Fast, high quality, 256-bit state.
@@ -118,5 +148,11 @@ class Rng {
 
   std::array<std::uint64_t, 4> state_{};
 };
+
+/// Generator seeded from the derived job stream (see stream_seed).
+inline Rng stream_rng(std::string_view scenario, std::uint64_t point_index,
+                      std::uint64_t seed) {
+  return Rng(stream_seed(scenario, point_index, seed));
+}
 
 }  // namespace gncg

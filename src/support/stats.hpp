@@ -1,10 +1,14 @@
-// Streaming statistics accumulator (Welford) for experiment summaries.
+// Statistics accumulators for experiment summaries: streaming moments
+// (Welford) and an exact sample accumulator with quantiles.
 #pragma once
 
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <vector>
+
+#include "support/assert.hpp"
 
 namespace gncg {
 
@@ -66,6 +70,63 @@ class RunningStats {
   double sum_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact order statistics over a retained sample, next to the streaming
+/// moments.  O(n) memory -- sized for sweep aggregation (thousands of jobs
+/// per group), not for unbounded telemetry; the sweep aggregation layer is
+/// the intended consumer.  Quantiles sort lazily and cache the sorted order
+/// until the next add/merge.
+class SampleStats {
+ public:
+  void add(double x) {
+    moments_.add(x);
+    values_.push_back(x);
+    sorted_ = false;
+  }
+
+  /// Merges another accumulator (parallel reduction / group roll-ups).
+  void merge(const SampleStats& other) {
+    moments_.merge(other.moments_);
+    values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+    sorted_ = false;
+  }
+
+  std::uint64_t count() const { return moments_.count(); }
+  double sum() const { return moments_.sum(); }
+  double mean() const { return moments_.mean(); }
+  double min() const { return moments_.min(); }
+  double max() const { return moments_.max(); }
+  double variance() const { return moments_.variance(); }
+  double stddev() const { return moments_.stddev(); }
+  const RunningStats& moments() const { return moments_; }
+
+  /// Quantile with linear interpolation between order statistics (the
+  /// "linear" / type-7 estimator): q = 0 is the min, q = 1 the max, q = 0.5
+  /// the median.  NaN on an empty sample.
+  double quantile(double q) const {
+    GNCG_CHECK(q >= 0.0 && q <= 1.0, "quantile requires q in [0, 1]");
+    if (values_.empty()) return std::numeric_limits<double>::quiet_NaN();
+    ensure_sorted();
+    const double rank = q * static_cast<double>(values_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, values_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values_[lo] + frac * (values_[hi] - values_[lo]);
+  }
+
+  double median() const { return quantile(0.5); }
+
+ private:
+  void ensure_sorted() const {
+    if (sorted_) return;
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+
+  RunningStats moments_;
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
 };
 
 }  // namespace gncg

@@ -1,0 +1,101 @@
+#include "sweep/aggregate.hpp"
+
+#include <ostream>
+
+#include "sweep/jsonl.hpp"
+
+namespace gncg {
+
+namespace {
+
+SweepGroupKey key_of(const SweepPoint& point) {
+  return {point.scenario, point.host, point.n, point.alpha, point.norm_p};
+}
+
+}  // namespace
+
+std::vector<SweepAggregate> aggregate_outcomes(
+    const std::vector<SweepOutcome>& outcomes) {
+  // Outcomes arrive in plan expansion order, so linear scans keep group and
+  // metric order deterministic; sweep cardinalities make O(groups * metrics)
+  // lookups irrelevant next to the jobs that produced them.
+  std::vector<SweepAggregate> aggregates;
+  for (const SweepOutcome& outcome : outcomes) {
+    const SweepGroupKey key = key_of(outcome.point);
+    for (const ScenarioRow& row : outcome.result.rows)
+      for (const auto& [metric, value] : row.metrics) {
+        // Timing metrics are absent from journal-restored rows, so
+        // aggregating them would make summaries depend on where a run was
+        // interrupted; they stay in-memory only (see is_timing_metric).
+        if (is_timing_metric(metric)) continue;
+        SweepAggregate* slot = nullptr;
+        for (auto& aggregate : aggregates)
+          if (aggregate.metric == metric && aggregate.key == key) {
+            slot = &aggregate;
+            break;
+          }
+        if (slot == nullptr) {
+          aggregates.push_back({key, metric, SampleStats{}});
+          slot = &aggregates.back();
+        }
+        slot->stats.add(value);
+      }
+  }
+  return aggregates;
+}
+
+ConsoleTable aggregate_table(const std::vector<SweepAggregate>& aggregates) {
+  ConsoleTable table({"scenario", "host", "n", "alpha", "p", "metric", "count",
+                      "mean", "stddev", "median", "p10", "p90", "min", "max"});
+  for (const SweepAggregate& aggregate : aggregates) {
+    table.begin_row()
+        .add(aggregate.key.scenario)
+        .add(aggregate.key.host)
+        .add(aggregate.key.n)
+        .add(aggregate.key.alpha, 3)
+        .add(aggregate.key.norm_p, 2)
+        .add(aggregate.metric)
+        .add(static_cast<long long>(aggregate.stats.count()))
+        .add(aggregate.stats.mean(), 6)
+        .add(aggregate.stats.stddev(), 6)
+        .add(aggregate.stats.median(), 6)
+        .add(aggregate.stats.quantile(0.1), 6)
+        .add(aggregate.stats.quantile(0.9), 6)
+        .add(aggregate.stats.min(), 6)
+        .add(aggregate.stats.max(), 6);
+  }
+  return table;
+}
+
+void write_summary_jsonl(std::ostream& os,
+                         const std::vector<SweepAggregate>& aggregates) {
+  for (const SweepAggregate& aggregate : aggregates) {
+    JsonWriter writer;
+    writer.begin_object();
+    writer.key("schema").string("gncg-sweep-summary-1");
+    writer.key("scenario").string(aggregate.key.scenario);
+    writer.key("host").string(aggregate.key.host);
+    writer.key("n").number(aggregate.key.n);
+    writer.key("alpha").number(aggregate.key.alpha);
+    writer.key("norm_p").number(aggregate.key.norm_p);
+    writer.key("metric").string(aggregate.metric);
+    writer.key("count").number(aggregate.stats.count());
+    writer.key("mean").number(aggregate.stats.mean());
+    writer.key("stddev").number(aggregate.stats.stddev());
+    writer.key("min").number(aggregate.stats.min());
+    writer.key("p10").number(aggregate.stats.quantile(0.1));
+    writer.key("median").number(aggregate.stats.median());
+    writer.key("p90").number(aggregate.stats.quantile(0.9));
+    writer.key("max").number(aggregate.stats.max());
+    writer.end_object();
+    os << writer.str() << '\n';
+  }
+}
+
+void write_records_jsonl(std::ostream& os,
+                         const std::vector<SweepOutcome>& outcomes) {
+  for (const SweepOutcome& outcome : outcomes)
+    os << sweep_record_json(outcome.point, outcome.result) << '\n';
+}
+
+}  // namespace gncg

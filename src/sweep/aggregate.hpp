@@ -1,0 +1,67 @@
+// Aggregation over sweep outcomes: replicate roll-ups and result sinks.
+//
+// Jobs differing only in the replicate seed form one *group*; every numeric
+// metric of a group aggregates into a SampleStats (count / mean / stddev /
+// median / quantiles / min / max).  Timing metrics (*_ms) are excluded:
+// journal-restored jobs have no timing, so including them would make a
+// resumed run's summary differ from an uninterrupted one's.  Group order
+// and metric order are deterministic: groups appear in plan expansion
+// order, metrics in row insertion order.
+//
+// Sinks: an aligned console table (also CSV through ConsoleTable::write_csv)
+// and a summary JSONL file -- one line per group carrying every metric's
+// statistics, consumed by the BENCH plotting workflow.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "sweep/runner.hpp"
+
+namespace gncg {
+
+/// A group key: every plan axis except the replicate seed.
+struct SweepGroupKey {
+  std::string scenario;
+  std::string host;
+  int n = 0;
+  double alpha = 1.0;
+  double norm_p = 2.0;
+
+  bool operator==(const SweepGroupKey& other) const {
+    return scenario == other.scenario && host == other.host && n == other.n &&
+           alpha == other.alpha && norm_p == other.norm_p;
+  }
+};
+
+/// Aggregated statistics of one metric within one group.
+struct SweepAggregate {
+  SweepGroupKey key;
+  std::string metric;
+  SampleStats stats;
+};
+
+/// Rolls replicate outcomes up into per-(group, metric) statistics.  Every
+/// row of a multi-row result contributes one sample per metric.
+std::vector<SweepAggregate> aggregate_outcomes(
+    const std::vector<SweepOutcome>& outcomes);
+
+/// Renders aggregates as an aligned table (print or write_csv downstream).
+ConsoleTable aggregate_table(const std::vector<SweepAggregate>& aggregates);
+
+/// Writes one summary JSONL line per (group, metric):
+///   {"schema":"gncg-sweep-summary-1","scenario":...,"host":...,"n":...,
+///    "alpha":...,"norm_p":...,"metric":...,"count":...,"mean":...,
+///    "stddev":...,"min":...,"p10":...,"median":...,"p90":...,"max":...}
+void write_summary_jsonl(std::ostream& os,
+                         const std::vector<SweepAggregate>& aggregates);
+
+/// Writes the canonical per-job records (timing-stripped, sorted by point
+/// index) -- the deterministic result file for downstream pipelines.
+void write_records_jsonl(std::ostream& os,
+                         const std::vector<SweepOutcome>& outcomes);
+
+}  // namespace gncg

@@ -1,0 +1,355 @@
+#include "sweep/jsonl.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "support/assert.hpp"
+
+namespace gncg {
+
+std::string json_quote(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string json_number(double value) {
+  if (std::isnan(value)) return "\"nan\"";
+  if (std::isinf(value)) return value > 0 ? "\"inf\"" : "\"-inf\"";
+  char buf[40];
+  // Shortest representation that round-trips: try increasing precision.
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return buf;
+}
+
+// --- parser ---------------------------------------------------------------
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse_document() {
+    skip_ws();
+    JsonValue value;
+    if (!parse_value(value)) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return value;
+  }
+
+ private:
+  bool parse_value(JsonValue& out) {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"': {
+        out.kind_ = JsonValue::Kind::kString;
+        return parse_string(out.string_);
+      }
+      case 't':
+        out.kind_ = JsonValue::Kind::kBool;
+        out.bool_ = true;
+        return consume("true");
+      case 'f':
+        out.kind_ = JsonValue::Kind::kBool;
+        out.bool_ = false;
+        return consume("false");
+      case 'n':
+        out.kind_ = JsonValue::Kind::kNull;
+        return consume("null");
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue& out) {
+    out.kind_ = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (peek() != '"' || !parse_string(key)) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.members_.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool parse_array(JsonValue& out) {
+    out.kind_ = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.items_.push_back(std::move(value));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // '"'
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          // Our writer only emits \u for C0 controls; decode the BMP code
+          // point as UTF-8 so foreign documents at least round-trip text.
+          if (pos_ + 4 > text_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return false;
+          }
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          } else {
+            out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          }
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_number(JsonValue& out) {
+    // Copy into a bounded null-terminated buffer: the string_view need not
+    // be null-terminated and strtod reads until a terminator.
+    char buf[48];
+    const std::size_t avail = std::min(text_.size() - pos_, sizeof(buf) - 1);
+    text_.copy(buf, avail, pos_);
+    buf[avail] = '\0';
+    char* end = nullptr;
+    const double value = std::strtod(buf, &end);
+    if (end == buf) return false;
+    out.kind_ = JsonValue::Kind::kNumber;
+    out.number_ = value;
+    pos_ += static_cast<std::size_t>(end - buf);
+    return true;
+  }
+
+  bool consume(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::optional<JsonValue> JsonValue::parse(std::string_view text) {
+  return JsonParser(text).parse_document();
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members_)
+    if (name == key) return &value;
+  return nullptr;
+}
+
+std::optional<double> JsonValue::number_at(std::string_view key) const {
+  const JsonValue* value = find(key);
+  if (value == nullptr) return std::nullopt;
+  return json_to_double(*value);
+}
+
+std::optional<std::string> JsonValue::string_at(std::string_view key) const {
+  const JsonValue* value = find(key);
+  if (value == nullptr || !value->is_string()) return std::nullopt;
+  return value->as_string();
+}
+
+std::optional<double> json_to_double(const JsonValue& value) {
+  if (value.is_number()) return value.as_number();
+  if (value.is_string()) {
+    const std::string& s = value.as_string();
+    if (s == "inf") return std::numeric_limits<double>::infinity();
+    if (s == "-inf") return -std::numeric_limits<double>::infinity();
+    if (s == "nan") return std::numeric_limits<double>::quiet_NaN();
+  }
+  return std::nullopt;
+}
+
+// --- writer ---------------------------------------------------------------
+
+void JsonWriter::comma() {
+  if (first_in_scope_.empty()) return;
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value completes a "key": pair; no comma
+  }
+  if (first_in_scope_.back())
+    first_in_scope_.back() = false;
+  else
+    out_.push_back(',');
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_.push_back('{');
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  GNCG_CHECK(!first_in_scope_.empty() && !pending_key_,
+             "unbalanced json writer scope");
+  out_.push_back('}');
+  first_in_scope_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  out_.push_back('[');
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  GNCG_CHECK(!first_in_scope_.empty() && !pending_key_,
+             "unbalanced json writer scope");
+  out_.push_back(']');
+  first_in_scope_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  GNCG_CHECK(!pending_key_, "json writer: key after key");
+  comma();
+  out_ += json_quote(name);
+  out_.push_back(':');
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::string(std::string_view value) {
+  comma();
+  out_ += json_quote(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::number(double value) {
+  comma();
+  out_ += json_number(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::number(std::uint64_t value) {
+  comma();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::number(int value) {
+  comma();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::boolean(bool value) {
+  comma();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+}  // namespace gncg

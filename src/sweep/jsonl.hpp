@@ -1,0 +1,116 @@
+// Minimal JSON support for the sweep journal / result pipeline.
+//
+// The sweep subsystem speaks JSON Lines: one self-contained JSON object per
+// line, written deterministically (key order fixed by the writer, doubles
+// with round-trip precision) so that journals from different thread counts
+// are byte-identical after sorting.  We need exactly two capabilities:
+//
+//   * JsonWriter -- a streaming object/array writer benches and the runner
+//     use to emit records without ever building a DOM;
+//   * JsonValue::parse -- a small recursive-descent reader the journal
+//     replay uses on its *own* records.  Parsing returns nullopt on any
+//     malformed input instead of throwing: a truncated final line (the
+//     process was killed mid-write) is an expected state, not an error.
+//
+// JSON has no Infinity/NaN literals; non-finite doubles are written as the
+// strings "inf" / "-inf" / "nan" and json_to_double maps them back.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gncg {
+
+/// Escapes and quotes `text` as a JSON string literal.
+std::string json_quote(std::string_view text);
+
+/// Formats a finite double with round-trip (%.17g-style shortest) precision;
+/// non-finite values become the quoted strings "inf" / "-inf" / "nan".
+std::string json_number(double value);
+
+/// Parsed JSON value (object keys keep document order: journal records are
+/// compared as sorted text, so replay must not silently reorder anything).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  /// Parses one complete JSON document; nullopt on malformed or trailing
+  /// garbage (tolerates surrounding whitespace).
+  static std::optional<JsonValue> parse(std::string_view text);
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  /// Member's numeric value, honoring the "inf"/"-inf"/"nan" string
+  /// convention; nullopt when absent or not numeric.
+  std::optional<double> number_at(std::string_view key) const;
+
+  /// Member's string value; nullopt when absent or not a string.
+  std::optional<std::string> string_at(std::string_view key) const;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Maps a parsed value back to a double, accepting both JSON numbers and
+/// the non-finite string encodings; nullopt for anything else.
+std::optional<double> json_to_double(const JsonValue& value);
+
+/// Streaming writer producing compact (no whitespace) deterministic JSON.
+/// Usage:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("n").number(5);
+///   w.key("rows").begin_array(); ... w.end_array();
+///   w.end_object();
+///   std::string line = w.str();
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(std::string_view name);
+  JsonWriter& string(std::string_view value);
+  JsonWriter& number(double value);
+  JsonWriter& number(std::uint64_t value);
+  JsonWriter& number(int value);
+  JsonWriter& boolean(bool value);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void comma();
+
+  std::string out_;
+  std::vector<bool> first_in_scope_;
+  bool pending_key_ = false;
+};
+
+}  // namespace gncg

@@ -1,0 +1,278 @@
+#include "sweep/runner.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+#include "support/assert.hpp"
+#include "support/parallel.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+#include "sweep/jsonl.hpp"
+
+namespace gncg {
+
+namespace {
+
+constexpr const char* kRecordSchema = "gncg-sweep-1";
+constexpr const char* kJournalSchema = "gncg-sweep-journal-1";
+
+std::string hex16(std::uint64_t value) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, value);
+  return buf;
+}
+
+/// Parses one journal record line back into rows.  Returns false (leaving
+/// `out` untouched) on any mismatch -- a truncated or foreign line simply
+/// does not count as a completed job.
+bool restore_record(const JsonValue& record, const SweepPoint& expected,
+                    ScenarioResult& out) {
+  if (record.string_at("schema") != std::optional<std::string>(kRecordSchema))
+    return false;
+  if (record.string_at("scenario") !=
+      std::optional<std::string>(expected.scenario))
+    return false;
+  if (record.string_at("host") != std::optional<std::string>(expected.host))
+    return false;
+  if (record.string_at("stream") !=
+      std::optional<std::string>(hex16(expected.rng_stream())))
+    return false;
+  const JsonValue* rows = record.find("rows");
+  if (rows == nullptr || !rows->is_array()) return false;
+  ScenarioResult result;
+  for (const JsonValue& row_value : rows->items()) {
+    const JsonValue* metrics = row_value.find("metrics");
+    const JsonValue* tags = row_value.find("tags");
+    if (metrics == nullptr || !metrics->is_object() || tags == nullptr ||
+        !tags->is_object())
+      return false;
+    ScenarioRow row;
+    for (const auto& [name, value] : metrics->members()) {
+      const auto number = json_to_double(value);
+      if (!number.has_value()) return false;
+      row.metric(name, *number);
+    }
+    for (const auto& [name, value] : tags->members()) {
+      if (!value.is_string()) return false;
+      row.tag(name, value.as_string());
+    }
+    result.rows.push_back(std::move(row));
+  }
+  out = std::move(result);
+  return true;
+}
+
+/// Replays a journal: fills `restored[i]` for every fully recorded job.
+/// Returns the number of restored jobs.  Contract-fails on a valid header
+/// with the wrong fingerprint; tolerates a truncated trailing line.
+std::size_t replay_journal(const std::string& path,
+                           const std::vector<SweepPoint>& points,
+                           std::uint64_t fingerprint,
+                           std::vector<SweepOutcome>& outcomes,
+                           std::vector<char>& restored) {
+  std::ifstream in(path);
+  if (!in.is_open()) return 0;  // fresh start: nothing to resume
+
+  std::string line;
+  if (!std::getline(in, line)) return 0;  // empty file
+  const auto header = JsonValue::parse(line);
+  GNCG_CHECK(header.has_value() &&
+                 header->string_at("schema") ==
+                     std::optional<std::string>(kJournalSchema),
+             "sweep journal " << path << " has no valid header line");
+  GNCG_CHECK(header->string_at("fingerprint") ==
+                 std::optional<std::string>(hex16(fingerprint)),
+             "sweep journal " << path
+                              << " was recorded for a different plan "
+                                 "(fingerprint mismatch); refusing to resume");
+
+  std::size_t count = 0;
+  while (std::getline(in, line)) {
+    const auto record = JsonValue::parse(line);
+    if (!record.has_value()) continue;  // truncated mid-write: not completed
+    const auto index = record->number_at("point");
+    if (!index.has_value() || *index < 0.0 ||
+        *index >= static_cast<double>(points.size()))
+      continue;
+    const auto point_index = static_cast<std::size_t>(*index);
+    if (restored[point_index]) continue;  // duplicate line: first one wins
+    ScenarioResult result;
+    if (!restore_record(*record, points[point_index], result)) continue;
+    outcomes[point_index].result = std::move(result);
+    outcomes[point_index].from_journal = true;
+    restored[point_index] = 1;
+    ++count;
+  }
+  return count;
+}
+
+void write_rows(JsonWriter& writer, const ScenarioResult& result) {
+  writer.key("rows").begin_array();
+  for (const ScenarioRow& row : result.rows) {
+    writer.begin_object();
+    writer.key("metrics").begin_object();
+    for (const auto& [name, value] : row.metrics)
+      if (!is_timing_metric(name)) writer.key(name).number(value);
+    writer.end_object();
+    writer.key("tags").begin_object();
+    for (const auto& [name, value] : row.tags) writer.key(name).string(value);
+    writer.end_object();
+    writer.end_object();
+  }
+  writer.end_array();
+}
+
+/// Restores the default thread count on scope exit (the runner temporarily
+/// overrides the pool width; callers' configuration must survive).
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(std::size_t threads)
+      : saved_(default_thread_count()) {
+    if (threads != 0) set_default_thread_count(threads);
+  }
+  ~ThreadCountGuard() { set_default_thread_count(saved_); }
+
+ private:
+  std::size_t saved_;
+};
+
+}  // namespace
+
+std::string sweep_record_json(const SweepPoint& point,
+                              const ScenarioResult& result) {
+  JsonWriter writer;
+  writer.begin_object();
+  writer.key("schema").string(kRecordSchema);
+  writer.key("scenario").string(point.scenario);
+  writer.key("point").number(point.point_index);
+  writer.key("host").string(point.host);
+  writer.key("n").number(point.n);
+  writer.key("alpha").number(point.alpha);
+  writer.key("norm_p").number(point.norm_p);
+  writer.key("seed").number(point.seed);
+  writer.key("stream").string(hex16(point.rng_stream()));
+  if (!point.extras.empty()) {
+    writer.key("extras").begin_object();
+    for (const auto& [name, value] : point.extras)
+      writer.key(name).number(value);
+    writer.end_object();
+  }
+  write_rows(writer, result);
+  writer.end_object();
+  return writer.str();
+}
+
+std::string sweep_journal_header(std::uint64_t fingerprint,
+                                 std::size_t job_count) {
+  JsonWriter writer;
+  writer.begin_object();
+  writer.key("schema").string(kJournalSchema);
+  writer.key("fingerprint").string(hex16(fingerprint));
+  writer.key("jobs").number(static_cast<std::uint64_t>(job_count));
+  writer.end_object();
+  return writer.str();
+}
+
+SweepReport run_sweep(const SweepPlan& plan,
+                      const SweepRunnerOptions& options) {
+  return run_sweep(plan, options, ScenarioRegistry::instance());
+}
+
+SweepReport run_sweep(const SweepPlan& plan, const SweepRunnerOptions& options,
+                      const ScenarioRegistry& registry) {
+  const Stopwatch total_timer;
+  const std::vector<SweepPoint> points = plan.expand(registry);
+  const std::uint64_t fingerprint = sweep_fingerprint(points);
+
+  SweepReport report;
+  report.outcomes.resize(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i)
+    report.outcomes[i].point = points[i];
+
+  std::vector<char> restored(points.size(), 0);
+  if (options.resume && !options.journal_path.empty())
+    report.resumed = replay_journal(options.journal_path, points, fingerprint,
+                                    report.outcomes, restored);
+
+  // (Re)write the journal: header plus every restored record.  Resuming
+  // compacts the file -- a trailing line truncated by a mid-write kill and
+  // any duplicate lines disappear, so a resumed journal sorts to exactly
+  // the bytes an uninterrupted run produces.  The compacted file is staged
+  // next to the journal and renamed over it so completed work survives a
+  // kill at any instant (the original is the only copy of those records).
+  std::ofstream journal;
+  if (!options.journal_path.empty()) {
+    const std::string staging = options.journal_path + ".compact";
+    {
+      std::ofstream staged(staging, std::ios::trunc);
+      GNCG_CHECK(staged.is_open(),
+                 "cannot open sweep journal staging file " << staging);
+      staged << sweep_journal_header(fingerprint, points.size()) << '\n';
+      for (std::size_t i = 0; i < points.size(); ++i)
+        if (restored[i])
+          staged << sweep_record_json(points[i], report.outcomes[i].result)
+                 << '\n';
+      staged.flush();
+      GNCG_CHECK(staged.good(),
+                 "failed writing sweep journal staging file " << staging);
+    }
+    GNCG_CHECK(std::rename(staging.c_str(), options.journal_path.c_str()) == 0,
+               "cannot move " << staging << " over "
+                              << options.journal_path);
+    journal.open(options.journal_path, std::ios::app);
+    GNCG_CHECK(journal.is_open(),
+               "cannot open sweep journal " << options.journal_path);
+  }
+
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < points.size(); ++i)
+    if (!restored[i]) pending.push_back(i);
+
+  std::mutex sink_mutex;  // journal + progress stream
+  const ThreadCountGuard thread_guard(options.threads);
+  // serial_cutoff 2: each item is an entire job (possibly seconds of work),
+  // so the small-kernel dispatch cutoff must not serialize small plans.
+  parallel_for(
+      0, pending.size(),
+      [&](std::size_t job) {
+        const std::size_t index = pending[job];
+        const SweepPoint& point = points[index];
+        const Scenario& scenario = registry.at(point.scenario);
+        Rng rng(point.rng_stream());
+        const Stopwatch job_timer;
+        ScenarioResult result = scenario.run(point, rng);
+        const double elapsed = job_timer.millis();
+
+        const std::string record = sweep_record_json(point, result);
+        {
+          const std::lock_guard<std::mutex> lock(sink_mutex);
+          if (journal.is_open()) journal << record << '\n' << std::flush;
+          if (options.progress != nullptr)
+            *options.progress << "[sweep] " << point.scenario << " #"
+                              << point.point_index << " host=" << point.host
+                              << " n=" << point.n
+                              << " alpha=" << point.alpha
+                              << " seed=" << point.seed << " ("
+                              << format_double(elapsed, 1) << " ms)\n";
+        }
+        report.outcomes[index].result = std::move(result);
+        report.outcomes[index].elapsed_ms = elapsed;
+      },
+      /*grain=*/1, /*serial_cutoff=*/2);
+
+  // A failed append (disk full) would otherwise go unnoticed: the stream
+  // sets badbit and silently swallows every later record.
+  GNCG_CHECK(options.journal_path.empty() || journal.good(),
+             "sweep journal write to " << options.journal_path
+                                       << " failed (disk full?)");
+
+  report.executed = pending.size();
+  report.elapsed_ms = total_timer.millis();
+  return report;
+}
+
+}  // namespace gncg

@@ -1,0 +1,84 @@
+// Checkpointed parallel sweep execution over expanded plans.
+//
+// The runner executes every job of a SweepPlan on the shared worker pool
+// (dynamic chunking over the pending job list -- long jobs do not block the
+// queue) and journals each completed job as one JSONL record.  Because a
+// job's RNG stream is a pure function of its identity (see sweep/plan.hpp),
+// results are bit-identical for any thread count and any execution order;
+// the journal is therefore both a checkpoint and the canonical result file.
+//
+// Journal format (one JSON object per line):
+//   header:  {"schema":"gncg-sweep-journal-1","fingerprint":"<hex16>",
+//             "jobs":<count>}
+//   record:  {"schema":"gncg-sweep-1","scenario":...,"point":<index>,
+//             "host":...,"n":...,"alpha":...,"norm_p":...,"seed":...,
+//             "stream":"<hex16>","rows":[{"metrics":{...},"tags":{...}}]}
+// Records appear in completion order (non-deterministic under threads); the
+// per-record bytes are deterministic, so sorting the lines of two journals
+// of the same plan yields identical files.  Metrics named *_ms (wall-clock)
+// are stripped before journaling -- they live only in the in-memory report.
+//
+// Resume: `options.resume` replays an existing journal, verifies the plan
+// fingerprint, restores every fully written record without re-running its
+// job, ignores a truncated trailing line (killed mid-write), and appends
+// only the missing jobs.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sweep/plan.hpp"
+#include "sweep/scenario.hpp"
+
+namespace gncg {
+
+struct SweepRunnerOptions {
+  /// Worker threads; 0 keeps the pool default (hardware concurrency).
+  std::size_t threads = 0;
+
+  /// JSONL journal path; empty disables checkpointing.
+  std::string journal_path;
+
+  /// Replay `journal_path` and skip completed jobs instead of truncating.
+  bool resume = false;
+
+  /// Per-completed-job progress notes to this stream (nullptr = silent).
+  std::ostream* progress = nullptr;
+};
+
+/// One completed job with its (restored or freshly computed) result.
+struct SweepOutcome {
+  SweepPoint point;
+  ScenarioResult result;
+  double elapsed_ms = 0.0;    ///< 0 when restored from a journal
+  bool from_journal = false;
+};
+
+struct SweepReport {
+  std::vector<SweepOutcome> outcomes;  ///< sorted by point_index
+  std::size_t executed = 0;            ///< jobs run in this process
+  std::size_t resumed = 0;             ///< jobs restored from the journal
+  double elapsed_ms = 0.0;
+};
+
+/// Executes `plan` against `registry` (the global instance by default).
+/// Contract-fails on plan errors and on resuming a journal whose
+/// fingerprint does not match the plan.
+SweepReport run_sweep(const SweepPlan& plan,
+                      const SweepRunnerOptions& options = {});
+SweepReport run_sweep(const SweepPlan& plan, const SweepRunnerOptions& options,
+                      const ScenarioRegistry& registry);
+
+/// The canonical (deterministic, timing-stripped) journal record for one
+/// outcome -- exactly the line the journal stores.  Exposed so tests and
+/// result sinks share one serialization.
+std::string sweep_record_json(const SweepPoint& point,
+                              const ScenarioResult& result);
+
+/// Journal header line for a plan fingerprint and job count.
+std::string sweep_journal_header(std::uint64_t fingerprint,
+                                 std::size_t job_count);
+
+}  // namespace gncg

@@ -1,0 +1,67 @@
+#include "sweep/scenario.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace gncg {
+
+double ScenarioRow::metric_or_nan(std::string_view name) const {
+  for (const auto& [key, value] : metrics)
+    if (key == name) return value;
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+std::string ScenarioRow::tag_or_empty(std::string_view name) const {
+  for (const auto& [key, value] : tags)
+    if (key == name) return value;
+  return {};
+}
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+  // Magic statics initialize thread-safely and in order: the builtins are
+  // registered before the first caller sees the registry.  (No leaked `new`
+  // -- the ASan CI job runs with leak detection on.)
+  static ScenarioRegistry registry;
+  static const bool builtins_registered =
+      (register_builtin_scenarios(registry), true);
+  (void)builtins_registered;
+  return registry;
+}
+
+void ScenarioRegistry::add(std::shared_ptr<const Scenario> scenario) {
+  GNCG_CHECK(scenario != nullptr, "cannot register a null scenario");
+  GNCG_CHECK(!scenario->name().empty(), "scenario needs a non-empty name");
+  GNCG_CHECK(find(scenario->name()) == nullptr,
+             "duplicate scenario registration: " << scenario->name());
+  scenarios_.push_back(std::move(scenario));
+}
+
+const Scenario* ScenarioRegistry::find(std::string_view name) const {
+  for (const auto& scenario : scenarios_)
+    if (scenario->name() == name) return scenario.get();
+  return nullptr;
+}
+
+const Scenario& ScenarioRegistry::at(std::string_view name) const {
+  const Scenario* scenario = find(name);
+  if (scenario == nullptr) {
+    std::ostringstream known;
+    for (const auto& known_name : names()) known << ' ' << known_name;
+    GNCG_CHECK(false, "unknown scenario '" << name << "' (registered:"
+                                           << known.str() << ")");
+  }
+  return *scenario;
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(scenarios_.size());
+  for (const auto& scenario : scenarios_) out.push_back(scenario->name());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace gncg

@@ -1,0 +1,178 @@
+// Scenario registry: named, self-describing experiment units.
+//
+// A *scenario* packages one workload of the reproduction -- a figure/table
+// experiment, the PoA-explorer dynamics sweep, a random-game PoA probe --
+// behind a uniform interface: it declares which host-backend kinds it
+// supports and which extra parameters it reads, and it maps one SweepPoint
+// (host kind, n, alpha, p-norm, seed) plus a derived RNG to a list of result
+// rows.  The SweepRunner executes scenarios over expanded plans; nothing in
+// a scenario may depend on thread count or execution order (all randomness
+// flows from the passed Rng, which the runner seeds from the job identity
+// via stream_seed).
+//
+// Result rows carry named doubles (metrics) and named strings (tags), in
+// insertion order.  Metrics whose name ends in "_ms" are wall-clock
+// measurements: the runner strips them from journal records and canonical
+// JSONL output so recorded results stay bit-identical across machines and
+// thread counts, while interactive wrappers (poa_explorer) still see them.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "metric/host_graph.hpp"
+#include "support/rng.hpp"
+
+namespace gncg {
+
+struct SweepPoint;  // sweep/plan.hpp
+
+/// True for wall-clock metric names (suffix "_ms").  Timing metrics are
+/// stripped from journal records and canonical output and excluded from
+/// aggregation -- they exist only in the in-memory report of the process
+/// that measured them, so deterministic outputs never depend on the clock.
+constexpr bool is_timing_metric(std::string_view name) {
+  return name.size() >= 3 && name.substr(name.size() - 3) == "_ms";
+}
+
+/// One self-described scenario parameter (beyond the canonical grid axes).
+struct ScenarioParam {
+  std::string name;
+  double default_value = 0.0;
+  std::string description;
+};
+
+/// One result row: ordered named doubles plus ordered named strings.
+struct ScenarioRow {
+  std::vector<std::pair<std::string, double>> metrics;
+  std::vector<std::pair<std::string, std::string>> tags;
+
+  ScenarioRow& metric(std::string name, double value) {
+    metrics.emplace_back(std::move(name), value);
+    return *this;
+  }
+  ScenarioRow& tag(std::string name, std::string value) {
+    tags.emplace_back(std::move(name), std::move(value));
+    return *this;
+  }
+
+  /// Metric lookup; NaN when absent.
+  double metric_or_nan(std::string_view name) const;
+
+  /// Tag lookup; empty string when absent.
+  std::string tag_or_empty(std::string_view name) const;
+};
+
+struct ScenarioResult {
+  std::vector<ScenarioRow> rows;
+};
+
+/// A registered experiment workload.  Implementations must be stateless
+/// const-callable from multiple threads.
+class Scenario {
+ public:
+  virtual ~Scenario() = default;
+
+  virtual const std::string& name() const = 0;
+  virtual const std::string& description() const = 0;
+
+  /// Host-backend kinds this scenario accepts ("dense", "lazy",
+  /// "euclidean", "tree").  Plan expansion intersects the requested hosts
+  /// with this set.
+  virtual const std::vector<std::string>& supported_hosts() const = 0;
+
+  /// Extra parameters read from SweepPoint::extras, with defaults.
+  virtual const std::vector<ScenarioParam>& params() const = 0;
+
+  /// Executes one job.  `rng` is the job's private derived stream.
+  virtual ScenarioResult run(const SweepPoint& point, Rng& rng) const = 0;
+
+  /// Rebuilds the host graph the job under `point` plays on, consuming the
+  /// same `rng` prefix `run` does -- lets tooling dump a job's exact
+  /// instance (instance_io provenance) without re-running it.  nullopt for
+  /// scenarios whose construction is not host-shaped (closed-form figure
+  /// constructions).
+  virtual std::optional<HostGraph> build_host(const SweepPoint& point,
+                                              Rng& rng) const {
+    (void)point;
+    (void)rng;
+    return std::nullopt;
+  }
+};
+
+/// Scenario built from plain functions (how every builtin registers).
+class FunctionScenario final : public Scenario {
+ public:
+  using RunFn = std::function<ScenarioResult(const SweepPoint&, Rng&)>;
+  using HostFn = std::function<std::optional<HostGraph>(const SweepPoint&,
+                                                        Rng&)>;
+
+  FunctionScenario(std::string name, std::string description,
+                   std::vector<std::string> hosts,
+                   std::vector<ScenarioParam> params, RunFn run,
+                   HostFn host = nullptr)
+      : name_(std::move(name)),
+        description_(std::move(description)),
+        hosts_(std::move(hosts)),
+        params_(std::move(params)),
+        run_(std::move(run)),
+        host_(std::move(host)) {}
+
+  const std::string& name() const override { return name_; }
+  const std::string& description() const override { return description_; }
+  const std::vector<std::string>& supported_hosts() const override {
+    return hosts_;
+  }
+  const std::vector<ScenarioParam>& params() const override { return params_; }
+  ScenarioResult run(const SweepPoint& point, Rng& rng) const override {
+    return run_(point, rng);
+  }
+  std::optional<HostGraph> build_host(const SweepPoint& point,
+                                      Rng& rng) const override {
+    if (!host_) return std::nullopt;
+    return host_(point, rng);
+  }
+
+ private:
+  std::string name_;
+  std::string description_;
+  std::vector<std::string> hosts_;
+  std::vector<ScenarioParam> params_;
+  RunFn run_;
+  HostFn host_;
+};
+
+/// Process-wide scenario registry.  `instance()` registers the builtin
+/// scenarios on first use (explicitly, not via static initializers: gncg is
+/// a static library and the linker would drop self-registering translation
+/// units nothing references).
+class ScenarioRegistry {
+ public:
+  /// The global registry with all builtin scenarios registered.
+  static ScenarioRegistry& instance();
+
+  /// Registers a scenario; contract-fails on duplicate names.
+  void add(std::shared_ptr<const Scenario> scenario);
+
+  /// Lookup by name; nullptr when unknown.
+  const Scenario* find(std::string_view name) const;
+
+  /// Lookup that contract-fails with the known-name list on miss.
+  const Scenario& at(std::string_view name) const;
+
+  /// All registered names, sorted.
+  std::vector<std::string> names() const;
+
+ private:
+  std::vector<std::shared_ptr<const Scenario>> scenarios_;
+};
+
+/// Registers the builtin scenario set into `registry` (idempotent on the
+/// global instance; exposed for registry-isolation in tests).
+void register_builtin_scenarios(ScenarioRegistry& registry);
+
+}  // namespace gncg

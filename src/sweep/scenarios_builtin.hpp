@@ -1,0 +1,36 @@
+// Builtin scenario registrations and the shared sweep host builder.
+//
+// Registered scenarios (see register_builtin_scenarios):
+//   fig3_onetwo_poa  -- Figure 3 / Theorem 8: 1-2-GNCG PoA lower bound
+//                       (hosts: dense; n is the clique parameter N >= 2)
+//   fig10_dimension  -- Figure 10 / Theorem 19: 1-norm dimension sweep
+//                       (hosts: euclidean; n is the dimension d >= 1)
+//   br_dynamics      -- the PoA-explorer workload: best-single-move rounds
+//                       over a random host with a cached deviation engine
+//                       (hosts: dense, lazy, euclidean, tree;
+//                        extras: rounds=3, agents=64; one row per round)
+//   poa_random       -- PoA/PoS of random instances against the paper bound
+//                       (hosts: dense, euclidean, tree; extras: attempts=20;
+//                        exact enumeration for n <= 5, sampled beyond)
+//   optimum_gap      -- heuristic optimum quality: local search vs the
+//                       admissible lower bound and the MST baseline
+//                       (hosts: dense, euclidean, tree)
+#pragma once
+
+#include "metric/host_graph.hpp"
+#include "sweep/plan.hpp"
+#include "sweep/scenario.hpp"
+
+namespace gncg {
+
+/// The host graph the random-game scenarios (br_dynamics, poa_random,
+/// optimum_gap) play on, by backend kind:
+///   dense / lazy : random {1,2} host, P(w=1) = 1/2 (metric by construction,
+///                  so large n never pays a cubic repair pass)
+///   euclidean    : n uniform points in [0, 1000]^2 under the point's p-norm
+///   tree         : uniform random tree, edge weights uniform in [1, 10]
+/// Consumes a deterministic rng prefix: callers that re-derive the job's
+/// stream rebuild the exact instance the job used.
+HostGraph make_sweep_host(const SweepPoint& point, Rng& rng);
+
+}  // namespace gncg

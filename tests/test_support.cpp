@@ -89,6 +89,40 @@ TEST(Rng, RejectsZeroBound) {
   EXPECT_THROW(rng.uniform_below(0), ContractViolation);
 }
 
+TEST(StreamSeed, DeterministicAndComponentSensitive) {
+  const auto base = stream_seed("fig3_onetwo_poa", 7, 3);
+  EXPECT_EQ(base, stream_seed("fig3_onetwo_poa", 7, 3));
+  EXPECT_NE(base, stream_seed("fig3_onetwo_poa", 7, 4));
+  EXPECT_NE(base, stream_seed("fig3_onetwo_poa", 8, 3));
+  EXPECT_NE(base, stream_seed("fig10_dimension", 7, 3));
+}
+
+TEST(StreamSeed, AdjacentSeedsDecorrelate) {
+  // The raw `seed + i` convention this replaces produces streams whose
+  // first outputs share long runs of bits; derived streams must not.
+  Rng a(stream_seed("scenario", 0, 100));
+  Rng b(stream_seed("scenario", 0, 101));
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(StreamSeed, StableAcrossRuns) {
+  // Journal resume relies on this value never changing: it is a platform-
+  // independent function of the job identity.  Pin one value forever.
+  EXPECT_EQ(stream_seed("", 0, 0), stream_seed("", 0, 0));
+  constexpr std::uint64_t pinned = stream_seed("pin", 1, 2);
+  static_assert(pinned == stream_seed("pin", 1, 2));
+  EXPECT_NE(stream_seed("pin", 1, 2), stream_seed("pin", 2, 1));
+}
+
+TEST(StreamRng, MatchesSeededRng) {
+  Rng direct(stream_seed("s", 3, 4));
+  Rng derived = stream_rng("s", 3, 4);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(direct(), derived());
+}
+
 TEST(NodeSet, InsertEraseContains) {
   NodeSet set(10);
   EXPECT_TRUE(set.empty());
@@ -164,6 +198,65 @@ TEST(RunningStats, MergeMatchesSequential) {
   EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
   EXPECT_DOUBLE_EQ(left.min(), all.min());
   EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(SampleStats, QuantilesInterpolate) {
+  SampleStats stats;
+  for (double x : {4.0, 1.0, 3.0, 2.0}) stats.add(x);
+  EXPECT_DOUBLE_EQ(stats.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(stats.quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(stats.median(), 2.5);
+  EXPECT_DOUBLE_EQ(stats.quantile(1.0 / 3.0), 2.0);
+  EXPECT_DOUBLE_EQ(stats.quantile(0.5 / 3.0), 1.5);
+}
+
+TEST(SampleStats, MomentsMatchRunningStats) {
+  SampleStats sample;
+  RunningStats running;
+  for (int i = 0; i < 40; ++i) {
+    const double x = 0.73 * i - 11.0;
+    sample.add(x);
+    running.add(x);
+  }
+  EXPECT_EQ(sample.count(), running.count());
+  EXPECT_DOUBLE_EQ(sample.mean(), running.mean());
+  EXPECT_DOUBLE_EQ(sample.stddev(), running.stddev());
+  EXPECT_DOUBLE_EQ(sample.min(), running.min());
+  EXPECT_DOUBLE_EQ(sample.max(), running.max());
+}
+
+TEST(SampleStats, MergeMatchesSequentialAdds) {
+  SampleStats all, left, right;
+  for (int i = 0; i < 31; ++i) {
+    const double x = std::sin(static_cast<double>(i));
+    all.add(x);
+    (i % 3 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_DOUBLE_EQ(left.median(), all.median());
+  EXPECT_DOUBLE_EQ(left.quantile(0.9), all.quantile(0.9));
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-12);
+}
+
+TEST(SampleStats, EmptyAndSingleton) {
+  SampleStats stats;
+  EXPECT_TRUE(std::isnan(stats.median()));
+  EXPECT_THROW(stats.quantile(1.5), ContractViolation);
+  stats.add(7.0);
+  EXPECT_DOUBLE_EQ(stats.quantile(0.25), 7.0);
+  EXPECT_DOUBLE_EQ(stats.median(), 7.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+}
+
+TEST(SampleStats, SortCacheSurvivesInterleavedAdds) {
+  SampleStats stats;
+  stats.add(5.0);
+  stats.add(1.0);
+  EXPECT_DOUBLE_EQ(stats.median(), 3.0);  // forces the lazy sort
+  stats.add(0.0);                         // invalidates it
+  EXPECT_DOUBLE_EQ(stats.median(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 5.0);
 }
 
 TEST(Parallel, ForCoversEveryIndexOnce) {
