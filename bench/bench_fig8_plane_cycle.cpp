@@ -21,7 +21,7 @@ int main() {
                       "strict improvements", "exact best responses"});
   bool any = false;
   for (double alpha : {0.5, 1.0, 2.0, 3.0}) {
-    const auto result = search_theorem17_cycle({alpha}, 24, 777);
+    const auto result = search_theorem17_cycle({alpha}, 24, 8);
     std::string strict = "-";
     std::string exact = "-";
     if (result.found) {
@@ -46,7 +46,7 @@ int main() {
   table.print(std::cout);
 
   // Print the moves of the alpha = 1 cycle for the record.
-  const auto result = search_theorem17_cycle({1.0}, 24, 777);
+  const auto result = search_theorem17_cycle({1.0}, 24, 8);
   if (result.found) {
     std::cout << "\nReplay of the alpha=1 best-response cycle (agent: old "
                  "strategy -> new strategy):\n";

@@ -1,18 +1,22 @@
 // Dynamics lab -- convergence behaviour and the paper's non-convergence
 // results, live.
 //
-// Three demonstrations:
-//  (1) scheduler comparison: how fast best-response dynamics converge under
-//      round-robin / random / max-gain activation across model classes;
-//  (2) Theorem 17: the verified best-response cycle on the paper's exact
+// Four demonstrations:
+//  (1) scheduler comparison: how fast best-single-move dynamics converge
+//      under the five activation schedulers, as thin run_restarts calls --
+//      every scheduler faces the identical start profiles (same restart
+//      label), and the statistics come straight from the RestartReport;
+//  (2) the StepObserver API: a gain trace streamed live from one run;
+//  (3) Theorem 17: the verified best-response cycle on the paper's exact
 //      Figure 8 point set, replayed move by move;
-//  (3) Theorem 14: an exhaustively certified improving-move cycle on a tree
+//  (4) Theorem 14: an exhaustively certified improving-move cycle on a tree
 //      metric (the witness that the game admits no potential function).
 #include <iostream>
 
 #include "constructions/cycle_instances.hpp"
 #include "core/dynamics.hpp"
 #include "core/fip.hpp"
+#include "core/restarts.hpp"
 #include "metric/host_graph.hpp"
 #include "metric/tree.hpp"
 #include "support/stats.hpp"
@@ -20,49 +24,87 @@
 
 using namespace gncg;
 
+namespace {
+
+/// Observer demo: prints the first few step gains as they stream.
+class GainPrinter final : public StepObserver {
+ public:
+  explicit GainPrinter(std::size_t limit) : limit_(limit) {}
+
+  void on_step(const DynamicsStep& step, std::uint64_t move_index) override {
+    if (move_index > limit_) return;
+    std::cout << "  step " << move_index << ": agent " << step.agent
+              << " gains " << format_double(step.old_cost - step.new_cost, 3)
+              << "\n";
+  }
+  void on_run_end(const DynamicsResult& result) override {
+    std::cout << "  ... " << result.moves << " moves total, mean gain "
+              << format_double(result.step_gains.mean(), 3) << " (from "
+              << result.step_gains.count() << " streamed steps)\n";
+  }
+
+ private:
+  std::size_t limit_;
+};
+
+}  // namespace
+
 int main() {
-  // (1) Scheduler comparison.
-  print_banner(std::cout, "1 | Convergence under different schedulers");
+  // (1) Scheduler comparison over the restart driver.
+  print_banner(std::cout, "1 | Convergence under the five schedulers");
   ConsoleTable conv({"model", "scheduler", "converged", "avg moves",
-                     "max moves"});
+                     "median", "max moves"});
   Rng rng(3);
-  const struct {
-    const char* name;
-    SchedulerKind kind;
-  } schedulers[] = {{"round-robin", SchedulerKind::kRoundRobin},
-                    {"random", SchedulerKind::kRandomOrder},
-                    {"max-gain", SchedulerKind::kMaxGain}};
+  const SchedulerKind schedulers[] = {
+      SchedulerKind::kRoundRobin, SchedulerKind::kRandomOrder,
+      SchedulerKind::kMaxGain, SchedulerKind::kFairnessBounded,
+      SchedulerKind::kSoftmaxGain};
   for (int flavor = 0; flavor < 2; ++flavor) {
     const std::string model = flavor == 0 ? "M-GNCG (n=8)" : "1-2-GNCG (n=8)";
-    for (const auto& sched : schedulers) {
-      RunningStats moves;
-      int converged = 0;
-      for (int trial = 0; trial < 5; ++trial) {
-        const Game game(flavor == 0 ? random_metric_host(8, rng)
-                                    : random_one_two_host(8, 0.5, rng),
-                        1.0);
-        DynamicsOptions options;
-        options.rule = MoveRule::kBestSingleMove;
-        options.scheduler = sched.kind;
-        options.max_moves = 5000;
-        options.seed = rng();
-        const auto run = run_dynamics(game, random_profile(game, rng), options);
-        converged += run.converged ? 1 : 0;
-        moves.add(static_cast<double>(run.moves));
-      }
+    const Game game(flavor == 0 ? random_metric_host(8, rng)
+                                : random_one_two_host(8, 0.5, rng),
+                    1.0);
+    for (const auto scheduler : schedulers) {
+      RestartOptions options;
+      options.restarts = 5;
+      options.seed = 3;
+      // One label for all schedulers: every row faces identical starts.
+      options.label = "dynamics_lab";
+      options.dynamics.rule = MoveRule::kBestSingleMove;
+      options.dynamics.scheduler = scheduler;
+      options.dynamics.max_moves = 5000;
+      const RestartReport report = run_restarts(game, options);
+      SampleStats moves;
+      for (const auto& run : report.runs)
+        moves.add(static_cast<double>(run.result.moves));
       conv.begin_row()
           .add(model)
-          .add(sched.name)
-          .add(std::to_string(converged) + "/5")
+          .add(std::string(scheduler_name(scheduler)))
+          .add(std::to_string(report.converged) + "/5")
           .add(moves.mean(), 1)
+          .add(moves.median(), 1)
           .add(moves.max(), 0);
     }
   }
   conv.print(std::cout);
 
-  // (2) Theorem 17 best-response cycle on the paper's points.
-  print_banner(std::cout, "2 | Theorem 17: best-response cycle, Figure 8 points");
-  const auto plane = search_theorem17_cycle({1.0}, 24, 777);
+  // (2) Observer API: stream one run's gains.
+  print_banner(std::cout, "2 | StepObserver: live gain trace (max-gain)");
+  {
+    const Game game(random_metric_host(8, rng), 1.0);
+    GainPrinter printer(/*limit=*/6);
+    DynamicsOptions options;
+    options.rule = MoveRule::kBestSingleMove;
+    options.scheduler = SchedulerKind::kMaxGain;
+    options.max_moves = 5000;
+    options.observer = &printer;
+    Rng start_rng(17);
+    run_dynamics(game, random_profile(game, start_rng), options);
+  }
+
+  // (3) Theorem 17 best-response cycle on the paper's points.
+  print_banner(std::cout, "3 | Theorem 17: best-response cycle, Figure 8 points");
+  const auto plane = search_theorem17_cycle({1.0}, 24, 8);
   if (plane.found) {
     const Game game(HostGraph::from_points(theorem17_points(), 1.0), 1.0);
     const bool verified = verify_improvement_cycle(
@@ -81,8 +123,8 @@ int main() {
     std::cout << "no cycle found within budget (raise attempts)\n";
   }
 
-  // (3) Theorem 14 improving-move cycle on a tree metric.
-  print_banner(std::cout, "3 | Theorem 14: improving-move cycle, tree metric");
+  // (4) Theorem 14 improving-move cycle on a tree metric.
+  print_banner(std::cout, "4 | Theorem 14: improving-move cycle, tree metric");
   const auto tree_cycle = find_tree_fip_violation(4, 100, 12345, 1.0);
   if (tree_cycle.found) {
     std::cout << "tree edges:";

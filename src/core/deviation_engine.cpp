@@ -1,5 +1,6 @@
 #include "core/deviation_engine.hpp"
 
+#include "core/transposition.hpp"
 #include "graph/dijkstra.hpp"
 #include "support/parallel.hpp"
 
@@ -11,6 +12,7 @@ DeviationEngine::DeviationEngine(const Game& game, StrategyProfile profile)
              "profile/game size mismatch");
   adjacency_ = build_adjacency(game, profile_);
   caches_.resize(static_cast<std::size_t>(game.node_count()));
+  profile_hash_ = zobrist_profile_hash(profile_);
 }
 
 void DeviationEngine::link(int a, int b) {
@@ -41,6 +43,7 @@ void DeviationEngine::add_buy(int u, int v) {
   if (profile_.buys(u, v)) return;
   const bool existed = profile_.has_edge(u, v);
   profile_.add_buy(u, v);
+  profile_hash_ ^= zobrist_buy_key(u, v);
   // Double-ownership adds do not change the built topology: the adjacency
   // entry already exists and every distance cache stays valid.
   if (!existed) {
@@ -52,6 +55,7 @@ void DeviationEngine::add_buy(int u, int v) {
 void DeviationEngine::remove_buy(int u, int v) {
   if (!profile_.buys(u, v)) return;
   profile_.remove_buy(u, v);
+  profile_hash_ ^= zobrist_buy_key(u, v);
   if (!profile_.has_edge(u, v)) {
     unlink(u, v);
     ++epoch_;
@@ -93,6 +97,7 @@ void DeviationEngine::set_profile(StrategyProfile profile) {
              "profile/game size mismatch");
   profile_ = std::move(profile);
   adjacency_ = build_adjacency(*game_, profile_);
+  profile_hash_ = zobrist_profile_hash(profile_);
   ++epoch_;
 }
 

@@ -39,6 +39,13 @@
 // after the last mutation and are const + thread-safe, which is what the
 // dynamics scheduler's parallel proposal batching runs on.
 //
+// The engine also maintains the Zobrist ownership hash of its profile
+// (core/transposition.hpp) incrementally: every ownership mutation --
+// including double-ownership changes that leave the topology and the
+// distance caches untouched -- updates `profile_hash()` in O(1), so
+// dynamics cycle detection reads a fingerprint per step instead of
+// rehashing the profile.
+//
 // Host weights are queried per candidate through Game::weight, i.e. the
 // host-metric backend (metric/host_backend.hpp): stable, const and
 // thread-safe, O(1) on dense hosts and O(d)/O(1) on implicit geometric
@@ -62,6 +69,10 @@ class DeviationEngine {
 
   const Game& game() const { return *game_; }
   const StrategyProfile& profile() const { return profile_; }
+
+  /// Zobrist ownership hash of the current profile, maintained O(1) under
+  /// every mutation.  Always equals zobrist_profile_hash(profile()).
+  std::uint64_t profile_hash() const { return profile_hash_; }
 
   /// Materialized adjacency of the built network (double ownership collapsed
   /// into one undirected entry).  Invalidated by mutations.
@@ -190,6 +201,7 @@ class DeviationEngine {
   std::vector<std::vector<Neighbor>> adjacency_;
   std::vector<AgentCache> caches_;
   std::uint64_t epoch_ = 1;
+  std::uint64_t profile_hash_ = 0;
 };
 
 }  // namespace gncg

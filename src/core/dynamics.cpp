@@ -1,155 +1,66 @@
 #include "core/dynamics.hpp"
 
 #include <algorithm>
-#include <numeric>
-#include <unordered_map>
+#include <cmath>
+#include <utility>
 
-#include "core/deviation_engine.hpp"
-#include "core/facility_location.hpp"
-#include "graph/union_find.hpp"
-#include "support/parallel.hpp"
+#include "core/transposition.hpp"
 
 namespace gncg {
 
 namespace {
 
-/// A proposed deviation for one agent: the strategy and the resulting cost.
-struct Proposal {
-  bool improving = false;
-  NodeSet strategy;
-  double old_cost = kInf;
-  double new_cost = kInf;
-};
-
-/// Proposal for one agent against warm engine state.  Const on the engine,
-/// so the kMaxGain scheduler can fan all agents out over the worker pool.
-Proposal propose_warm(const DeviationEngine& engine, int u, MoveRule rule) {
-  const Game& game = engine.game();
-  Proposal proposal;
-  switch (rule) {
-    case MoveRule::kBestResponse: {
-      const double current = engine.agent_cost_warm(u);
-      BestResponseOptions options;
-      options.incumbent = current;
-      const auto br = exact_best_response(engine, u, options);
-      proposal.old_cost = current;
-      if (br.improved) {
-        proposal.improving = true;
-        proposal.strategy = br.strategy;
-        proposal.new_cost = br.cost;
-      }
-      return proposal;
-    }
-    case MoveRule::kBestSingleMove:
-    case MoveRule::kBestAddition: {
-      const auto move = rule == MoveRule::kBestSingleMove
-                            ? engine.best_single_move_warm(u)
-                            : engine.best_addition_warm(u);
-      proposal.old_cost = move.current_cost;
-      if (move.improved) {
-        proposal.improving = true;
-        NodeSet next = engine.profile().strategy(u);
-        if (move.move.remove >= 0) next.erase(move.move.remove);
-        if (move.move.add >= 0) next.insert(move.move.add);
-        proposal.strategy = std::move(next);
-        proposal.new_cost = move.cost;
-      }
-      return proposal;
-    }
-    case MoveRule::kUmflResponse: {
-      const double current = engine.agent_cost_warm(u);
-      NodeSet candidate = approx_best_response_umfl(game, engine.profile(), u);
-      const double cost = engine.cost_of_strategy(u, candidate);
-      proposal.old_cost = current;
-      if (improves(cost, current) &&
-          !(candidate == engine.profile().strategy(u))) {
-        proposal.improving = true;
-        proposal.strategy = std::move(candidate);
-        proposal.new_cost = cost;
-      }
-      return proposal;
-    }
-  }
-  return proposal;
+std::unique_ptr<MoveRulePolicy> resolve_rule(const DynamicsOptions& options,
+                                             const PolicyConfig& config) {
+  if (!options.rule_name.empty())
+    return DynamicsPolicyRegistry::instance().make_rule(options.rule_name,
+                                                        config);
+  return make_move_rule(options.rule, config);
 }
 
-Proposal propose(DeviationEngine& engine, int u, MoveRule rule) {
-  // Single-move scans read every agent's cached vector; the other rules
-  // only read u's (the BR/UMFL searches run their own Dijkstras), so a
-  // full warm-up would waste n-1 SSSP per proposal.
-  if (rule == MoveRule::kBestSingleMove || rule == MoveRule::kBestAddition) {
-    engine.warm_distances();
-  } else {
-    engine.distance_cost(u);
-  }
-  return propose_warm(engine, u, rule);
+std::unique_ptr<SchedulerPolicy> resolve_scheduler(
+    const DynamicsOptions& options, const PolicyConfig& config) {
+  if (!options.scheduler_name.empty())
+    return DynamicsPolicyRegistry::instance().make_scheduler(
+        options.scheduler_name, config);
+  return make_scheduler(options.scheduler, config);
 }
-
-/// One agent's entry in the kMaxGain tournament.
-struct BestProposal {
-  int agent = -1;
-  double gain = 0.0;
-  Proposal proposal;
-};
-
-/// Folds agent u's proposal into the accumulator: largest gain wins, ties go
-/// to the smallest agent id (the order the sequential scan would keep).
-void fold_proposal(BestProposal& best, const DeviationEngine& engine, int u,
-                   MoveRule rule) {
-  Proposal p = propose_warm(engine, u, rule);
-  if (!p.improving) return;
-  const double gain = (p.old_cost < kInf && p.new_cost < kInf)
-                          ? p.old_cost - p.new_cost
-                          : kInf;
-  if (best.agent < 0 || gain > best.gain ||
-      (gain == best.gain && u < best.agent)) {
-    best.agent = u;
-    best.gain = gain;
-    best.proposal = std::move(p);
-  }
-}
-
-/// Tracks visited profiles for cycle detection (hash index + full-profile
-/// confirmation to rule out collisions).
-class ProfileHistory {
- public:
-  /// Records `profile` at trajectory position `index`; returns the previous
-  /// position of an identical profile, or npos.
-  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
-
-  std::size_t record(const StrategyProfile& profile, std::size_t index) {
-    const std::uint64_t h = profile.hash();
-    auto [it, inserted] = index_.try_emplace(h);
-    for (std::size_t at : it->second)
-      if (profiles_[at] == profile) return at;
-    it->second.push_back(index);
-    if (profiles_.size() <= index) profiles_.resize(index + 1, profile);
-    profiles_[index] = profile;
-    return npos;
-  }
-
- private:
-  std::unordered_map<std::uint64_t, std::vector<std::size_t>> index_;
-  std::vector<StrategyProfile> profiles_;
-};
 
 }  // namespace
 
 DynamicsResult run_dynamics(const Game& game, StrategyProfile start,
                             const DynamicsOptions& options) {
-  const int n = game.node_count();
-  GNCG_CHECK(start.node_count() == n, "profile/game size mismatch");
+  GNCG_CHECK(start.node_count() == game.node_count(),
+             "profile/game size mismatch");
+  DeviationEngine engine(game, std::move(start));
+  return run_dynamics(engine, options);
+}
+
+DynamicsResult run_dynamics(DeviationEngine& engine,
+                            const DynamicsOptions& options) {
+  const int n = engine.game().node_count();
   Rng rng(options.seed);
+  PolicyConfig config;
+  config.node_count = n;
+  config.fairness_bound = options.fairness_bound;
+  config.softmax_tau = options.softmax_tau;
+  const auto rule = resolve_rule(options, config);
+  const auto scheduler = resolve_scheduler(options, config);
 
   DynamicsResult result;
-  DeviationEngine engine(game, std::move(start));
-  ProfileHistory history;
-  if (options.detect_cycles) history.record(engine.profile(), 0);
+  TranspositionTable visited;
+  if (options.detect_cycles)
+    visited.insert(engine.profile_hash(), engine.profile(), 0);
+  if (options.observer != nullptr) options.observer->on_run_start(engine);
 
-  std::vector<int> order(static_cast<std::size_t>(n));
-  std::iota(order.begin(), order.end(), 0);
-
-  auto take_step = [&](int agent, Proposal&& proposal) -> bool {
+  for (;;) {
+    auto activation = scheduler->next(engine, *rule, rng);
+    if (!activation.has_value()) {
+      result.converged = true;
+      break;
+    }
+    const int agent = activation->agent;
+    Proposal& proposal = activation->proposal;
     DynamicsStep step;
     step.agent = agent;
     step.old_strategy = engine.profile().strategy(agent);
@@ -157,62 +68,34 @@ DynamicsResult run_dynamics(const Game& game, StrategyProfile start,
     step.old_cost = proposal.old_cost;
     step.new_cost = proposal.new_cost;
     engine.set_strategy(agent, std::move(proposal.strategy));
-    result.steps.push_back(std::move(step));
     ++result.moves;
-    if (options.detect_cycles) {
-      const std::size_t prev = history.record(engine.profile(), result.moves);
-      if (prev != ProfileHistory::npos) {
-        result.cycle_found = true;
-        result.cycle_start = prev;
-        result.cycle_length = result.moves - prev;
-        return true;  // stop
-      }
-    }
-    return result.moves >= options.max_moves;
-  };
+    if (step.old_cost < kInf)
+      result.step_gains.add(step.old_cost - step.new_cost);
+    if (options.observer != nullptr)
+      options.observer->on_step(step, result.moves);
+    if (options.record_steps) result.steps.push_back(std::move(step));
 
-  bool stop = false;
-  while (!stop) {
-    ++result.rounds;
-    bool any_move = false;
-    if (options.scheduler == SchedulerKind::kMaxGain) {
-      // Activate the agent with the single largest improvement.  All agents
-      // are proposed against the same warm engine state, fanned out over
-      // the worker pool.
-      engine.warm_distances();
-      BestProposal best = parallel_reduce<BestProposal>(
-          0, static_cast<std::size_t>(n), [] { return BestProposal{}; },
-          [&](BestProposal& acc, std::size_t u) {
-            fold_proposal(acc, engine, static_cast<int>(u), options.rule);
-          },
-          [](BestProposal& total, BestProposal& acc) {
-            if (acc.agent < 0) return;
-            if (total.agent < 0 || acc.gain > total.gain ||
-                (acc.gain == total.gain && acc.agent < total.agent)) {
-              total = std::move(acc);
-            }
-          },
-          /*grain=*/1);
-      if (best.agent >= 0) {
-        any_move = true;
-        stop = take_step(best.agent, std::move(best.proposal));
+    if (options.detect_cycles) {
+      // O(1) incremental fingerprint; a hit is confirmed by exact profile
+      // comparison inside the table, so collisions never fake a cycle.
+      const std::uint64_t hash = engine.profile_hash();
+      const std::size_t prev = visited.find(hash, engine.profile());
+      if (prev != TranspositionTable::npos) {
+        result.cycle_found = true;
+        result.cycle_start = static_cast<std::size_t>(visited.value(prev));
+        result.cycle_length =
+            static_cast<std::size_t>(result.moves) - result.cycle_start;
+        break;
       }
-    } else {
-      if (options.scheduler == SchedulerKind::kRandomOrder) rng.shuffle(order);
-      for (int u : order) {
-        if (stop) break;
-        Proposal p = propose(engine, u, options.rule);
-        if (!p.improving) continue;
-        any_move = true;
-        stop = take_step(u, std::move(p));
-      }
+      visited.insert(hash, engine.profile(), result.moves);
     }
-    if (!any_move && !stop) {
-      result.converged = true;
-      break;
-    }
+    if (result.moves >= options.max_moves) break;
   }
+
+  result.rounds = scheduler->rounds();
+  result.hash_collisions = visited.collisions();
   result.final_profile = engine.profile();
+  if (options.observer != nullptr) options.observer->on_run_end(result);
   return result;
 }
 
@@ -237,31 +120,6 @@ bool verify_improvement_cycle(const Game& game, const StrategyProfile& start,
     profile = std::move(next);
   }
   return profile == start;
-}
-
-StrategyProfile random_profile(const Game& game, Rng& rng,
-                               double extra_edge_prob) {
-  const int n = game.node_count();
-  StrategyProfile profile(n);
-
-  // Random spanning structure over purchasable pairs (random edge order +
-  // union-find), each edge bought by a uniformly random endpoint.
-  std::vector<std::pair<int, int>> pairs;
-  for (int u = 0; u < n; ++u)
-    for (int v = u + 1; v < n; ++v)
-      if (game.can_buy(u, v)) pairs.emplace_back(u, v);
-  rng.shuffle(pairs);
-  UnionFind dsu(n);
-  for (const auto& [u, v] : pairs) {
-    if (dsu.unite(u, v)) {
-      if (rng.bernoulli(0.5)) profile.add_buy(u, v);
-      else profile.add_buy(v, u);
-    } else if (rng.bernoulli(extra_edge_prob)) {
-      if (rng.bernoulli(0.5)) profile.add_buy(u, v);
-      else profile.add_buy(v, u);
-    }
-  }
-  return profile;
 }
 
 }  // namespace gncg

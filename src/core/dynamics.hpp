@@ -1,47 +1,36 @@
-// Game dynamics: sequential improving-move processes and their convergence.
+// The dynamics kernel: sequential improving-move processes and their
+// convergence, over pluggable policies.
 //
 // The paper shows none of its models has the Finite Improvement Property
 // (Corollary 1, Theorems 14 and 17): improving-move sequences can cycle, so
-// best-response dynamics carry no convergence guarantee.  This engine runs
-// the dynamics anyway -- with several move rules and activation schedulers
-// -- detects revisited strategy profiles (which certifies a best-response /
-// improving-move cycle in the paper's sense), and can replay and re-verify a
-// found cycle step by step.
+// best-response dynamics carry no convergence guarantee.  This kernel runs
+// the dynamics anyway: a SchedulerPolicy picks improving activations under
+// a MoveRulePolicy (core/dynamics_policy.hpp), every applied step streams
+// through the StepObserver API, and revisited strategy profiles -- which
+// certify a best-response / improving-move cycle in the paper's sense --
+// are detected via the engine's incremental Zobrist hash against a
+// transposition table (core/transposition.hpp), with exact profile
+// comparison confirming every hash hit so a collision can never report a
+// false cycle.
+//
+// Restart orchestration (parallel multi-start sweeps over this kernel)
+// lives in core/restarts.hpp; start-profile generators in
+// core/profile_gen.hpp.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
-#include "core/best_response.hpp"
+#include "core/deviation_engine.hpp"
+#include "core/dynamics_policy.hpp"
 #include "core/game.hpp"
+#include "core/profile_gen.hpp"
 #include "support/rng.hpp"
+#include "support/stats.hpp"
 
 namespace gncg {
 
-/// What an activated agent plays.
-enum class MoveRule {
-  kBestResponse,    ///< exact best response (exponential per activation)
-  kBestSingleMove,  ///< best add/delete/swap (the GE move set)
-  kBestAddition,    ///< best single addition (the AE move set)
-  kUmflResponse,    ///< 3-approximate BR via facility-location local search
-};
-
-/// Order in which agents are activated.
-enum class SchedulerKind {
-  kRoundRobin,   ///< fixed order 0..n-1, repeated
-  kRandomOrder,  ///< fresh uniform permutation every round
-  kMaxGain,      ///< activate the agent with the largest cost improvement
-};
-
-struct DynamicsOptions {
-  MoveRule rule = MoveRule::kBestResponse;
-  SchedulerKind scheduler = SchedulerKind::kRoundRobin;
-  std::uint64_t max_moves = 10000;
-  bool detect_cycles = true;
-  std::uint64_t seed = 1;
-};
-
-/// One improving move taken during the run.
+/// One improving move taken during a run.
 struct DynamicsStep {
   int agent = -1;
   NodeSet old_strategy;
@@ -50,22 +39,83 @@ struct DynamicsStep {
   double new_cost = 0.0;
 };
 
+struct DynamicsResult;
+
+/// Streaming observer over a dynamics run.  The kernel's own trace and
+/// gain-statistics recording go through the same callbacks, so sinks
+/// (labs, benches, sweep scenarios) subscribe instead of re-deriving state
+/// from raw step vectors.
+///
+/// Lifetime contract: the observer must outlive the run_dynamics call it is
+/// passed to; the kernel never retains it afterwards.  Callbacks arrive on
+/// the calling thread, strictly ordered (on_run_start, then one on_step per
+/// applied move, then on_run_end).  The engine reference passed to
+/// on_run_start is only valid during the callback.
+class StepObserver {
+ public:
+  virtual ~StepObserver() = default;
+
+  /// Called once before the first activation, against the start state.
+  virtual void on_run_start(const DeviationEngine& engine) { (void)engine; }
+
+  /// Called after step `move_index` (1-based) was applied to the engine.
+  virtual void on_step(const DynamicsStep& step, std::uint64_t move_index) = 0;
+
+  /// Called once with the finished result (cycle/convergence flags set).
+  virtual void on_run_end(const DynamicsResult& result) { (void)result; }
+};
+
+struct DynamicsOptions {
+  MoveRule rule = MoveRule::kBestResponse;
+  SchedulerKind scheduler = SchedulerKind::kRoundRobin;
+
+  /// When non-empty, resolved through DynamicsPolicyRegistry and overriding
+  /// the enum -- the hook for registered non-builtin policies.
+  std::string rule_name;
+  std::string scheduler_name;
+
+  std::uint64_t max_moves = 10000;
+  bool detect_cycles = true;
+  std::uint64_t seed = 1;
+
+  /// Policy knobs (see PolicyConfig).
+  std::uint64_t fairness_bound = 0;
+  double softmax_tau = 0.25;
+
+  /// Record the full move trajectory into DynamicsResult::steps.  Disable
+  /// for bulk restart sweeps that only consume aggregate statistics; note
+  /// cycle *replay* (cycle_steps / verify_improvement_cycle) needs the
+  /// trace.
+  bool record_steps = true;
+
+  /// Optional observer streamed every applied step (non-owning; must
+  /// outlive the run).
+  StepObserver* observer = nullptr;
+};
+
 struct DynamicsResult {
-  bool converged = false;     ///< a full activation round produced no move
+  bool converged = false;     ///< the scheduler found no improving agent
   bool cycle_found = false;   ///< a strategy profile repeated
   std::size_t cycle_start = 0;   ///< step index where the cycle begins
   std::size_t cycle_length = 0;  ///< number of moves in the cycle
   std::uint64_t moves = 0;
   std::uint64_t rounds = 0;
+  /// Confirmed transposition-hash collisions during cycle detection
+  /// (distinct profiles sharing a hash -- resolved exactly, never trusted).
+  std::uint64_t hash_collisions = 0;
   StrategyProfile final_profile;
-  std::vector<DynamicsStep> steps;  ///< full move trajectory
+  /// Full move trajectory (empty when record_steps was off).
+  std::vector<DynamicsStep> steps;
+  /// Streaming statistics over per-step cost improvements (finite gains
+  /// only), so aggregation sinks stop recomputing them from raw traces.
+  SampleStats step_gains;
 
   /// The moves forming the detected cycle (empty when none).  The cycle's
   /// start profile equals `final_profile` (the repeated state), so
   /// `verify_improvement_cycle(game, final_profile, cycle_steps(), ...)`
-  /// certifies it.
+  /// certifies it.  Requires record_steps.
   std::vector<DynamicsStep> cycle_steps() const {
-    if (!cycle_found) return {};
+    if (!cycle_found || steps.size() < cycle_start) return {};
     return {steps.begin() + static_cast<std::ptrdiff_t>(cycle_start),
             steps.end()};
   }
@@ -76,6 +126,12 @@ struct DynamicsResult {
 DynamicsResult run_dynamics(const Game& game, StrategyProfile start,
                             const DynamicsOptions& options);
 
+/// Same, from the engine's current profile.  The restart driver reuses one
+/// engine per worker this way (set_profile + run) instead of paying an
+/// engine construction per restart.
+DynamicsResult run_dynamics(DeviationEngine& engine,
+                            const DynamicsOptions& options);
+
 /// Replays `cycle` from `start` and verifies that (a) every step strictly
 /// improves the moving agent's cost, (b) when `require_best_response` each
 /// step lands on an exact best response, and (c) the final profile equals
@@ -83,11 +139,5 @@ DynamicsResult run_dynamics(const Game& game, StrategyProfile start,
 bool verify_improvement_cycle(const Game& game, const StrategyProfile& start,
                               const std::vector<DynamicsStep>& cycle,
                               bool require_best_response);
-
-/// Random profile generator for dynamics restarts: a uniform random spanning
-/// tree of the purchasable pairs with random edge ownership, plus each
-/// remaining purchasable pair bought with probability `extra_edge_prob`.
-StrategyProfile random_profile(const Game& game, Rng& rng,
-                               double extra_edge_prob = 0.15);
 
 }  // namespace gncg

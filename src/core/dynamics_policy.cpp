@@ -1,0 +1,504 @@
+#include "core/dynamics_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+#include "core/best_response.hpp"
+#include "core/facility_location.hpp"
+#include "support/parallel.hpp"
+
+namespace gncg {
+
+namespace {
+
+// --- move rules -----------------------------------------------------------
+
+class BestResponseRule final : public MoveRulePolicy {
+ public:
+  std::string_view name() const override { return "best_response"; }
+  bool wants_full_warm() const override { return false; }
+
+  Proposal propose_warm(const DeviationEngine& engine, int u) const override {
+    Proposal proposal;
+    const double current = engine.agent_cost_warm(u);
+    BestResponseOptions options;
+    options.incumbent = current;
+    const auto br = exact_best_response(engine, u, options);
+    proposal.old_cost = current;
+    if (br.improved) {
+      proposal.improving = true;
+      proposal.strategy = br.strategy;
+      proposal.new_cost = br.cost;
+    }
+    return proposal;
+  }
+};
+
+/// Shared body of the GE (add/delete/swap) and AE (add-only) scan rules.
+class SingleMoveRule final : public MoveRulePolicy {
+ public:
+  explicit SingleMoveRule(bool additions_only)
+      : additions_only_(additions_only) {}
+
+  std::string_view name() const override {
+    return additions_only_ ? "best_addition" : "best_single_move";
+  }
+  bool wants_full_warm() const override { return true; }
+
+  Proposal propose_warm(const DeviationEngine& engine, int u) const override {
+    Proposal proposal;
+    const auto move = additions_only_ ? engine.best_addition_warm(u)
+                                      : engine.best_single_move_warm(u);
+    proposal.old_cost = move.current_cost;
+    if (move.improved) {
+      proposal.improving = true;
+      NodeSet next = engine.profile().strategy(u);
+      if (move.move.remove >= 0) next.erase(move.move.remove);
+      if (move.move.add >= 0) next.insert(move.move.add);
+      proposal.strategy = std::move(next);
+      proposal.new_cost = move.cost;
+    }
+    return proposal;
+  }
+
+ private:
+  bool additions_only_;
+};
+
+class UmflRule final : public MoveRulePolicy {
+ public:
+  std::string_view name() const override { return "umfl_response"; }
+  bool wants_full_warm() const override { return false; }
+
+  Proposal propose_warm(const DeviationEngine& engine, int u) const override {
+    Proposal proposal;
+    const double current = engine.agent_cost_warm(u);
+    NodeSet candidate =
+        approx_best_response_umfl(engine.game(), engine.profile(), u);
+    const double cost = engine.cost_of_strategy(u, candidate);
+    proposal.old_cost = current;
+    if (improves(cost, current) &&
+        !(candidate == engine.profile().strategy(u))) {
+      proposal.improving = true;
+      proposal.strategy = std::move(candidate);
+      proposal.new_cost = cost;
+    }
+    return proposal;
+  }
+};
+
+// --- schedulers -----------------------------------------------------------
+
+/// Round-robin / random-order: probe agents along an activation order; a
+/// step continues the current round, a full round without a move certifies
+/// convergence (the profile only changes on applied steps, so nothing can
+/// start improving between silent probes).
+class OrderScheduler final : public SchedulerPolicy {
+ public:
+  OrderScheduler(int n, bool reshuffle) : reshuffle_(reshuffle) {
+    order_.resize(static_cast<std::size_t>(n));
+    std::iota(order_.begin(), order_.end(), 0);
+    cursor_ = order_.size();  // first next() opens round 1
+  }
+
+  std::string_view name() const override {
+    return reshuffle_ ? "random_order" : "round_robin";
+  }
+
+  std::optional<Activation> next(DeviationEngine& engine,
+                                 const MoveRulePolicy& rule,
+                                 Rng& rng) override {
+    for (;;) {
+      if (cursor_ >= order_.size()) {
+        if (!moved_this_round_ && rounds_ > 0) return std::nullopt;
+        cursor_ = 0;
+        moved_this_round_ = false;
+        ++rounds_;
+        if (reshuffle_) rng.shuffle(order_);
+      }
+      const int u = order_[cursor_++];
+      Proposal proposal = propose(engine, rule, u);
+      if (proposal.improving) {
+        moved_this_round_ = true;
+        return Activation{u, std::move(proposal)};
+      }
+    }
+  }
+
+  std::uint64_t rounds() const override { return rounds_; }
+
+ private:
+  bool reshuffle_;
+  std::vector<int> order_;
+  std::size_t cursor_ = 0;
+  bool moved_this_round_ = false;
+  std::uint64_t rounds_ = 0;
+};
+
+/// One agent's entry in the max-gain tournament.
+struct BestProposal {
+  int agent = -1;
+  double gain = 0.0;
+  Proposal proposal;
+};
+
+/// Folds agent u's proposal into the accumulator: largest gain wins, ties
+/// go to the smallest agent id (the order a sequential scan would keep).
+void fold_proposal(BestProposal& best, const DeviationEngine& engine, int u,
+                   const MoveRulePolicy& rule) {
+  Proposal p = rule.propose_warm(engine, u);
+  if (!p.improving) return;
+  const double gain = p.gain();
+  if (best.agent < 0 || gain > best.gain ||
+      (gain == best.gain && u < best.agent)) {
+    best.agent = u;
+    best.gain = gain;
+    best.proposal = std::move(p);
+  }
+}
+
+class MaxGainScheduler final : public SchedulerPolicy {
+ public:
+  explicit MaxGainScheduler(int n) : n_(n) {}
+
+  std::string_view name() const override { return "max_gain"; }
+
+  std::optional<Activation> next(DeviationEngine& engine,
+                                 const MoveRulePolicy& rule, Rng&) override {
+    // All agents are proposed against the same warm engine state, fanned
+    // out over the worker pool.
+    engine.warm_distances();
+    BestProposal best = parallel_reduce<BestProposal>(
+        0, static_cast<std::size_t>(n_), [] { return BestProposal{}; },
+        [&](BestProposal& acc, std::size_t u) {
+          fold_proposal(acc, engine, static_cast<int>(u), rule);
+        },
+        [](BestProposal& total, BestProposal& acc) {
+          if (acc.agent < 0) return;
+          if (total.agent < 0 || acc.gain > total.gain ||
+              (acc.gain == total.gain && acc.agent < total.agent)) {
+            total = std::move(acc);
+          }
+        },
+        /*grain=*/1);
+    if (best.agent < 0) return std::nullopt;
+    ++steps_;
+    return Activation{best.agent, std::move(best.proposal)};
+  }
+
+  std::uint64_t rounds() const override { return steps_; }
+
+ private:
+  int n_;
+  std::uint64_t steps_ = 0;
+};
+
+/// Proposes every agent against warm state into a pre-sized vector (one
+/// writer per slot, so the result is independent of thread count).
+std::vector<Proposal> propose_all(DeviationEngine& engine,
+                                  const MoveRulePolicy& rule, int n) {
+  engine.warm_distances();
+  std::vector<Proposal> proposals(static_cast<std::size_t>(n));
+  const DeviationEngine& warm = engine;
+  parallel_for(0, static_cast<std::size_t>(n), [&](std::size_t u) {
+    proposals[u] = rule.propose_warm(warm, static_cast<int>(u));
+  });
+  return proposals;
+}
+
+/// Max-gain with a starvation bound: an agent whose improving move has been
+/// passed over for `bound` consecutive selections is prioritized (most
+/// overdue first).  Bounded unfairness matters for dynamics experiments:
+/// pure max-gain can starve an agent indefinitely, which the convergence
+/// literature's fairness assumptions (and the paper's round-based
+/// schedules) exclude.
+class FairnessBoundedScheduler final : public SchedulerPolicy {
+ public:
+  FairnessBoundedScheduler(int n, std::uint64_t bound)
+      : n_(n),
+        bound_(bound == 0 ? 2 * static_cast<std::uint64_t>(n) : bound),
+        waiting_(static_cast<std::size_t>(n), 0) {}
+
+  std::string_view name() const override { return "fairness_bounded"; }
+
+  std::optional<Activation> next(DeviationEngine& engine,
+                                 const MoveRulePolicy& rule, Rng&) override {
+    std::vector<Proposal> proposals = propose_all(engine, rule, n_);
+    int chosen = -1;
+    bool overdue = false;
+    for (int u = 0; u < n_; ++u) {
+      if (!proposals[static_cast<std::size_t>(u)].improving) continue;
+      const std::uint64_t wait = waiting_[static_cast<std::size_t>(u)];
+      if (wait >= bound_) {
+        // Overdue agents win outright; among them the most overdue first
+        // (ties to the smallest id via strict >).
+        if (!overdue || wait > waiting_[static_cast<std::size_t>(chosen)]) {
+          chosen = u;
+          overdue = true;
+        }
+      } else if (!overdue) {
+        if (chosen < 0 ||
+            proposals[static_cast<std::size_t>(u)].gain() >
+                proposals[static_cast<std::size_t>(chosen)].gain()) {
+          chosen = u;
+        }
+      }
+    }
+    if (chosen < 0) return std::nullopt;
+    for (int u = 0; u < n_; ++u) {
+      auto& wait = waiting_[static_cast<std::size_t>(u)];
+      if (u == chosen || !proposals[static_cast<std::size_t>(u)].improving)
+        wait = 0;
+      else
+        ++wait;
+    }
+    ++steps_;
+    return Activation{chosen,
+                      std::move(proposals[static_cast<std::size_t>(chosen)])};
+  }
+
+  std::uint64_t rounds() const override { return steps_; }
+
+ private:
+  int n_;
+  std::uint64_t bound_;
+  std::vector<std::uint64_t> waiting_;
+  std::uint64_t steps_ = 0;
+};
+
+/// Samples an improving agent with probability proportional to
+/// exp(gain / T), T scaled relative to the current largest gain.  A
+/// randomized middle ground between max-gain (tau -> 0) and uniform random
+/// activation of improving agents (tau -> inf); selection randomness comes
+/// from the run's Rng, so runs stay reproducible.
+class SoftmaxGainScheduler final : public SchedulerPolicy {
+ public:
+  SoftmaxGainScheduler(int n, double tau) : n_(n), tau_(tau) {}
+
+  std::string_view name() const override { return "softmax_gain"; }
+
+  std::optional<Activation> next(DeviationEngine& engine,
+                                 const MoveRulePolicy& rule,
+                                 Rng& rng) override {
+    std::vector<Proposal> proposals = propose_all(engine, rule, n_);
+    std::vector<int> improving;
+    bool any_inf = false;
+    for (int u = 0; u < n_; ++u) {
+      if (!proposals[static_cast<std::size_t>(u)].improving) continue;
+      improving.push_back(u);
+      any_inf = any_inf ||
+                proposals[static_cast<std::size_t>(u)].gain() == kInf;
+    }
+    if (improving.empty()) return std::nullopt;
+
+    int chosen;
+    if (any_inf) {
+      // Reconnecting moves (infinite gain) dominate every finite one:
+      // sample uniformly among them.
+      std::vector<int> urgent;
+      for (int u : improving)
+        if (proposals[static_cast<std::size_t>(u)].gain() == kInf)
+          urgent.push_back(u);
+      chosen = urgent[rng.uniform_below(urgent.size())];
+    } else {
+      double max_gain = 0.0;
+      for (int u : improving)
+        max_gain =
+            std::max(max_gain, proposals[static_cast<std::size_t>(u)].gain());
+      const double temperature = tau_ * max_gain;
+      if (!(temperature > 0.0)) {
+        // Degenerate gains: fall back to uniform among improving agents.
+        chosen = improving[rng.uniform_below(improving.size())];
+      } else {
+        double total = 0.0;
+        std::vector<double> weights;
+        weights.reserve(improving.size());
+        for (int u : improving) {
+          const double w = std::exp(
+              (proposals[static_cast<std::size_t>(u)].gain() - max_gain) /
+              temperature);
+          weights.push_back(w);
+          total += w;
+        }
+        double r = rng.uniform01() * total;
+        chosen = improving.back();
+        for (std::size_t i = 0; i < improving.size(); ++i) {
+          r -= weights[i];
+          if (r <= 0.0) {
+            chosen = improving[i];
+            break;
+          }
+        }
+      }
+    }
+    ++steps_;
+    return Activation{chosen,
+                      std::move(proposals[static_cast<std::size_t>(chosen)])};
+  }
+
+  std::uint64_t rounds() const override { return steps_; }
+
+ private:
+  int n_;
+  double tau_;
+  std::uint64_t steps_ = 0;
+};
+
+void register_builtin_policies(DynamicsPolicyRegistry& registry) {
+  registry.add_rule("best_response", [](const PolicyConfig&) {
+    return std::make_unique<BestResponseRule>();
+  });
+  registry.add_rule("best_single_move", [](const PolicyConfig&) {
+    return std::make_unique<SingleMoveRule>(/*additions_only=*/false);
+  });
+  registry.add_rule("best_addition", [](const PolicyConfig&) {
+    return std::make_unique<SingleMoveRule>(/*additions_only=*/true);
+  });
+  registry.add_rule("umfl_response", [](const PolicyConfig&) {
+    return std::make_unique<UmflRule>();
+  });
+  registry.add_scheduler("round_robin", [](const PolicyConfig& config) {
+    return std::make_unique<OrderScheduler>(config.node_count,
+                                            /*reshuffle=*/false);
+  });
+  registry.add_scheduler("random_order", [](const PolicyConfig& config) {
+    return std::make_unique<OrderScheduler>(config.node_count,
+                                            /*reshuffle=*/true);
+  });
+  registry.add_scheduler("max_gain", [](const PolicyConfig& config) {
+    return std::make_unique<MaxGainScheduler>(config.node_count);
+  });
+  registry.add_scheduler("fairness_bounded", [](const PolicyConfig& config) {
+    return std::make_unique<FairnessBoundedScheduler>(config.node_count,
+                                                      config.fairness_bound);
+  });
+  registry.add_scheduler("softmax_gain", [](const PolicyConfig& config) {
+    return std::make_unique<SoftmaxGainScheduler>(config.node_count,
+                                                  config.softmax_tau);
+  });
+}
+
+}  // namespace
+
+Proposal propose(DeviationEngine& engine, const MoveRulePolicy& rule, int u) {
+  // Single-move scans read every agent's cached vector; the other rules
+  // only read u's (the BR/UMFL searches run their own Dijkstras), so a
+  // full warm-up would waste n-1 SSSP per proposal.
+  if (rule.wants_full_warm()) {
+    engine.warm_distances();
+  } else {
+    engine.distance_cost(u);
+  }
+  return rule.propose_warm(engine, u);
+}
+
+DynamicsPolicyRegistry& DynamicsPolicyRegistry::instance() {
+  static DynamicsPolicyRegistry* registry = [] {
+    auto* r = new DynamicsPolicyRegistry;
+    register_builtin_policies(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void DynamicsPolicyRegistry::add_scheduler(std::string name,
+                                           SchedulerFactory factory) {
+  for (const auto& [existing, unused] : schedulers_)
+    GNCG_CHECK(existing != name, "duplicate scheduler policy " << name);
+  schedulers_.emplace_back(std::move(name), std::move(factory));
+}
+
+void DynamicsPolicyRegistry::add_rule(std::string name,
+                                      MoveRuleFactory factory) {
+  for (const auto& [existing, unused] : rules_)
+    GNCG_CHECK(existing != name, "duplicate move-rule policy " << name);
+  rules_.emplace_back(std::move(name), std::move(factory));
+}
+
+namespace {
+
+template <class Factories, class Made>
+Made make_from(const Factories& factories, std::string_view name,
+               const PolicyConfig& config, const char* what) {
+  for (const auto& [existing, factory] : factories)
+    if (existing == name) return factory(config);
+  std::string known;
+  for (const auto& [existing, unused] : factories)
+    known += (known.empty() ? "" : ", ") + existing;
+  GNCG_CHECK(false,
+             "unknown " << what << " policy '" << name << "'; known: " << known);
+}
+
+}  // namespace
+
+std::unique_ptr<SchedulerPolicy> DynamicsPolicyRegistry::make_scheduler(
+    std::string_view name, const PolicyConfig& config) const {
+  return make_from<decltype(schedulers_), std::unique_ptr<SchedulerPolicy>>(
+      schedulers_, name, config, "scheduler");
+}
+
+std::unique_ptr<MoveRulePolicy> DynamicsPolicyRegistry::make_rule(
+    std::string_view name, const PolicyConfig& config) const {
+  return make_from<decltype(rules_), std::unique_ptr<MoveRulePolicy>>(
+      rules_, name, config, "move-rule");
+}
+
+namespace {
+
+std::vector<std::string> sorted_names(
+    const std::vector<std::string>& names_in) {
+  std::vector<std::string> names = names_in;
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace
+
+std::vector<std::string> DynamicsPolicyRegistry::scheduler_names() const {
+  std::vector<std::string> names;
+  for (const auto& [name, unused] : schedulers_) names.push_back(name);
+  return sorted_names(names);
+}
+
+std::vector<std::string> DynamicsPolicyRegistry::rule_names() const {
+  std::vector<std::string> names;
+  for (const auto& [name, unused] : rules_) names.push_back(name);
+  return sorted_names(names);
+}
+
+std::string_view scheduler_name(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kRoundRobin: return "round_robin";
+    case SchedulerKind::kRandomOrder: return "random_order";
+    case SchedulerKind::kMaxGain: return "max_gain";
+    case SchedulerKind::kFairnessBounded: return "fairness_bounded";
+    case SchedulerKind::kSoftmaxGain: return "softmax_gain";
+  }
+  GNCG_CHECK(false, "unknown SchedulerKind");
+}
+
+std::string_view move_rule_name(MoveRule rule) {
+  switch (rule) {
+    case MoveRule::kBestResponse: return "best_response";
+    case MoveRule::kBestSingleMove: return "best_single_move";
+    case MoveRule::kBestAddition: return "best_addition";
+    case MoveRule::kUmflResponse: return "umfl_response";
+  }
+  GNCG_CHECK(false, "unknown MoveRule");
+}
+
+std::unique_ptr<SchedulerPolicy> make_scheduler(SchedulerKind kind,
+                                                const PolicyConfig& config) {
+  return DynamicsPolicyRegistry::instance().make_scheduler(
+      scheduler_name(kind), config);
+}
+
+std::unique_ptr<MoveRulePolicy> make_move_rule(MoveRule rule,
+                                               const PolicyConfig& config) {
+  return DynamicsPolicyRegistry::instance().make_rule(move_rule_name(rule),
+                                                      config);
+}
+
+}  // namespace gncg

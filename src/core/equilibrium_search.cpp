@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <mutex>
+#include <unordered_map>
 
 #include "core/deviation_engine.hpp"
 #include "core/equilibrium.hpp"
+#include "core/restarts.hpp"
+#include "core/transposition.hpp"
 #include "graph/union_find.hpp"
 #include "support/parallel.hpp"
 
@@ -79,33 +82,63 @@ EquilibriumSet enumerate_nash_equilibria(const Game& game,
 
 EquilibriumSet sample_equilibria(const Game& game,
                                  const SamplingOptions& options) {
+  // The restart driver fans the attempts over the worker pool; attempt i's
+  // randomness is the stream stream_seed("sample_equilibria", i, seed), so
+  // the collected equilibrium set is bit-identical for any thread count.
+  RestartOptions restarts;
+  restarts.restarts = options.attempts;
+  restarts.seed = options.seed;
+  restarts.label = "sample_equilibria";
+  restarts.dynamics.rule = options.rule;
+  restarts.dynamics.max_moves = options.max_moves;
+  restarts.dynamics.detect_cycles = true;
+  restarts.dynamics.record_steps = false;  // only final profiles are consumed
+  restarts.scheduler_cycle = {SchedulerKind::kRoundRobin,
+                              SchedulerKind::kRandomOrder};
+  return collect_distinct_equilibria(game, run_restarts(game, restarts),
+                                     options.verify_exact_ne);
+}
+
+EquilibriumSet collect_distinct_equilibria(const Game& game,
+                                           const RestartReport& report,
+                                           bool verify_exact_ne) {
+  // Deterministic collection in restart order.  Dedup uses the Zobrist
+  // hash as a bucket key with exact profile comparison confirming every
+  // hit (a collision can never merge two profiles); the index maps into
+  // result.profiles / the rejected store directly, so each distinct
+  // profile -- accepted or rejected -- is held exactly once.  Rejected
+  // non-NE profiles are remembered so their duplicates skip the
+  // (exponential) re-verification.
   EquilibriumSet result;
-  Rng rng(options.seed);
-  std::vector<std::uint64_t> seen_hashes;
-  for (int attempt = 0; attempt < options.attempts; ++attempt) {
-    DynamicsOptions dyn;
-    dyn.rule = options.rule;
-    dyn.scheduler = attempt % 2 == 0 ? SchedulerKind::kRoundRobin
-                                     : SchedulerKind::kRandomOrder;
-    dyn.max_moves = options.max_moves;
-    dyn.detect_cycles = true;
-    dyn.seed = rng();
-    auto run = run_dynamics(game, random_profile(game, rng), dyn);
-    if (!run.converged) continue;
-    const std::uint64_t h = run.final_profile.hash();
+  std::vector<StrategyProfile> rejected;
+  struct Slot {
+    bool accepted = false;
+    std::size_t index = 0;
+  };
+  std::unordered_map<std::uint64_t, std::vector<Slot>> buckets;
+  for (const RestartRun& run : report.runs) {
+    if (run.skipped || !run.result.converged) continue;
+    const StrategyProfile& profile = run.result.final_profile;
+    const std::uint64_t hash = zobrist_profile_hash(profile);
+    auto& bucket = buckets[hash];
     bool duplicate = false;
-    for (std::size_t i = 0; i < seen_hashes.size(); ++i) {
-      if (seen_hashes[i] == h && result.profiles[i] == run.final_profile) {
+    for (const Slot& slot : bucket) {
+      const StrategyProfile& stored =
+          slot.accepted ? result.profiles[slot.index] : rejected[slot.index];
+      if (stored == profile) {
         duplicate = true;
         break;
       }
     }
     if (duplicate) continue;
-    if (options.verify_exact_ne && !is_nash_equilibrium(game, run.final_profile))
+    if (verify_exact_ne && !is_nash_equilibrium(game, profile)) {
+      bucket.push_back({false, rejected.size()});
+      rejected.push_back(profile);
       continue;
-    seen_hashes.push_back(h);
-    result.social_costs.push_back(social_cost(game, run.final_profile));
-    result.profiles.push_back(std::move(run.final_profile));
+    }
+    bucket.push_back({true, result.profiles.size()});
+    result.social_costs.push_back(social_cost(game, profile));
+    result.profiles.push_back(profile);
   }
   return result;
 }

@@ -23,6 +23,8 @@
 
 namespace gncg {
 
+struct RestartReport;  // core/restarts.hpp
+
 /// A set of equilibria with their social costs.
 struct EquilibriumSet {
   std::vector<StrategyProfile> profiles;
@@ -55,10 +57,22 @@ struct SamplingOptions {
   bool verify_exact_ne = true;
 };
 
-/// Runs dynamics from random profiles and collects the distinct equilibria
-/// reached.  With verify_exact_ne the result contains only certified NE.
+/// Runs dynamics restarts from random profiles over the worker pool
+/// (core/restarts.hpp; attempt i draws from the derived stream
+/// stream_seed("sample_equilibria", i, seed), so the set is bit-identical
+/// for any thread count) and collects the distinct equilibria reached.
+/// With verify_exact_ne the result contains only certified NE.
 EquilibriumSet sample_equilibria(const Game& game,
                                  const SamplingOptions& options = {});
+
+/// The distinct converged final profiles of a restart report, in restart
+/// order, deduped via the Zobrist transposition table (exact comparison
+/// confirms every hash hit) and, when `verify_exact_ne`, filtered to
+/// certified NE.  The collection step shared by sample_equilibria and the
+/// ne_sampling sweep scenario.
+EquilibriumSet collect_distinct_equilibria(const Game& game,
+                                           const RestartReport& report,
+                                           bool verify_exact_ne);
 
 /// PoA / PoS estimate of a game given an equilibrium set and the optimum
 /// social cost.

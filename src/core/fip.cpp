@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "core/best_response.hpp"
+#include "core/restarts.hpp"
 
 namespace gncg {
 
@@ -27,6 +28,17 @@ struct Frame {
 };
 
 /// Candidate-target lists and the mixed-radix state encoding.
+///
+/// The exhaustive walk deliberately does NOT use the Zobrist transposition
+/// table that powers run_dynamics cycle detection: an exhaustive analysis
+/// visits (up to) every state, and for a full walk a 1-byte-per-state
+/// color array over the exact injective encoding is strictly better --
+/// O(total) bytes instead of a stored StrategyProfile per visited state,
+/// O(1) exact revisit checks with no confirmation needed, and the O(n * k)
+/// encode per arc is noise next to the 2^k cost evaluations in
+/// outgoing_arcs.  The transposition table serves the *sparse* visit
+/// patterns (dynamics trajectories, sampling dedup), where storing only
+/// what was actually visited wins.
 class StateCodec {
  public:
   StateCodec(const Game& game, std::uint64_t max_states) : game_(&game) {
@@ -208,31 +220,38 @@ FipAnalysis exhaustive_fip_analysis(const Game& game,
 FipAnalysis search_best_response_cycle(const Game& game, int attempts,
                                        std::uint64_t seed,
                                        std::uint64_t max_moves_per_attempt) {
+  RestartOptions options;
+  options.restarts = attempts;
+  options.seed = seed;
+  options.label = "fip_search";
+  options.dynamics.rule = MoveRule::kBestResponse;
+  options.dynamics.max_moves = max_moves_per_attempt;
+  options.dynamics.detect_cycles = true;
+  options.scheduler_cycle = {SchedulerKind::kRoundRobin,
+                             SchedulerKind::kRandomOrder,
+                             SchedulerKind::kMaxGain};
+  options.verify_cycles = true;
+  // Cycle-hunting early exit: restarts above the first verified hit are
+  // skipped.  The reported witness -- the first verified cycle in restart
+  // order -- is identical to an exhaustive fan-out's for any thread count.
+  options.stop_after_verified_cycle = true;
+  const RestartReport report = run_restarts(game, options);
+
   FipAnalysis analysis;
-  Rng rng(seed);
-  const SchedulerKind schedulers[] = {SchedulerKind::kRoundRobin,
-                                      SchedulerKind::kRandomOrder,
-                                      SchedulerKind::kMaxGain};
-  for (int attempt = 0; attempt < attempts; ++attempt) {
-    DynamicsOptions options;
-    options.rule = MoveRule::kBestResponse;
-    options.scheduler = schedulers[attempt % 3];
-    options.max_moves = max_moves_per_attempt;
-    options.detect_cycles = true;
-    options.seed = rng();
-    StrategyProfile start = random_profile(game, rng);
-    const auto result = run_dynamics(game, std::move(start), options);
-    ++analysis.states_visited;  // here: number of attempts made
-    if (result.cycle_found &&
-        verify_improvement_cycle(game, result.final_profile,
-                                 result.cycle_steps(),
-                                 /*require_best_response=*/true)) {
-      analysis.cycle_found = true;
-      analysis.cycle_start = result.final_profile;
-      analysis.cycle = result.cycle_steps();
-      return analysis;
-    }
+  for (std::size_t i = 0; i < report.runs.size(); ++i) {
+    const RestartRun& run = report.runs[i];
+    if (!run.result.cycle_found || !run.cycle_verified) continue;
+    analysis.cycle_found = true;
+    analysis.cycle_start = run.result.final_profile;
+    analysis.cycle = run.result.cycle_steps();
+    // Attempts made until the witness, the old serial loop's count -- a
+    // pure function of the streams (restarts past the winner may or may
+    // not have executed depending on pool timing; never count those).
+    analysis.states_visited = i + 1;
+    break;
   }
+  if (!analysis.cycle_found)
+    analysis.states_visited = static_cast<std::uint64_t>(attempts);
   return analysis;
 }
 

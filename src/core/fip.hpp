@@ -51,8 +51,12 @@ FipAnalysis exhaustive_fip_analysis(const Game& game,
                                     const ExhaustiveFipOptions& options = {});
 
 /// Heuristic best-response-cycle search: best-response dynamics with cycle
-/// detection from `attempts` random starts across schedulers.  A found
-/// cycle is verified move-by-move before being reported.
+/// detection from `attempts` random starts across schedulers, fanned out
+/// over the worker pool via run_restarts (attempt i's randomness is the
+/// stream stream_seed("fip_search", i, seed), so the answer is
+/// bit-identical for any thread count).  A found cycle is verified
+/// move-by-move before being reported; the first verified cycle in attempt
+/// order wins.
 FipAnalysis search_best_response_cycle(const Game& game, int attempts,
                                        std::uint64_t seed,
                                        std::uint64_t max_moves_per_attempt = 2000);

@@ -1,0 +1,60 @@
+#include "core/profile_gen.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "graph/union_find.hpp"
+
+namespace gncg {
+
+StrategyProfile random_profile(const Game& game, Rng& rng,
+                               double extra_edge_prob) {
+  const int n = game.node_count();
+  StrategyProfile profile(n);
+
+  // Random spanning structure over purchasable pairs (random edge order +
+  // union-find), each edge bought by a uniformly random endpoint.
+  std::vector<std::pair<int, int>> pairs;
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v)
+      if (game.can_buy(u, v)) pairs.emplace_back(u, v);
+  rng.shuffle(pairs);
+  UnionFind dsu(n);
+  for (const auto& [u, v] : pairs) {
+    if (dsu.unite(u, v)) {
+      if (rng.bernoulli(0.5)) profile.add_buy(u, v);
+      else profile.add_buy(v, u);
+    } else if (rng.bernoulli(extra_edge_prob)) {
+      if (rng.bernoulli(0.5)) profile.add_buy(u, v);
+      else profile.add_buy(v, u);
+    }
+  }
+  return profile;
+}
+
+StrategyProfile recursive_tree_profile(const Game& game, Rng& rng) {
+  StrategyProfile profile(game.node_count());
+  for (int v = 1; v < game.node_count(); ++v) {
+    const int u =
+        static_cast<int>(rng.uniform_below(static_cast<std::uint64_t>(v)));
+    GNCG_CHECK(game.can_buy(v, u),
+               "recursive_tree_profile needs purchasable pairs; edge ("
+                   << v << "," << u << ") is forbidden");
+    profile.add_buy(v, u);
+  }
+  return profile;
+}
+
+StrategyProfile make_start_profile(const Game& game, Rng& rng,
+                                   StartProfileKind kind,
+                                   double extra_edge_prob) {
+  switch (kind) {
+    case StartProfileKind::kSpanningRandom:
+      return random_profile(game, rng, extra_edge_prob);
+    case StartProfileKind::kRecursiveTree:
+      return recursive_tree_profile(game, rng);
+  }
+  GNCG_CHECK(false, "unknown StartProfileKind");
+}
+
+}  // namespace gncg

@@ -1,0 +1,40 @@
+// Start-profile generators for dynamics restarts and sweep scenarios.
+//
+// Every randomized dynamics workload needs connected start profiles drawn
+// from an explicit Rng (the determinism contract: no generator may touch
+// global state, so a restart's start profile is a pure function of its
+// derived stream).  The two generators previously lived privately in the
+// dynamics engine and the builtin sweep scenarios; they are shared here so
+// the restart driver, the sampling search and the scenarios draw from one
+// implementation.
+#pragma once
+
+#include "core/game.hpp"
+#include "support/rng.hpp"
+
+namespace gncg {
+
+/// Random profile for dynamics restarts: a uniform random spanning
+/// structure of the purchasable pairs with random edge ownership, plus each
+/// remaining purchasable pair bought with probability `extra_edge_prob`.
+/// O(n^2) candidate pairs -- the thorough generator for small/medium n.
+StrategyProfile random_profile(const Game& game, Rng& rng,
+                               double extra_edge_prob = 0.15);
+
+/// Connected start profile with O(n) memory and O(n) random draws: a random
+/// recursive tree (node i buys an edge to a uniform earlier node).  The
+/// large-n generator; requires every pair (i, j < i) to be purchasable.
+StrategyProfile recursive_tree_profile(const Game& game, Rng& rng);
+
+/// The start-profile family a restart driver draws from.
+enum class StartProfileKind {
+  kSpanningRandom,   ///< random_profile (spanning structure + extra edges)
+  kRecursiveTree,    ///< recursive_tree_profile (O(n), complete hosts only)
+};
+
+/// Draws a start profile of the given kind from `rng`.
+StrategyProfile make_start_profile(const Game& game, Rng& rng,
+                                   StartProfileKind kind,
+                                   double extra_edge_prob = 0.15);
+
+}  // namespace gncg

@@ -1,0 +1,54 @@
+#include "core/transposition.hpp"
+
+#include "support/rng.hpp"
+
+namespace gncg {
+
+namespace {
+
+/// Domain separator so profile hashes do not collide with the stream/hash
+/// machinery in support/rng.hpp, which uses the same mixing primitive.
+constexpr std::uint64_t kZobristSalt = 0xc3a5c85c97cb3127ULL;
+
+}  // namespace
+
+std::uint64_t zobrist_buy_key(int u, int v) {
+  return hash_combine(hash_combine(kZobristSalt,
+                                   static_cast<std::uint64_t>(u)),
+                      static_cast<std::uint64_t>(v));
+}
+
+std::uint64_t zobrist_strategy_hash(int u, const NodeSet& strategy) {
+  std::uint64_t h = 0;
+  strategy.for_each([&](int v) { h ^= zobrist_buy_key(u, v); });
+  return h;
+}
+
+std::uint64_t zobrist_profile_hash(const StrategyProfile& profile) {
+  std::uint64_t h = 0;
+  for (int u = 0; u < profile.node_count(); ++u)
+    h ^= zobrist_strategy_hash(u, profile.strategy(u));
+  return h;
+}
+
+std::size_t TranspositionTable::find(std::uint64_t hash,
+                                     const StrategyProfile& profile) const {
+  const auto it = buckets_.find(hash);
+  if (it == buckets_.end()) return npos;
+  for (std::size_t slot : it->second) {
+    if (entries_[slot].profile == profile) return slot;
+    ++collisions_;
+  }
+  return npos;
+}
+
+std::size_t TranspositionTable::insert(std::uint64_t hash,
+                                       StrategyProfile profile,
+                                       std::uint64_t value) {
+  const std::size_t slot = entries_.size();
+  entries_.push_back({std::move(profile), value});
+  buckets_[hash].push_back(slot);
+  return slot;
+}
+
+}  // namespace gncg

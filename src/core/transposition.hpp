@@ -1,0 +1,95 @@
+// Incremental profile hashing and the shared transposition table.
+//
+// Dynamics cycle detection and exhaustive FIP analysis both answer the same
+// question many times per run: "have we seen this strategy profile before?"
+// Answering it by full-profile comparison costs O(n^2/64) per step; this
+// module makes the common case O(1):
+//
+//  * Zobrist-style ownership hashing: every directed ownership fact
+//    "u buys (u,v)" has a fixed 64-bit key derived from (u, v) alone (two
+//    SplitMix64 rounds -- no O(n^2) key table is ever materialized, which
+//    matters on implicit geometric hosts), and a profile's hash is the XOR
+//    of the keys of its ownership facts.  XOR makes the hash incrementally
+//    maintainable: toggling one ownership fact updates the hash in O(1),
+//    which is what DeviationEngine::profile_hash() does under mutations.
+//  * TranspositionTable: an exact-confirmation hash index over visited
+//    profiles.  A hash hit is only reported as a revisit after a full
+//    profile comparison, so a hash collision can never certify a false
+//    cycle -- collisions are counted (collisions()) and resolved, never
+//    trusted.
+//
+// The table stores one StrategyProfile copy per *distinct* visited state
+// (the confirmation material); callers that only need a running fingerprint
+// use the zobrist_* free functions directly.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/game.hpp"
+
+namespace gncg {
+
+/// Zobrist key of the directed ownership fact "u buys the edge (u, v)".
+/// Pure function of (u, v): two full SplitMix64 avalanche rounds, so keys of
+/// neighbouring pairs are uncorrelated and no key table is stored.
+std::uint64_t zobrist_buy_key(int u, int v);
+
+/// XOR of the buy keys of agent u's strategy.
+std::uint64_t zobrist_strategy_hash(int u, const NodeSet& strategy);
+
+/// From-scratch Zobrist hash of a whole profile: XOR over every ownership
+/// fact.  The reference implementation the incremental maintenance in
+/// DeviationEngine is differentially tested against.
+std::uint64_t zobrist_profile_hash(const StrategyProfile& profile);
+
+/// Exact-confirmation transposition table over strategy profiles.
+///
+/// Each recorded profile occupies one slot carrying a caller-defined
+/// uint64 payload (a move index for cycle detection, a DFS color for the
+/// exhaustive improvement-graph walk).  `find` reports a slot only after
+/// confirming profile equality, so the table is collision-proof; the number
+/// of confirmed collisions (distinct profiles sharing a hash) is exposed
+/// for diagnostics.
+class TranspositionTable {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// Slot of a previously inserted profile equal to `profile`, or npos.
+  /// `hash` must be zobrist_profile_hash(profile) (callers maintain it
+  /// incrementally; confirmed here, never trusted alone).
+  std::size_t find(std::uint64_t hash, const StrategyProfile& profile) const;
+
+  /// Records `profile` under `hash` with payload `value`; returns its slot.
+  /// Precondition: no equal profile is present (call find first).
+  std::size_t insert(std::uint64_t hash, StrategyProfile profile,
+                     std::uint64_t value);
+
+  std::uint64_t value(std::size_t slot) const { return entries_[slot].value; }
+  void set_value(std::size_t slot, std::uint64_t value) {
+    entries_[slot].value = value;
+  }
+  const StrategyProfile& profile(std::size_t slot) const {
+    return entries_[slot].profile;
+  }
+
+  /// Number of distinct profiles recorded.
+  std::size_t size() const { return entries_.size(); }
+
+  /// Confirmed hash collisions observed so far: comparisons where two
+  /// *distinct* profiles shared a bucket hash.
+  std::uint64_t collisions() const { return collisions_; }
+
+ private:
+  struct Entry {
+    StrategyProfile profile;
+    std::uint64_t value = 0;
+  };
+
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets_;
+  std::vector<Entry> entries_;
+  mutable std::uint64_t collisions_ = 0;
+};
+
+}  // namespace gncg

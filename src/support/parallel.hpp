@@ -78,17 +78,20 @@ void parallel_for(std::size_t begin, std::size_t end, Fn&& fn,
 
 /// Parallel reduction: each worker owns an Acc constructed from `make_acc()`,
 /// `fn(acc, i)` folds index i into it, and `combine(total, acc)` merges the
-/// per-worker results sequentially at the end.
+/// per-worker results sequentially at the end.  `serial_cutoff` mirrors
+/// parallel_for's: callers whose items are entire jobs (the dynamics
+/// restart driver) pass a small value so short batches still fan out.
 template <class Acc, class MakeAcc, class Fn, class Combine>
 Acc parallel_reduce(std::size_t begin, std::size_t end, MakeAcc&& make_acc,
-                    Fn&& fn, Combine&& combine, std::size_t grain = 64) {
+                    Fn&& fn, Combine&& combine, std::size_t grain = 64,
+                    std::size_t serial_cutoff = detail::kSerialCutoff) {
   GNCG_CHECK(begin <= end, "parallel_reduce requires begin <= end");
   const std::size_t total = end - begin;
   Acc result = make_acc();
   if (total == 0) return result;
   const std::size_t threads =
       std::min(default_thread_count(), (total + grain - 1) / grain);
-  if (threads <= 1 || total < detail::kSerialCutoff ||
+  if (threads <= 1 || total < serial_cutoff ||
       detail::inside_parallel_region()) {
     for (std::size_t i = begin; i < end; ++i) fn(result, i);
     return result;

@@ -14,6 +14,8 @@
 #include "core/equilibrium.hpp"
 #include "core/equilibrium_search.hpp"
 #include "core/poa.hpp"
+#include "core/profile_gen.hpp"
+#include "core/restarts.hpp"
 #include "core/social_optimum.hpp"
 #include "metric/points.hpp"
 #include "metric/tree.hpp"
@@ -105,18 +107,6 @@ ScenarioResult run_fig10(const SweepPoint& point, Rng&) {
 }
 
 // --- br_dynamics ----------------------------------------------------------
-
-/// Connected start profile with O(n) memory: a random recursive tree (node
-/// i buys an edge to a uniform earlier node).
-StrategyProfile recursive_tree_profile(const Game& game, Rng& rng) {
-  StrategyProfile profile(game.node_count());
-  for (int v = 1; v < game.node_count(); ++v) {
-    const int u =
-        static_cast<int>(rng.uniform_below(static_cast<std::uint64_t>(v)));
-    profile.add_buy(v, u);
-  }
-  return profile;
-}
 
 double engine_social_cost(DeviationEngine& engine) {
   engine.warm_distances();
@@ -225,7 +215,145 @@ ScenarioResult run_optimum_gap(const SweepPoint& point, Rng& rng) {
   return {{std::move(row)}};
 }
 
-/// build_host hook shared by the three random-game scenarios.
+// --- ne_sampling / fip_probe (dynamics kernel) ----------------------------
+
+/// Canonical scheduler / move-rule axes for the dynamics scenarios.  A
+/// plan's numeric "schedulers" / "rules" extras select a *prefix* of these
+/// (extras are doubles, so axes are encoded as prefix lengths of a fixed
+/// order); each selected combination yields one result row tagged with the
+/// policy names.
+constexpr SchedulerKind kSchedulerAxis[] = {
+    SchedulerKind::kRoundRobin, SchedulerKind::kSoftmaxGain,
+    SchedulerKind::kMaxGain, SchedulerKind::kFairnessBounded,
+    SchedulerKind::kRandomOrder};
+constexpr MoveRule kRuleAxis[] = {MoveRule::kBestSingleMove,
+                                  MoveRule::kBestResponse,
+                                  MoveRule::kUmflResponse};
+
+int axis_prefix(const SweepPoint& point, const char* name, double fallback,
+                int limit) {
+  const int count = static_cast<int>(point.extra_or(name, fallback));
+  GNCG_CHECK(count >= 1 && count <= limit,
+             point.scenario << " needs 1 <= " << name << " <= " << limit
+                            << ", got " << count);
+  return count;
+}
+
+ScenarioResult run_ne_sampling(const SweepPoint& point, Rng& rng) {
+  const int restarts = static_cast<int>(point.extra_or("restarts", 12.0));
+  const auto max_moves =
+      static_cast<std::uint64_t>(point.extra_or("max_moves", 2000.0));
+  const int schedulers = axis_prefix(point, "schedulers", 2.0, 5);
+  const int rules = axis_prefix(point, "rules", 1.0, 3);
+  GNCG_CHECK(restarts >= 1 && max_moves >= 1,
+             "ne_sampling needs restarts >= 1 and max_moves >= 1");
+
+  const Game game(make_sweep_host(point, rng), point.alpha);
+  // One base seed for every combination: each scheduler x rule combo faces
+  // the identical start-profile sequence (label and seed pin the streams),
+  // so rows compare policies, not luck.
+  const std::uint64_t base_seed = rng();
+  const bool verify_exact = point.n <= 9;
+
+  ScenarioResult result;
+  for (int si = 0; si < schedulers; ++si) {
+    for (int ri = 0; ri < rules; ++ri) {
+      RestartOptions restart_options;
+      restart_options.restarts = restarts;
+      restart_options.seed = base_seed;
+      restart_options.label = "ne_sampling";
+      restart_options.dynamics.scheduler = kSchedulerAxis[si];
+      restart_options.dynamics.rule = kRuleAxis[ri];
+      restart_options.dynamics.max_moves = max_moves;
+      restart_options.dynamics.detect_cycles = true;
+      restart_options.dynamics.record_steps = false;
+      const Stopwatch timer;
+      const RestartReport report = run_restarts(game, restart_options);
+
+      // Distinct converged profiles (exact NE check up to n = 9, the
+      // poa_random threshold; beyond that the move rule is the evidence).
+      const EquilibriumSet distinct =
+          collect_distinct_equilibria(game, report, verify_exact);
+
+      ScenarioRow row;
+      row.metric("restarts", restarts)
+          .metric("converged", static_cast<double>(report.converged))
+          .metric("cycles", static_cast<double>(report.cycles_found))
+          .metric("distinct_ne", static_cast<double>(distinct.profiles.size()))
+          .metric("mean_moves", report.moves_to_convergence.count() > 0
+                                    ? report.moves_to_convergence.mean()
+                                    : 0.0)
+          .metric("median_moves", report.moves_to_convergence.count() > 0
+                                      ? report.moves_to_convergence.median()
+                                      : 0.0);
+      if (!distinct.empty())
+        row.metric("best_social", distinct.min_cost())
+            .metric("worst_social", distinct.max_cost());
+      row.metric("elapsed_ms", timer.millis())
+          .tag("scheduler", std::string(scheduler_name(kSchedulerAxis[si])))
+          .tag("rule", std::string(move_rule_name(kRuleAxis[ri])))
+          .tag("ne_check", verify_exact ? "exact" : "rule");
+      result.rows.push_back(std::move(row));
+    }
+  }
+  return result;
+}
+
+ScenarioResult run_fip_probe(const SweepPoint& point, Rng& rng) {
+  const int restarts = static_cast<int>(point.extra_or("restarts", 16.0));
+  const auto max_moves =
+      static_cast<std::uint64_t>(point.extra_or("max_moves", 600.0));
+  const int schedulers = axis_prefix(point, "schedulers", 2.0, 5);
+  GNCG_CHECK(restarts >= 1 && max_moves >= 1,
+             "fip_probe needs restarts >= 1 and max_moves >= 1");
+
+  const Game game(make_sweep_host(point, rng), point.alpha);
+  const std::uint64_t base_seed = rng();
+
+  ScenarioResult result;
+  for (int si = 0; si < schedulers; ++si) {
+    RestartOptions restart_options;
+    restart_options.restarts = restarts;
+    restart_options.seed = base_seed;
+    restart_options.label = "fip_probe";
+    restart_options.dynamics.rule = MoveRule::kBestResponse;
+    restart_options.dynamics.scheduler = kSchedulerAxis[si];
+    restart_options.dynamics.max_moves = max_moves;
+    restart_options.dynamics.detect_cycles = true;
+    restart_options.verify_cycles = true;
+    const Stopwatch timer;
+    const RestartReport report = run_restarts(game, restart_options);
+
+    double first_cycle_length = 0.0;
+    for (const RestartRun& run : report.runs) {
+      if (run.cycle_verified) {
+        first_cycle_length = static_cast<double>(run.result.cycle_length);
+        break;
+      }
+    }
+
+    ScenarioRow row;
+    row.metric("restarts", restarts)
+        .metric("converged", static_cast<double>(report.converged))
+        .metric("cycles_found", static_cast<double>(report.cycles_found))
+        .metric("cycles_verified",
+                static_cast<double>(report.cycles_verified))
+        .metric("first_cycle_length", first_cycle_length)
+        .metric("mean_moves", report.moves_to_convergence.count() > 0
+                                  ? report.moves_to_convergence.mean()
+                                  : 0.0)
+        .metric("hash_collisions",
+                static_cast<double>(report.hash_collisions))
+        .metric("elapsed_ms", timer.millis())
+        .tag("scheduler", std::string(scheduler_name(kSchedulerAxis[si])))
+        .tag("rule", "best_response")
+        .tag("fip_witness", report.cycles_verified > 0 ? "cycle" : "none");
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+/// build_host hook shared by the random-game scenarios.
 std::optional<HostGraph> sweep_host_of(const SweepPoint& point, Rng& rng) {
   return make_sweep_host(point, rng);
 }
@@ -269,6 +397,29 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
       "admissible lower bound and the MST baseline",
       std::vector<std::string>{"dense", "euclidean", "tree"},
       std::vector<ScenarioParam>{}, run_optimum_gap, sweep_host_of));
+  registry.add(std::make_shared<FunctionScenario>(
+      "ne_sampling",
+      "distinct Nash equilibria reached by parallel dynamics restarts "
+      "(run_restarts kernel); one row per scheduler x move-rule combo, "
+      "identical start profiles across combos",
+      std::vector<std::string>{"dense", "lazy", "euclidean", "tree"},
+      std::vector<ScenarioParam>{
+          {"restarts", 12.0, "dynamics restarts per combo"},
+          {"max_moves", 2000.0, "move budget per restart"},
+          {"schedulers", 2.0, "scheduler-axis prefix length (1-5)"},
+          {"rules", 1.0, "move-rule-axis prefix length (1-3)"}},
+      run_ne_sampling, sweep_host_of));
+  registry.add(std::make_shared<FunctionScenario>(
+      "fip_probe",
+      "best-response cycle hunting via restart dynamics with hashed "
+      "transposition cycle detection; one row per scheduler, found cycles "
+      "replay-verified",
+      std::vector<std::string>{"dense", "lazy", "euclidean", "tree"},
+      std::vector<ScenarioParam>{
+          {"restarts", 16.0, "dynamics restarts per scheduler"},
+          {"max_moves", 600.0, "move budget per restart"},
+          {"schedulers", 2.0, "scheduler-axis prefix length (1-5)"}},
+      run_fip_probe, sweep_host_of));
 }
 
 }  // namespace gncg

@@ -1,0 +1,439 @@
+// Tests for the dynamics kernel's state and orchestration layers:
+// incremental Zobrist hashing vs the from-scratch reference, hashed cycle
+// detection vs exact full-profile comparison (differential fuzz), the
+// policy registry, the observer API, and the restart driver's thread-count
+// determinism contract (1-vs-N byte-identical results, same probe style as
+// tests/test_sweep.cpp).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/dynamics.hpp"
+#include "core/equilibrium.hpp"
+#include "core/equilibrium_search.hpp"
+#include "core/fip.hpp"
+#include "core/restarts.hpp"
+#include "core/transposition.hpp"
+#include "constructions/cycle_instances.hpp"
+#include "metric/host_graph.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+
+namespace gncg {
+namespace {
+
+/// Restores the worker-pool width on scope exit.
+class ThreadGuard {
+ public:
+  ThreadGuard() : saved_(default_thread_count()) {}
+  ~ThreadGuard() { set_default_thread_count(saved_); }
+
+ private:
+  std::size_t saved_;
+};
+
+/// Canonical byte serialization of one restart run (the cross-thread
+/// equality probe: every field that could expose execution order).
+std::string run_bytes(const RestartRun& run) {
+  std::ostringstream os;
+  os << run.stream << '|' << run.scheduler << '|'
+     << run.result.converged << '|' << run.result.cycle_found << '|'
+     << run.result.cycle_start << '|' << run.result.cycle_length << '|'
+     << run.result.moves << '|' << run.result.rounds << '|'
+     << run.cycle_verified << '|';
+  const StrategyProfile& profile = run.result.final_profile;
+  for (int u = 0; u < profile.node_count(); ++u) {
+    os << 'a' << u << ':';
+    profile.strategy(u).for_each([&](int v) { os << v << ','; });
+  }
+  os << '|' << run.result.step_gains.count() << '|'
+     << run.result.step_gains.sum();
+  return os.str();
+}
+
+// --- incremental Zobrist hashing ------------------------------------------
+
+TEST(Zobrist, IncrementalEngineHashMatchesScratchReference) {
+  Rng rng(4001);
+  const Game game(random_metric_host(7, rng), 1.0);
+  DeviationEngine engine(game, random_profile(game, rng));
+  EXPECT_EQ(engine.profile_hash(), zobrist_profile_hash(engine.profile()));
+
+  const int n = game.node_count();
+  for (int step = 0; step < 400; ++step) {
+    const int u = static_cast<int>(rng.uniform_below(n));
+    int v = static_cast<int>(rng.uniform_below(n));
+    if (v == u) v = (v + 1) % n;
+    switch (rng.uniform_below(4)) {
+      case 0: engine.add_buy(u, v); break;
+      case 1: engine.remove_buy(u, v); break;
+      case 2: {
+        NodeSet strategy(n);
+        for (int t = 0; t < n; ++t)
+          if (t != u && rng.bernoulli(0.3)) strategy.insert(t);
+        engine.set_strategy(u, std::move(strategy));
+        break;
+      }
+      default: engine.set_profile(random_profile(game, rng)); break;
+    }
+    ASSERT_EQ(engine.profile_hash(), zobrist_profile_hash(engine.profile()))
+        << "mutation step " << step;
+  }
+}
+
+TEST(Zobrist, DoubleOwnershipChangesTheHash) {
+  // Ownership-only mutations leave the topology (and distance caches)
+  // alone but MUST change the hash: the profiles differ.
+  Rng rng(4003);
+  const Game game(random_metric_host(5, rng), 1.0);
+  StrategyProfile profile(5);
+  profile.add_buy(0, 1);
+  DeviationEngine engine(game, profile);
+  const std::uint64_t before = engine.profile_hash();
+  engine.add_buy(1, 0);  // double ownership: same topology, new profile
+  EXPECT_NE(engine.profile_hash(), before);
+  EXPECT_EQ(engine.profile_hash(), zobrist_profile_hash(engine.profile()));
+  engine.remove_buy(1, 0);
+  EXPECT_EQ(engine.profile_hash(), before);
+}
+
+// --- hashed revisit detection vs exact comparison (differential fuzz) -----
+
+/// Exact reference detector: compares against every previous profile.
+std::pair<std::size_t, std::size_t> naive_first_revisit(
+    const std::vector<StrategyProfile>& trajectory) {
+  for (std::size_t j = 1; j < trajectory.size(); ++j)
+    for (std::size_t i = 0; i < j; ++i)
+      if (trajectory[i] == trajectory[j]) return {i, j};
+  return {TranspositionTable::npos, TranspositionTable::npos};
+}
+
+TEST(Transposition, HashedRevisitAgreesWithExactComparison) {
+  Rng rng(4007);
+  for (int trial = 0; trial < 12; ++trial) {
+    const Game game(trial % 2 == 0
+                        ? random_metric_host(6, rng)
+                        : HostGraph::from_points(theorem17_points(), 1.0),
+                    1.0);
+    DynamicsOptions options;
+    options.rule = trial % 2 == 0 ? MoveRule::kBestSingleMove
+                                  : MoveRule::kBestResponse;
+    options.scheduler = SchedulerKind::kRandomOrder;
+    options.max_moves = 60;
+    options.detect_cycles = false;  // record the raw trajectory
+    options.seed = rng();
+    const StrategyProfile start = random_profile(game, rng);
+    const auto run = run_dynamics(game, start, options);
+
+    // Reconstruct the visited profile sequence.
+    std::vector<StrategyProfile> trajectory{start};
+    for (const auto& step : run.steps) {
+      StrategyProfile next = trajectory.back();
+      next.set_strategy(step.agent, step.new_strategy);
+      trajectory.push_back(std::move(next));
+    }
+
+    // Hashed detector over the same sequence.
+    TranspositionTable table;
+    std::size_t hashed_first = TranspositionTable::npos;
+    std::size_t hashed_prev = TranspositionTable::npos;
+    for (std::size_t j = 0; j < trajectory.size(); ++j) {
+      const std::uint64_t hash = zobrist_profile_hash(trajectory[j]);
+      const std::size_t slot = table.find(hash, trajectory[j]);
+      if (slot != TranspositionTable::npos) {
+        hashed_first = j;
+        hashed_prev = static_cast<std::size_t>(table.value(slot));
+        break;
+      }
+      table.insert(hash, trajectory[j], j);
+    }
+
+    const auto [naive_prev, naive_first] = naive_first_revisit(trajectory);
+    EXPECT_EQ(hashed_first, naive_first) << "trial " << trial;
+    EXPECT_EQ(hashed_prev, naive_prev) << "trial " << trial;
+
+    // And the kernel's own detection stops at exactly that revisit.
+    DynamicsOptions detecting = options;
+    detecting.detect_cycles = true;
+    const auto detected = run_dynamics(game, start, detecting);
+    if (naive_first != TranspositionTable::npos &&
+        naive_first <= options.max_moves) {
+      EXPECT_TRUE(detected.cycle_found) << "trial " << trial;
+      EXPECT_EQ(detected.moves, naive_first) << "trial " << trial;
+      EXPECT_EQ(detected.cycle_start, naive_prev) << "trial " << trial;
+    } else {
+      EXPECT_FALSE(detected.cycle_found) << "trial " << trial;
+    }
+  }
+}
+
+// --- policy registry ------------------------------------------------------
+
+TEST(PolicyRegistry, BuiltinsAreRegistered) {
+  const auto& registry = DynamicsPolicyRegistry::instance();
+  const auto schedulers = registry.scheduler_names();
+  for (const char* expected : {"fairness_bounded", "max_gain", "random_order",
+                               "round_robin", "softmax_gain"})
+    EXPECT_NE(std::find(schedulers.begin(), schedulers.end(), expected),
+              schedulers.end())
+        << expected;
+  const auto rules = registry.rule_names();
+  for (const char* expected : {"best_addition", "best_response",
+                               "best_single_move", "umfl_response"})
+    EXPECT_NE(std::find(rules.begin(), rules.end(), expected), rules.end())
+        << expected;
+}
+
+TEST(PolicyRegistry, UnknownNamesContractFail) {
+  const PolicyConfig config{/*node_count=*/4};
+  EXPECT_THROW(DynamicsPolicyRegistry::instance().make_scheduler("nope",
+                                                                 config),
+               ContractViolation);
+  EXPECT_THROW(DynamicsPolicyRegistry::instance().make_rule("nope", config),
+               ContractViolation);
+}
+
+TEST(PolicyRegistry, NameOverridesResolveThroughRegistry) {
+  Rng rng(4013);
+  const Game game(HostGraph::unit(5), 3.0);
+  DynamicsOptions options;
+  options.rule_name = "best_single_move";
+  options.scheduler_name = "max_gain";
+  options.max_moves = 2000;
+  const auto run = run_dynamics(game, random_profile(game, rng), options);
+  EXPECT_TRUE(run.converged);
+  EXPECT_TRUE(is_greedy_equilibrium(game, run.final_profile));
+  DynamicsOptions bad = options;
+  bad.scheduler_name = "no_such_scheduler";
+  EXPECT_THROW(run_dynamics(game, random_profile(game, rng), bad),
+               ContractViolation);
+}
+
+// --- observer API ---------------------------------------------------------
+
+class RecordingObserver final : public StepObserver {
+ public:
+  void on_run_start(const DeviationEngine&) override { ++starts; }
+  void on_step(const DynamicsStep& step, std::uint64_t move_index) override {
+    steps.push_back(step);
+    EXPECT_EQ(move_index, steps.size());
+  }
+  void on_run_end(const DynamicsResult& result) override {
+    ++ends;
+    EXPECT_EQ(result.moves, steps.size());
+  }
+
+  int starts = 0;
+  int ends = 0;
+  std::vector<DynamicsStep> steps;
+};
+
+TEST(Observer, StreamsEveryAppliedStepInOrder) {
+  Rng rng(4019);
+  const Game game(random_metric_host(6, rng), 1.0);
+  RecordingObserver observer;
+  DynamicsOptions options;
+  options.rule = MoveRule::kBestSingleMove;
+  options.max_moves = 500;
+  options.observer = &observer;
+  const auto run = run_dynamics(game, random_profile(game, rng), options);
+  EXPECT_EQ(observer.starts, 1);
+  EXPECT_EQ(observer.ends, 1);
+  ASSERT_EQ(observer.steps.size(), run.steps.size());
+  for (std::size_t i = 0; i < run.steps.size(); ++i) {
+    EXPECT_EQ(observer.steps[i].agent, run.steps[i].agent);
+    EXPECT_TRUE(observer.steps[i].new_strategy == run.steps[i].new_strategy);
+  }
+}
+
+TEST(Observer, StepGainsMatchTrace) {
+  Rng rng(4021);
+  const Game game(random_metric_host(6, rng), 1.2);
+  DynamicsOptions options;
+  options.rule = MoveRule::kBestSingleMove;
+  options.max_moves = 500;
+  const auto run = run_dynamics(game, random_profile(game, rng), options);
+  SampleStats expected;
+  for (const auto& step : run.steps)
+    if (step.old_cost < kInf) expected.add(step.old_cost - step.new_cost);
+  EXPECT_EQ(run.step_gains.count(), expected.count());
+  EXPECT_DOUBLE_EQ(run.step_gains.sum(), expected.sum());
+  EXPECT_DOUBLE_EQ(run.step_gains.max(), expected.max());
+}
+
+TEST(Observer, RecordStepsOffStillFillsGainStats) {
+  Rng rng(4022);
+  const Game game(random_metric_host(6, rng), 1.2);
+  DynamicsOptions options;
+  options.rule = MoveRule::kBestSingleMove;
+  options.max_moves = 500;
+  options.record_steps = false;
+  const auto run = run_dynamics(game, random_profile(game, rng), options);
+  EXPECT_TRUE(run.steps.empty());
+  if (run.moves > 0) EXPECT_GT(run.step_gains.count(), 0u);
+}
+
+// --- new schedulers -------------------------------------------------------
+
+TEST(Schedulers, AllFiveConvergeToNashOnUnitHostHighAlpha) {
+  Rng rng(4027);
+  const Game game(HostGraph::unit(6), 4.0);
+  for (auto scheduler :
+       {SchedulerKind::kRoundRobin, SchedulerKind::kRandomOrder,
+        SchedulerKind::kMaxGain, SchedulerKind::kFairnessBounded,
+        SchedulerKind::kSoftmaxGain}) {
+    DynamicsOptions options;
+    options.scheduler = scheduler;
+    options.max_moves = 3000;
+    options.seed = 7;
+    const auto run = run_dynamics(game, random_profile(game, rng), options);
+    EXPECT_TRUE(run.converged) << "scheduler " << static_cast<int>(scheduler);
+    EXPECT_TRUE(is_nash_equilibrium(game, run.final_profile));
+  }
+}
+
+TEST(Schedulers, SoftmaxIsSeedDeterministic) {
+  Rng start_a(4031), start_b(4031);
+  Rng host_rng(4033);
+  const Game game(random_metric_host(7, host_rng), 1.0);
+  DynamicsOptions options;
+  options.rule = MoveRule::kBestSingleMove;
+  options.scheduler = SchedulerKind::kSoftmaxGain;
+  options.max_moves = 2000;
+  options.seed = 99;
+  const auto a = run_dynamics(game, random_profile(game, start_a), options);
+  const auto b = run_dynamics(game, random_profile(game, start_b), options);
+  EXPECT_EQ(a.moves, b.moves);
+  EXPECT_TRUE(a.final_profile == b.final_profile);
+}
+
+// --- restart driver determinism (acceptance) ------------------------------
+
+TEST(Restarts, ByteIdenticalAcrossThreadCounts) {
+  const ThreadGuard guard;
+  Rng rng(4037);
+  const Game game(random_one_two_host(16, 0.5, rng), 1.5);
+
+  RestartOptions options;
+  options.restarts = 40;
+  options.seed = 11;
+  options.label = "test_restarts";
+  options.dynamics.rule = MoveRule::kBestSingleMove;
+  options.dynamics.max_moves = 400;
+  options.scheduler_cycle = {SchedulerKind::kRoundRobin,
+                             SchedulerKind::kRandomOrder,
+                             SchedulerKind::kSoftmaxGain};
+
+  set_default_thread_count(1);
+  const RestartReport serial = run_restarts(game, options);
+  set_default_thread_count(4);
+  const RestartReport parallel = run_restarts(game, options);
+
+  ASSERT_EQ(serial.runs.size(), parallel.runs.size());
+  std::vector<std::string> serial_bytes, parallel_bytes;
+  for (std::size_t i = 0; i < serial.runs.size(); ++i) {
+    serial_bytes.push_back(run_bytes(serial.runs[i]));
+    parallel_bytes.push_back(run_bytes(parallel.runs[i]));
+    EXPECT_EQ(serial_bytes.back(), parallel_bytes.back()) << "restart " << i;
+  }
+  std::sort(serial_bytes.begin(), serial_bytes.end());
+  std::sort(parallel_bytes.begin(), parallel_bytes.end());
+  EXPECT_EQ(serial_bytes, parallel_bytes);
+  EXPECT_EQ(serial.converged, parallel.converged);
+  EXPECT_EQ(serial.moves_to_convergence.count(),
+            parallel.moves_to_convergence.count());
+  EXPECT_EQ(serial.moves_to_convergence.sum(),
+            parallel.moves_to_convergence.sum());
+}
+
+TEST(Restarts, EngineReusePerWorkerMatchesFreshEngines) {
+  Rng rng(4039);
+  const Game game(random_metric_host(8, rng), 1.0);
+  RestartOptions options;
+  options.restarts = 12;
+  options.seed = 5;
+  options.label = "reuse_probe";
+  options.dynamics.rule = MoveRule::kBestSingleMove;
+  options.dynamics.max_moves = 500;
+  const RestartReport report = run_restarts(game, options);
+
+  // Reference: every restart from a fresh engine via the serial entry
+  // point, same streams.
+  for (std::size_t i = 0; i < report.runs.size(); ++i) {
+    Rng stream(stream_seed("reuse_probe", i, 5));
+    StrategyProfile start = make_start_profile(
+        game, stream, options.start, options.extra_edge_prob);
+    DynamicsOptions dynamics = options.dynamics;
+    dynamics.seed = stream();
+    const auto reference = run_dynamics(game, std::move(start), dynamics);
+    EXPECT_EQ(report.runs[i].result.moves, reference.moves) << i;
+    EXPECT_TRUE(report.runs[i].result.final_profile ==
+                reference.final_profile)
+        << i;
+  }
+}
+
+TEST(Restarts, SampleEquilibriaIdenticalAcrossThreadCounts) {
+  const ThreadGuard guard;
+  Rng rng(4043);
+  const Game game(random_metric_host(6, rng), 1.0);
+  SamplingOptions options;
+  options.attempts = 24;
+  options.seed = 99;
+
+  set_default_thread_count(1);
+  const auto serial = sample_equilibria(game, options);
+  set_default_thread_count(4);
+  const auto parallel = sample_equilibria(game, options);
+
+  ASSERT_EQ(serial.profiles.size(), parallel.profiles.size());
+  for (std::size_t i = 0; i < serial.profiles.size(); ++i) {
+    EXPECT_TRUE(serial.profiles[i] == parallel.profiles[i]) << i;
+    EXPECT_EQ(serial.social_costs[i], parallel.social_costs[i]) << i;
+  }
+}
+
+TEST(Restarts, CycleWitnessIdenticalAcrossThreadCounts) {
+  const ThreadGuard guard;
+  const Game game(HostGraph::from_points(theorem17_points(), 1.0), 1.0);
+  Rng outer(8);
+  const std::uint64_t seed = outer();
+
+  set_default_thread_count(1);
+  const auto serial = search_best_response_cycle(game, 24, seed);
+  set_default_thread_count(4);
+  const auto parallel = search_best_response_cycle(game, 24, seed);
+
+  ASSERT_TRUE(serial.cycle_found);
+  ASSERT_TRUE(parallel.cycle_found);
+  EXPECT_TRUE(serial.cycle_start == parallel.cycle_start);
+  ASSERT_EQ(serial.cycle.size(), parallel.cycle.size());
+  for (std::size_t i = 0; i < serial.cycle.size(); ++i) {
+    EXPECT_EQ(serial.cycle[i].agent, parallel.cycle[i].agent);
+    EXPECT_TRUE(serial.cycle[i].new_strategy == parallel.cycle[i].new_strategy);
+  }
+  EXPECT_TRUE(verify_improvement_cycle(game, serial.cycle_start, serial.cycle,
+                                       /*require_best_response=*/true));
+}
+
+TEST(Restarts, ObserverAndUnverifiedCyclesAreRejectedByContract) {
+  Rng rng(4049);
+  const Game game(random_metric_host(5, rng), 1.0);
+  RecordingObserver observer;
+  RestartOptions options;
+  options.restarts = 2;
+  options.dynamics.observer = &observer;
+  EXPECT_THROW(run_restarts(game, options), ContractViolation);
+
+  RestartOptions no_steps;
+  no_steps.restarts = 2;
+  no_steps.verify_cycles = true;
+  no_steps.dynamics.record_steps = false;
+  EXPECT_THROW(run_restarts(game, no_steps), ContractViolation);
+}
+
+}  // namespace
+}  // namespace gncg

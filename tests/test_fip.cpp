@@ -37,9 +37,10 @@ TEST(Fip, ImprovingCyclesAcrossAlphaOnTreeMetrics) {
 TEST(Fip, Theorem17PaperPointsAdmitBestResponseCycle) {
   // The paper's exact Figure 8 points under the 1-norm: best-response
   // dynamics revisit a profile, certifying a genuine best-response cycle.
-  // Calibrated: found within a handful of attempts at alpha = 1.
+  // Calibrated for the run_restarts stream derivation: a verified cycle
+  // appears within 24 restarts at this seed.
   const auto result = search_theorem17_cycle({1.0}, /*attempts_per_alpha=*/24,
-                                             /*seed=*/777);
+                                             /*seed=*/8);
   ASSERT_TRUE(result.found);
   EXPECT_DOUBLE_EQ(result.alpha, 1.0);
   const Game game(HostGraph::from_points(theorem17_points(), 1.0),

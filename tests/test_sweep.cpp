@@ -216,6 +216,38 @@ TEST(SweepRunner, JournalBytesIdenticalAcrossThreadCounts) {
   std::remove(pathN.c_str());
 }
 
+TEST(SweepRunner, DynamicsScenariosJournalIdenticallyAcrossThreadCounts) {
+  // The restart-driver scenarios (PR 4): scheduler x rule rows must be
+  // byte-identical for any thread count, nested pool and all.
+  const std::string path1 = temp_path("dyn_threads1.jsonl");
+  const std::string pathN = temp_path("dyn_threadsN.jsonl");
+
+  SweepPlan plan;
+  plan.scenarios = {"ne_sampling", "fip_probe"};
+  plan.hosts = {"dense", "tree"};
+  plan.ns = {7};
+  plan.alphas = {1.0};
+  plan.seeds = 2;
+  plan.extras = {{"restarts", 5.0}, {"max_moves", 200.0},
+                 {"schedulers", 3.0}, {"rules", 2.0}};
+
+  SweepRunnerOptions serial;
+  serial.threads = 1;
+  serial.journal_path = path1;
+  const SweepReport report1 = run_sweep(plan, serial);
+
+  SweepRunnerOptions parallel;
+  parallel.threads = 4;
+  parallel.journal_path = pathN;
+  const SweepReport reportN = run_sweep(plan, parallel);
+
+  EXPECT_EQ(report1.executed, 8u);  // 2 scenarios x 2 hosts x 2 seeds
+  EXPECT_EQ(reportN.executed, 8u);
+  EXPECT_EQ(sorted_lines(path1), sorted_lines(pathN));
+  std::remove(path1.c_str());
+  std::remove(pathN.c_str());
+}
+
 TEST(SweepRunner, TimingMetricsAreStrippedFromRecords) {
   SweepPlan plan;
   plan.scenarios = {"br_dynamics"};
