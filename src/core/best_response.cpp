@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/br_search.hpp"
 #include "core/deviation_engine.hpp"
 #include "graph/dijkstra.hpp"
 
@@ -12,13 +13,13 @@ AgentEnvironment::AgentEnvironment(const Game& game, const StrategyProfile& s,
     : game_(&game), agent_(u) {
   const int n = game.node_count();
   GNCG_CHECK(u >= 0 && u < n, "agent out of range");
-  environment_.resize(static_cast<std::size_t>(n));
+  owned_.resize(static_cast<std::size_t>(n));
   for (int owner = 0; owner < n; ++owner) {
     if (owner == u) continue;
     s.strategy(owner).for_each([&](int target) {
       const double w = game.weight(owner, target);
-      environment_[static_cast<std::size_t>(owner)].push_back({target, w});
-      environment_[static_cast<std::size_t>(target)].push_back({owner, w});
+      owned_[static_cast<std::size_t>(owner)].push_back({target, w});
+      owned_[static_cast<std::size_t>(target)].push_back({owner, w});
     });
   }
 }
@@ -27,32 +28,20 @@ AgentEnvironment::AgentEnvironment(const DeviationEngine& engine, int u)
     : game_(&engine.game()), agent_(u) {
   const int n = game_->node_count();
   GNCG_CHECK(u >= 0 && u < n, "agent out of range");
-  const StrategyProfile& s = engine.profile();
-  environment_ = engine.adjacency();
-  const auto erase_half = [this](int from, int to) {
-    auto& list = environment_[static_cast<std::size_t>(from)];
-    for (std::size_t i = 0; i < list.size(); ++i) {
-      if (list[i].to == to) {
-        list[i] = list.back();
-        list.pop_back();
-        return;
-      }
-    }
-  };
-  // Drop the edges that exist only because u buys them; edges u and a
+  borrowed_ = &engine.adjacency();
+  // Mask the edges that exist only because u buys them; edges u and a
   // neighbor both buy stay (the neighbor keeps paying in the environment).
+  const StrategyProfile& s = engine.profile();
+  sole_owned_ = NodeSet(n);
   s.strategy(u).for_each([&](int target) {
-    if (s.buys(target, u)) return;
-    erase_half(u, target);
-    erase_half(target, u);
+    if (!s.buys(target, u)) sole_owned_.insert(target);
   });
 }
 
 double AgentEnvironment::distance_cost_of(const NodeSet& targets) const {
   const int n = game_->node_count();
   return distance_sum_over(n, agent_, [&](int x, auto&& visit) {
-    for (const auto& nb : environment_[static_cast<std::size_t>(x)])
-      visit(nb.to, nb.weight);
+    for_neighbors(x, visit);
     if (x == agent_) {
       targets.for_each([&](int v) { visit(v, game_->weight(agent_, v)); });
     } else if (targets.contains(x)) {
@@ -69,8 +58,11 @@ double AgentEnvironment::cost_of(const NodeSet& targets) const {
 
 namespace {
 
-/// DFS state for the exact best-response search.
-struct BrSearch {
+/// DFS state of the pre-refactor exact search (one fresh Dijkstra per
+/// visited subset, sequential, global host-sum floor): kept verbatim as the
+/// differential-testing and benchmarking baseline for the incremental
+/// br_search engine.
+struct NaiveBrSearch {
   const Game* game = nullptr;
   const AgentEnvironment* env = nullptr;
   int agent = 0;
@@ -123,12 +115,13 @@ struct BrSearch {
   }
 };
 
-/// Shared driver: runs the branch-and-bound search over a prebuilt
-/// environment (however it was materialized).
-BestResponseResult run_exact_best_response(const Game& game,
-                                           const AgentEnvironment& env, int u,
-                                           const BestResponseOptions& options) {
-  BrSearch search;
+}  // namespace
+
+BestResponseResult naive_exact_best_response(const Game& game,
+                                             const StrategyProfile& s, int u,
+                                             const BestResponseOptions& options) {
+  const AgentEnvironment env(game, s, u);
+  NaiveBrSearch search;
   search.game = &game;
   search.env = &env;
   search.agent = u;
@@ -162,27 +155,30 @@ BestResponseResult run_exact_best_response(const Game& game,
   return search.result;
 }
 
-}  // namespace
-
 BestResponseResult exact_best_response(const Game& game,
                                        const StrategyProfile& s, int u,
                                        const BestResponseOptions& options) {
   const AgentEnvironment env(game, s, u);
-  return run_exact_best_response(game, env, u, options);
+  return br_search_sum(env, options);
 }
 
 BestResponseResult exact_best_response(const DeviationEngine& engine, int u,
                                        const BestResponseOptions& options) {
   const AgentEnvironment env(engine, u);
-  return run_exact_best_response(engine.game(), env, u, options);
+  return br_search_sum(env, options);
 }
 
 bool has_improving_deviation(const Game& game, const StrategyProfile& s,
                              int u) {
+  DeviationEngine engine(game, s);
+  return has_improving_deviation(engine, u);
+}
+
+bool has_improving_deviation(DeviationEngine& engine, int u) {
   BestResponseOptions options;
-  options.incumbent = agent_cost(game, s, u);
+  options.incumbent = engine.agent_cost(u);
   options.first_improvement = true;
-  return exact_best_response(game, s, u, options).improved;
+  return exact_best_response(engine, u, options).improved;
 }
 
 namespace {

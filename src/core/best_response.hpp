@@ -5,11 +5,14 @@
 // exponential search over subsets of purchase targets:
 //   * candidates are sorted by edge weight;
 //   * a subtree is pruned when its admissible lower bound
-//       alpha * w(partial set) + sum_v d_H(u, v)
 //     cannot beat the incumbent (any built network's distances are bounded
 //     below by the host's shortest-path closure);
 //   * for equilibrium *checks* the incumbent is the agent's current cost and
 //     the search stops at the first strict improvement.
+// The production search is the incremental branch-and-bound engine in
+// core/br_search.hpp (in-DFS distance maintenance, per-node floors,
+// deterministic parallel fan-out); the pre-refactor per-subset-Dijkstra
+// search survives as naive_exact_best_response, the differential baseline.
 //
 // Alongside the exact solver live the single-move evaluators (add / delete /
 // swap) that define Greedy and Add-only Equilibria (Lenzner'12 as cited by
@@ -29,15 +32,44 @@ class DeviationEngine;
 /// The network seen by agent u when re-deciding its strategy: every edge
 /// bought by the *other* agents.  Evaluating a candidate S means one
 /// Dijkstra over (environment + edges from u to S).
+///
+/// Two storage modes:
+///  * built from (game, profile): owns its adjacency lists;
+///  * built from a DeviationEngine: *borrows* the engine's materialized
+///    adjacency and masks u's sole-owned edges on the fly (edges u and a
+///    neighbor both buy stay: the neighbor keeps paying in the environment).
+///    No per-call adjacency copy -- the borrow is valid until the engine's
+///    next mutation, exactly like engine.adjacency() itself.
 class AgentEnvironment {
  public:
   AgentEnvironment(const Game& game, const StrategyProfile& s, int u);
 
-  /// Derives the environment from an engine's materialized adjacency (drops
-  /// u's sole-owned edges) instead of rebuilding it from the profile.
+  /// Borrows the engine's materialized adjacency (no copy); valid until the
+  /// engine's next mutation.
   AgentEnvironment(const DeviationEngine& engine, int u);
 
   int agent() const { return agent_; }
+  const Game& game() const { return *game_; }
+
+  /// Enumerates the environment edges incident to x: `visit(y, w)` for every
+  /// environment edge (x, y).  The hot loop of every search over the
+  /// environment (Dijkstra evaluation, incremental repair).
+  template <class Visit>
+  void for_neighbors(int x, Visit&& visit) const {
+    if (borrowed_ != nullptr) {
+      for (const auto& nb : (*borrowed_)[static_cast<std::size_t>(x)]) {
+        if (x == agent_) {
+          if (sole_owned_.contains(nb.to)) continue;
+        } else if (nb.to == agent_ && sole_owned_.contains(x)) {
+          continue;
+        }
+        visit(nb.to, nb.weight);
+      }
+    } else {
+      for (const auto& nb : owned_[static_cast<std::size_t>(x)])
+        visit(nb.to, nb.weight);
+    }
+  }
 
   /// cost(u) if u plays exactly `targets`: alpha * w(u, targets) + distance
   /// cost in (environment + candidate edges).
@@ -49,7 +81,12 @@ class AgentEnvironment {
  private:
   const Game* game_;
   int agent_;
-  std::vector<std::vector<Neighbor>> environment_;
+  /// Borrow mode: the engine's adjacency plus the mask of u's sole-owned
+  /// targets (the edges that vanish when u rethinks its strategy).
+  const std::vector<std::vector<Neighbor>>* borrowed_ = nullptr;
+  NodeSet sole_owned_;
+  /// Owned mode: environment adjacency built from the profile.
+  std::vector<std::vector<Neighbor>> owned_;
 };
 
 /// Result of an exact best-response search.
@@ -72,18 +109,33 @@ struct BestResponseOptions {
 };
 
 /// Exact best response of agent u against the rest of profile `s`.
+/// Runs the incremental branch-and-bound engine (core/br_search.hpp): one
+/// Dijkstra per call, in-DFS incremental distance maintenance per subset.
 BestResponseResult exact_best_response(const Game& game,
                                        const StrategyProfile& s, int u,
                                        const BestResponseOptions& options = {});
 
-/// Exact best response against an engine's current profile, reusing the
-/// engine's materialized adjacency for the environment.
+/// Exact best response against an engine's current profile, borrowing the
+/// engine's materialized adjacency for the environment (no copy).
 BestResponseResult exact_best_response(const DeviationEngine& engine, int u,
                                        const BestResponseOptions& options = {});
+
+/// Pre-refactor reference search: one fresh Dijkstra per visited candidate
+/// subset over the AgentEnvironment, sequential, global host-sum floor
+/// only.  The differential-testing and benchmarking baseline for the
+/// incremental br_search engine (same contract as the naive_* single-move
+/// scans below); production callers use exact_best_response.
+BestResponseResult naive_exact_best_response(
+    const Game& game, const StrategyProfile& s, int u,
+    const BestResponseOptions& options = {});
 
 /// True when agent u has *any* strategy strictly cheaper than its current
 /// one (early-exit exact search).
 bool has_improving_deviation(const Game& game, const StrategyProfile& s, int u);
+
+/// Engine-backed variant: no environment rebuild, no adjacency copy.  Batch
+/// callers (NE certification loops) reuse one engine across agents.
+bool has_improving_deviation(DeviationEngine& engine, int u);
 
 /// Single-move deviations (the Greedy Equilibrium move set).
 enum class MoveType { kNone, kAdd, kDelete, kSwap };

@@ -1,0 +1,351 @@
+#include "core/br_search.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <climits>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/dijkstra.hpp"
+#include "graph/incremental_sssp.hpp"
+#include "support/parallel.hpp"
+
+namespace gncg {
+
+namespace {
+
+// --- cost models ----------------------------------------------------------
+//
+// A model supplies the distance aggregation and the two admissible floors.
+// Aggregations run in increasing node order so SUM stays bit-identical to
+// the naive search's "fresh Dijkstra, sum in node order" evaluation (MAX is
+// order-insensitive).
+
+struct SumCostModel {
+  static double distance_term(const std::vector<double>& dist) {
+    double total = 0.0;
+    for (double d : dist) total += d;
+    return total;
+  }
+
+  /// Global floor: the host-closure distance sum (served by the backend's
+  /// cached sums, summed in increasing v order per the host-backend query
+  /// contract -- identical to the naive search's dist_lower_bound).
+  static double cheap_floor(const Game& game, int u,
+                            const std::vector<double>& host_row) {
+    (void)host_row;
+    return game.host_distance_sum(u);
+  }
+
+  /// Per-node floor for any superset reachable from the current DFS node:
+  /// d(t) >= max(d_H(u,t), min(d_S(t), w_next)).  Any path either avoids
+  /// the new edges (>= d_S(t)) or starts with one (all new edges are
+  /// incident to the source, so a shortest path uses at most one, first;
+  /// its weight alone is >= w_next, the smallest remaining candidate).
+  static double tight_floor(const std::vector<double>& host_row,
+                            const std::vector<double>& dist, double w_next) {
+    double total = 0.0;
+    for (std::size_t t = 0; t < dist.size(); ++t)
+      total += std::max(host_row[t], std::min(dist[t], w_next));
+    return total;
+  }
+};
+
+struct MaxCostModel {
+  static double distance_term(const std::vector<double>& dist) {
+    double worst = 0.0;
+    for (double d : dist) worst = std::max(worst, d);
+    return worst;
+  }
+
+  /// Global floor: the host-closure eccentricity of the agent.
+  static double cheap_floor(const Game& game, int u,
+                            const std::vector<double>& host_row) {
+    (void)game;
+    (void)u;
+    return distance_term(host_row);
+  }
+
+  static double tight_floor(const std::vector<double>& host_row,
+                            const std::vector<double>& dist, double w_next) {
+    double worst = 0.0;
+    for (std::size_t t = 0; t < dist.size(); ++t)
+      worst = std::max(worst, std::max(host_row[t],
+                                       std::min(dist[t], w_next)));
+    return worst;
+  }
+};
+
+// --- branch-local DFS -----------------------------------------------------
+
+/// One first-level branch of the subset DFS: all subsets whose smallest
+/// chosen candidate index is `branch`.  Owns its incremental SSSP state and
+/// its incumbent; shares nothing mutable, so branches run concurrently and
+/// the fold over branch outcomes is independent of thread count.
+template <class Model>
+struct BranchSearch {
+  const Game* game = nullptr;
+  const AgentEnvironment* env = nullptr;
+  const std::vector<int>* candidates = nullptr;
+  const std::vector<double>* weights = nullptr;
+  const std::vector<double>* weight_row = nullptr;  ///< weight by node id
+  const std::vector<double>* host_row = nullptr;
+  double cheap_floor = 0.0;
+  double base_bound = kInf;  ///< min(empty-set recorded cost, incumbent)
+  double incumbent = kInf;   ///< original bound (improved = beat this)
+  bool first_improvement = false;
+  int branch = 0;
+  const std::atomic<int>* winner = nullptr;  ///< lowest improving branch
+
+  IncrementalSssp sssp;
+  NodeSet current;
+  double current_weight = 0.0;
+  BestResponseResult result;
+  bool done = false;
+
+  double bound() const { return std::min(result.cost, base_bound); }
+
+  /// A branch whose index can no longer win the first-improvement fold (a
+  /// lower branch already improved) stops; its result is discarded either
+  /// way, so the fold outcome stays deterministic.
+  bool aborted() const {
+    return winner != nullptr &&
+           winner->load(std::memory_order_relaxed) < branch;
+  }
+
+  void evaluate() {
+    // Canonical evaluation: the edge-weight term is re-summed in increasing
+    // target order (exactly AgentEnvironment::cost_of's order), so the
+    // recorded cost is a function of the subset alone.  The DFS accumulator
+    // `current_weight` is kept only for the pruning bound -- recording it
+    // would carry path-dependent rounding noise (which subtrees were
+    // explored before reaching this node), the pre-refactor search's
+    // cost-vs-cost_of ulp mismatch.
+    double edge_sum = 0.0;
+    current.for_each(
+        [&](int v) { edge_sum += (*weight_row)[static_cast<std::size_t>(v)]; });
+    const double cost =
+        game->alpha() * edge_sum + Model::distance_term(sssp.dist());
+    ++result.evaluations;
+    if (improves(cost, bound())) {
+      result.cost = cost;
+      result.strategy = current;
+      result.improved = improves(cost, incumbent);
+      if (first_improvement && result.improved) done = true;
+    }
+  }
+
+  /// Two-level admissible cut for the subtree rooted at candidate i: the
+  /// O(1) global floor first, then the O(n) per-node floor.  Both are
+  /// nondecreasing in the candidate weight, so on the weight-sorted list a
+  /// failure cuts every later sibling too (the caller breaks).
+  bool pruned(std::size_t i) const {
+    const double b = bound();
+    const double edge_cost =
+        game->alpha() * (current_weight + (*weights)[i]);
+    if (!improves(edge_cost + cheap_floor, b)) return true;
+    return !improves(
+        edge_cost + Model::tight_floor(*host_row, sssp.dist(), (*weights)[i]),
+        b);
+  }
+
+  void insert(std::size_t i) {
+    current.insert((*candidates)[i]);
+    current_weight += (*weights)[i];
+    // The source's distance is 0 and never changes, so the repair needs
+    // only the environment edges: no path improves through the source.
+    sssp.relax_insert((*candidates)[i], (*weights)[i],
+                      [this](int x, auto&& visit) {
+                        env->for_neighbors(x, visit);
+                      });
+  }
+
+  void remove(std::size_t i, IncrementalSssp::Checkpoint mark) {
+    sssp.rollback(mark);
+    current.erase((*candidates)[i]);
+    current_weight -= (*weights)[i];
+  }
+
+  void descend(std::size_t start) {
+    for (std::size_t i = start; i < candidates->size() && !done; ++i) {
+      if (aborted()) {
+        done = true;
+        break;
+      }
+      if (pruned(i)) break;
+      const IncrementalSssp::Checkpoint mark = sssp.checkpoint();
+      insert(i);
+      evaluate();
+      if (!done) descend(i + 1);
+      remove(i, mark);
+    }
+  }
+};
+
+/// Result of one first-level branch, folded in branch order by the driver.
+struct BranchOutcome {
+  double cost = kInf;
+  NodeSet strategy;
+  bool improved = false;
+  std::uint64_t evaluations = 0;
+};
+
+/// The shared driver: empty-set evaluation, first-level fan-out over the
+/// worker pool, deterministic in-order fold.
+template <class Model>
+BestResponseResult run_search(const AgentEnvironment& env,
+                              const BestResponseOptions& options) {
+  const Game& game = env.game();
+  const int n = game.node_count();
+  const int u = env.agent();
+
+  // Candidate targets: every node u may buy towards, sorted by edge weight
+  // so the branch-and-bound cut is monotone.
+  std::vector<std::pair<double, int>> order;
+  for (int v = 0; v < n; ++v)
+    if (game.can_buy(u, v)) order.emplace_back(game.weight(u, v), v);
+  std::sort(order.begin(), order.end());
+  std::vector<int> candidates;
+  std::vector<double> weights;
+  candidates.reserve(order.size());
+  weights.reserve(order.size());
+  for (const auto& [w, v] : order) {
+    candidates.push_back(v);
+    weights.push_back(w);
+  }
+
+  // The one Dijkstra of the search: u's distances in the bare environment
+  // (the empty-strategy network).  Every branch seeds its incremental
+  // vector from this.
+  std::vector<double> base_dist;
+  tls_dijkstra_buffers().run_into(
+      base_dist, n, u,
+      [&](int x, auto&& visit) { env.for_neighbors(x, visit); });
+
+  // Host-closure row of u: the per-node admissible floor (stable per the
+  // host-backend query contract; materialized once per search so the DFS
+  // bound never re-queries implicit backends).  weight_row serves the
+  // canonical edge-sum evaluation the same way.
+  std::vector<double> host_row(static_cast<std::size_t>(n));
+  std::vector<double> weight_row(static_cast<std::size_t>(n), kInf);
+  for (int v = 0; v < n; ++v)
+    host_row[static_cast<std::size_t>(v)] = game.host_distance(u, v);
+  for (std::size_t i = 0; i < candidates.size(); ++i)
+    weight_row[static_cast<std::size_t>(candidates[i])] = weights[i];
+  const double cheap_floor = Model::cheap_floor(game, u, host_row);
+
+  BestResponseResult result;
+  result.strategy = NodeSet(n);
+  const double empty_cost =
+      game.alpha() * 0.0 + Model::distance_term(base_dist);
+  result.evaluations = 1;
+  bool done = false;
+  if (improves(empty_cost, options.incumbent)) {
+    result.cost = empty_cost;
+    result.improved = true;
+    if (options.first_improvement) done = true;
+  }
+
+  const std::size_t k = candidates.size();
+  if (!done && k > 0) {
+    const double base_bound = std::min(result.cost, options.incumbent);
+    std::vector<BranchOutcome> outcomes(k);
+    std::atomic<int> winner{INT_MAX};
+    // One task per first-level branch; branch subtrees are whole jobs, so
+    // short candidate lists still fan out (serial_cutoff 2).
+    parallel_for(
+        0, k,
+        [&](std::size_t i) {
+          if (options.first_improvement &&
+              winner.load(std::memory_order_relaxed) <
+                  static_cast<int>(i))
+            return;
+          // Entry cut against the base state (before paying the O(n)
+          // seed copy).
+          const double entry_edge = game.alpha() * (0.0 + weights[i]);
+          if (!improves(entry_edge + cheap_floor, base_bound)) return;
+          if (!improves(entry_edge +
+                            Model::tight_floor(host_row, base_dist,
+                                               weights[i]),
+                        base_bound))
+            return;
+
+          BranchSearch<Model> search;
+          search.game = &game;
+          search.env = &env;
+          search.candidates = &candidates;
+          search.weights = &weights;
+          search.weight_row = &weight_row;
+          search.host_row = &host_row;
+          search.cheap_floor = cheap_floor;
+          search.base_bound = base_bound;
+          search.incumbent = options.incumbent;
+          search.first_improvement = options.first_improvement;
+          search.branch = static_cast<int>(i);
+          if (options.first_improvement) search.winner = &winner;
+          search.sssp.reset(base_dist);
+          search.current = NodeSet(n);
+          search.result.strategy = NodeSet(n);
+
+          const IncrementalSssp::Checkpoint mark = search.sssp.checkpoint();
+          search.insert(i);
+          search.evaluate();
+          if (!search.done) search.descend(i + 1);
+          search.remove(i, mark);
+
+          if (search.result.improved && options.first_improvement) {
+            int expected = winner.load(std::memory_order_relaxed);
+            while (static_cast<int>(i) < expected &&
+                   !winner.compare_exchange_weak(
+                       expected, static_cast<int>(i),
+                       std::memory_order_relaxed)) {
+            }
+          }
+          outcomes[i] = BranchOutcome{
+              search.result.cost, std::move(search.result.strategy),
+              search.result.improved, search.result.evaluations};
+        },
+        /*grain=*/1, /*serial_cutoff=*/2);
+
+    // Deterministic fold in branch order: strict improvement to replace
+    // reproduces the sequential DFS's first-found-among-ties answer (the
+    // smaller-lexicographic strategy in candidate order).
+    for (std::size_t i = 0; i < k; ++i) {
+      result.evaluations += outcomes[i].evaluations;
+      if (options.first_improvement) {
+        if (!result.improved && outcomes[i].improved) {
+          result.cost = outcomes[i].cost;
+          result.strategy = std::move(outcomes[i].strategy);
+          result.improved = true;
+        }
+      } else if (improves(outcomes[i].cost,
+                          std::min(result.cost, options.incumbent))) {
+        result.cost = outcomes[i].cost;
+        result.strategy = std::move(outcomes[i].strategy);
+        result.improved = improves(result.cost, options.incumbent);
+      }
+    }
+  }
+
+  // A full search (infinite incumbent) always reports the argmin, even when
+  // every strategy costs kInf (hosts that cannot connect u at all).
+  if (!(result.cost < kInf) && !(options.incumbent < kInf)) {
+    result.cost = empty_cost;
+  }
+  return result;
+}
+
+}  // namespace
+
+BestResponseResult br_search_sum(const AgentEnvironment& env,
+                                 const BestResponseOptions& options) {
+  return run_search<SumCostModel>(env, options);
+}
+
+BestResponseResult br_search_max(const AgentEnvironment& env,
+                                 const BestResponseOptions& options) {
+  return run_search<MaxCostModel>(env, options);
+}
+
+}  // namespace gncg

@@ -103,23 +103,30 @@ bool verify_improvement_cycle(const Game& game, const StrategyProfile& start,
                               const std::vector<DynamicsStep>& cycle,
                               bool require_best_response) {
   if (cycle.empty()) return false;
-  StrategyProfile profile = start;
+  // Replay on one engine: set_strategy updates the materialized adjacency
+  // incrementally instead of copying the whole profile and rebuilding a
+  // fresh environment per step, and the best-response check borrows the
+  // engine's adjacency (near-linear per step instead of quadratic).
+  DeviationEngine engine(game, start);
   for (const auto& step : cycle) {
-    const double before = agent_cost(game, profile, step.agent);
-    if (profile.strategy(step.agent) != step.old_strategy) return false;
-    StrategyProfile next = profile;
-    next.set_strategy(step.agent, step.new_strategy);
-    const double after = agent_cost(game, next, step.agent);
+    if (engine.profile().strategy(step.agent) != step.old_strategy)
+      return false;
+    const double before = engine.agent_cost(step.agent);
+    engine.set_strategy(step.agent, step.new_strategy);
+    const double after = engine.agent_cost(step.agent);
     if (!improves(after, before)) return false;
     if (require_best_response) {
-      const auto br = exact_best_response(game, profile, step.agent);
-      // The landing cost must match the exact best-response cost.
-      const double slack = kImproveEps * std::max(1.0, std::abs(br.cost));
-      if (after > br.cost + slack) return false;
+      // The landing cost must match the exact best-response cost against
+      // the *pre-step* profile; the cheap strict-improvement rejection
+      // above runs first so invalid cycles never pay the NP-hard search.
+      engine.set_strategy(step.agent, step.old_strategy);
+      const double br_cost = exact_best_response(engine, step.agent).cost;
+      engine.set_strategy(step.agent, step.new_strategy);
+      const double slack = kImproveEps * std::max(1.0, std::abs(br_cost));
+      if (after > br_cost + slack) return false;
     }
-    profile = std::move(next);
   }
-  return profile == start;
+  return engine.profile() == start;
 }
 
 }  // namespace gncg

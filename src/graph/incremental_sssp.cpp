@@ -1,0 +1,20 @@
+#include "graph/incremental_sssp.hpp"
+
+namespace gncg {
+
+void IncrementalSssp::reset(const std::vector<double>& dist) {
+  dist_ = dist;
+  log_.clear();
+  heap_.clear();
+}
+
+void IncrementalSssp::rollback(Checkpoint mark) {
+  GNCG_DASSERT(mark <= log_.size());
+  while (log_.size() > mark) {
+    const auto& [node, old_dist] = log_.back();
+    dist_[static_cast<std::size_t>(node)] = old_dist;
+    log_.pop_back();
+  }
+}
+
+}  // namespace gncg

@@ -1,0 +1,106 @@
+// Incremental single-source shortest paths under edge *insertions*.
+//
+// The exact best-response search descends a DFS over candidate purchase
+// subsets; every descent step adds one edge incident to the source, and
+// adding an edge can only *decrease* distances.  IncrementalSssp maintains
+// the source's distance vector across that walk:
+//
+//  * `reset(dist)` seeds the structure from a fully computed SSSP vector
+//    (one Dijkstra per search, instead of one per visited subset);
+//  * `relax_insert(v, cand, neighbor_fn)` applies the candidate distance
+//    `cand` to node v (the far endpoint of the inserted edge) and, when it
+//    improves, propagates the decrease with a bounded Dijkstra repair over
+//    `neighbor_fn` -- only nodes whose distance actually shrinks are touched;
+//  * every overwrite is recorded in a change log, so `rollback(checkpoint)`
+//    restores the exact pre-insertion vector on DFS backtrack (bitwise: old
+//    doubles are stored and replayed in reverse).
+//
+// Exactness: the repair is decrease-only Dijkstra seeded at the improved
+// node.  With non-negative weights and monotone floating-point addition
+// (fl(a + w) >= a and nondecreasing in a for w >= 0), the maintained vector
+// equals the one a fresh Dijkstra over the augmented graph would produce:
+// both are the least fixpoint d(t) = min over edges (x,t) of fl(d(x) + w),
+// i.e. the minimum over all source-t paths of the left-to-right rounded path
+// sum.  This is what lets the best-response engine stay bit-compatible with
+// the naive one-Dijkstra-per-subset search (tests/test_incremental_sssp.cpp
+// and the differential fuzz in tests/test_best_response.cpp are the gates).
+//
+// Not thread-safe; parallel searches own one instance per branch.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "graph/dijkstra.hpp"
+
+namespace gncg {
+
+class IncrementalSssp {
+ public:
+  /// Log position; pass to rollback() to undo everything recorded after it.
+  using Checkpoint = std::size_t;
+
+  /// Seeds from a computed SSSP vector (copied; the caller keeps the
+  /// original for further branches).  Clears the change log.
+  void reset(const std::vector<double>& dist);
+
+  const std::vector<double>& dist() const { return dist_; }
+
+  Checkpoint checkpoint() const { return log_.size(); }
+
+  /// Offers the candidate distance `cand` to node v (for an inserted edge
+  /// (source, v) of weight w, pass cand = w: the source's distance is 0 and
+  /// never changes, so the repair never needs the new edge itself).  When it
+  /// improves, propagates the decrease through `neighbor_fn(x, visit)` --
+  /// which must enumerate the *rest* of the graph's edges (the environment;
+  /// previously inserted source edges need no re-enumeration for the same
+  /// reason the new one doesn't).  Every overwritten distance is logged.
+  template <class NeighborFn>
+  void relax_insert(int v, double cand, NeighborFn&& neighbor_fn) {
+    const std::size_t vi = static_cast<std::size_t>(v);
+    GNCG_DASSERT(vi < dist_.size());
+    if (!(cand < dist_[vi])) return;
+    log_.emplace_back(v, dist_[vi]);
+    dist_[vi] = cand;
+    heap_.clear();
+    push(cand, v);
+    while (!heap_.empty()) {
+      const auto [d, x] = pop();
+      if (d > dist_[static_cast<std::size_t>(x)]) continue;  // stale entry
+      neighbor_fn(x, [&](int y, double w) {
+        GNCG_DASSERT(w >= 0.0);
+        const double candidate = d + w;
+        const std::size_t yi = static_cast<std::size_t>(y);
+        if (candidate < dist_[yi]) {
+          log_.emplace_back(y, dist_[yi]);
+          dist_[yi] = candidate;
+          push(candidate, y);
+        }
+      });
+    }
+  }
+
+  /// Restores every distance overwritten since `mark`, newest first (a node
+  /// improved twice ends up at its earliest logged value).
+  void rollback(Checkpoint mark);
+
+ private:
+  void push(double d, int v) {
+    heap_.emplace_back(d, v);
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  }
+
+  detail::HeapEntry pop() {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    const detail::HeapEntry entry = heap_.back();
+    heap_.pop_back();
+    return entry;
+  }
+
+  std::vector<double> dist_;
+  std::vector<std::pair<int, double>> log_;
+  std::vector<detail::HeapEntry> heap_;
+};
+
+}  // namespace gncg

@@ -157,6 +157,56 @@ ScenarioResult run_br_dynamics(const SweepPoint& point, Rng& rng) {
   return result;
 }
 
+// --- br_certify -----------------------------------------------------------
+
+ScenarioResult run_br_certify(const SweepPoint& point, Rng& rng) {
+  const int settle_rounds =
+      static_cast<int>(point.extra_or("settle_rounds", 2.0));
+  GNCG_CHECK(settle_rounds >= 0, "br_certify needs settle_rounds >= 0");
+  const Game game(make_sweep_host(point, rng), point.alpha);
+  DeviationEngine engine(game, recursive_tree_profile(game, rng));
+
+  // Settle with best-single-move rounds first, so certification runs
+  // against a near-equilibrium profile (the paper's certification shape).
+  for (int round = 0; round < settle_rounds; ++round) {
+    for (int u = 0; u < point.n; ++u) {
+      const auto move = engine.best_single_move(u);
+      if (move.improved) engine.apply_move(u, move.move);
+    }
+  }
+
+  // Full-mode exact best response per agent (incumbent-bounded, no
+  // first-improvement stop): its evaluation counts are deterministic at any
+  // thread count, which journaled metrics must be -- the first-improvement
+  // fan-out's early abort makes that mode's work counter timing-dependent.
+  const Stopwatch timer;
+  int improving = 0;
+  double evaluations = 0.0;
+  double max_gain = 0.0;
+  for (int u = 0; u < point.n; ++u) {
+    BestResponseOptions options;
+    options.incumbent = engine.agent_cost(u);
+    const auto br = exact_best_response(engine, u, options);
+    evaluations += static_cast<double>(br.evaluations);
+    if (br.improved) {
+      ++improving;
+      if (options.incumbent < kInf)
+        max_gain = std::max(max_gain, options.incumbent - br.cost);
+    }
+  }
+
+  ScenarioRow row;
+  row.metric("agents", point.n)
+      .metric("settle_rounds", settle_rounds)
+      .metric("improving_agents", improving)
+      .metric("br_evaluations", evaluations)
+      .metric("max_gain", max_gain)
+      .metric("social_cost", engine_social_cost(engine))
+      .metric("certify_ms", timer.millis())
+      .tag("certified", improving == 0 ? "NE" : "not NE");
+  return {{std::move(row)}};
+}
+
 // --- poa_random -----------------------------------------------------------
 
 ScenarioResult run_poa_random(const SweepPoint& point, Rng& rng) {
@@ -383,6 +433,15 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
           {"rounds", 3.0, "activation rounds to run"},
           {"agents", 64.0, "agents scanned per round (evenly spaced)"}},
       run_br_dynamics, sweep_host_of));
+  registry.add(std::make_shared<FunctionScenario>(
+      "br_certify",
+      "exact NE certification through the incremental best-response engine: "
+      "settle with best-single-move rounds, then one incumbent-bounded "
+      "exact BR per agent (deterministic evaluation counts)",
+      std::vector<std::string>{"dense", "lazy", "euclidean", "tree"},
+      std::vector<ScenarioParam>{
+          {"settle_rounds", 2.0, "best-single-move rounds before certifying"}},
+      run_br_certify, sweep_host_of));
   registry.add(std::make_shared<FunctionScenario>(
       "poa_random",
       "PoA/PoS of random instances vs the paper bound (alpha+2)/2; exact "

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/br_search.hpp"
+#include "core/deviation_engine.hpp"
 #include "graph/dijkstra.hpp"
 #include "graph/graph_algos.hpp"
 
@@ -10,16 +12,14 @@ namespace gncg {
 namespace {
 
 /// Eccentricity of `u` in (environment + candidate edges) -- the
-/// egalitarian distance term.
-double eccentricity_of(const Game& game,
-                       const std::vector<std::vector<Neighbor>>& environment,
-                       int u, const NodeSet& targets) {
+/// egalitarian distance term of the naive reference path.
+double eccentricity_of(const Game& game, const AgentEnvironment& env, int u,
+                       const NodeSet& targets) {
   std::vector<double> dist;
   dijkstra_over(
       game.node_count(), u,
       [&](int x, auto&& visit) {
-        for (const auto& nb : environment[static_cast<std::size_t>(x)])
-          visit(nb.to, nb.weight);
+        env.for_neighbors(x, visit);
         if (x == u) {
           targets.for_each([&](int v) { visit(v, game.weight(u, v)); });
         } else if (targets.contains(x)) {
@@ -32,27 +32,11 @@ double eccentricity_of(const Game& game,
   return worst;
 }
 
-std::vector<std::vector<Neighbor>> environment_of(const Game& game,
-                                                  const StrategyProfile& s,
-                                                  int u) {
-  const int n = game.node_count();
-  std::vector<std::vector<Neighbor>> environment(static_cast<std::size_t>(n));
-  for (int owner = 0; owner < n; ++owner) {
-    if (owner == u) continue;
-    s.strategy(owner).for_each([&](int target) {
-      const double w = game.weight(owner, target);
-      environment[static_cast<std::size_t>(owner)].push_back({target, w});
-      environment[static_cast<std::size_t>(target)].push_back({owner, w});
-    });
-  }
-  return environment;
-}
-
-/// Pruned DFS over candidate subsets, mirroring the SUM-version search but
-/// with the eccentricity floor max_v d_H(u, v) as the admissible bound.
-struct MaxBrSearch {
+/// Pruned DFS of the pre-refactor MAX search (fresh Dijkstra per subset,
+/// eccentricity floor only): the differential baseline for br_search_max.
+struct NaiveMaxBrSearch {
   const Game* game = nullptr;
-  const std::vector<std::vector<Neighbor>>* environment = nullptr;
+  const AgentEnvironment* env = nullptr;
   int agent = 0;
   std::vector<int> candidates;
   std::vector<double> weights;
@@ -68,9 +52,8 @@ struct MaxBrSearch {
   double bound() const { return std::min(result.cost, incumbent); }
 
   void evaluate() {
-    const double cost =
-        game->alpha() * current_weight +
-        eccentricity_of(*game, *environment, agent, current);
+    const double cost = game->alpha() * current_weight +
+                        eccentricity_of(*game, *env, agent, current);
     ++result.evaluations;
     if (improves(cost, bound())) {
       result.cost = cost;
@@ -98,11 +81,18 @@ struct MaxBrSearch {
 }  // namespace
 
 double max_agent_cost(const Game& game, const StrategyProfile& s, int u) {
-  const auto environment = environment_of(game, s, u);
+  const AgentEnvironment env(game, s, u);
   double edge_weight = 0.0;
   s.strategy(u).for_each([&](int v) { edge_weight += game.weight(u, v); });
   return game.alpha() * edge_weight +
-         eccentricity_of(game, environment, u, s.strategy(u));
+         eccentricity_of(game, env, u, s.strategy(u));
+}
+
+double max_agent_cost(DeviationEngine& engine, int u) {
+  const std::vector<double>& dist = engine.distances(u);
+  double ecc = 0.0;
+  for (double d : dist) ecc = std::max(ecc, d);
+  return engine.buying_cost(u) + ecc;
 }
 
 double max_social_cost(const Game& game, const StrategyProfile& s) {
@@ -129,11 +119,25 @@ double max_network_social_cost(const Game& game,
 BestResponseResult max_exact_best_response(const Game& game,
                                            const StrategyProfile& s, int u,
                                            const BestResponseOptions& options) {
-  const auto environment = environment_of(game, s, u);
+  const AgentEnvironment env(game, s, u);
+  return br_search_max(env, options);
+}
 
-  MaxBrSearch search;
+BestResponseResult max_exact_best_response(const DeviationEngine& engine,
+                                           int u,
+                                           const BestResponseOptions& options) {
+  const AgentEnvironment env(engine, u);
+  return br_search_max(env, options);
+}
+
+BestResponseResult naive_max_exact_best_response(
+    const Game& game, const StrategyProfile& s, int u,
+    const BestResponseOptions& options) {
+  const AgentEnvironment env(game, s, u);
+
+  NaiveMaxBrSearch search;
   search.game = &game;
-  search.environment = &environment;
+  search.env = &env;
   search.agent = u;
   search.incumbent = options.incumbent;
   search.first_improvement = options.first_improvement;
@@ -156,23 +160,28 @@ BestResponseResult max_exact_best_response(const Game& game,
   if (!search.done) search.descend(0);
 
   if (!(search.result.cost < kInf) && !(options.incumbent < kInf)) {
-    search.result.cost =
-        eccentricity_of(game, environment, u, search.result.strategy);
+    search.result.cost = eccentricity_of(game, env, u, search.result.strategy);
   }
   return search.result;
 }
 
 bool max_has_improving_deviation(const Game& game, const StrategyProfile& s,
                                  int u) {
+  DeviationEngine engine(game, s);
+  return max_has_improving_deviation(engine, u);
+}
+
+bool max_has_improving_deviation(DeviationEngine& engine, int u) {
   BestResponseOptions options;
-  options.incumbent = max_agent_cost(game, s, u);
+  options.incumbent = max_agent_cost(engine, u);
   options.first_improvement = true;
-  return max_exact_best_response(game, s, u, options).improved;
+  return max_exact_best_response(engine, u, options).improved;
 }
 
 bool max_is_nash_equilibrium(const Game& game, const StrategyProfile& s) {
+  DeviationEngine engine(game, s);
   for (int u = 0; u < game.node_count(); ++u)
-    if (max_has_improving_deviation(game, s, u)) return false;
+    if (max_has_improving_deviation(engine, u)) return false;
   return true;
 }
 

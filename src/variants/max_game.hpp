@@ -17,8 +17,14 @@
 
 namespace gncg {
 
+class DeviationEngine;
+
 /// alpha * w(u, S_u) + max_v d_G(u, v)  (kInf when disconnected).
 double max_agent_cost(const Game& game, const StrategyProfile& s, int u);
+
+/// Engine-backed egalitarian cost: buying cost plus the maximum of the
+/// engine's cached distance vector (no environment rebuild).
+double max_agent_cost(DeviationEngine& engine, int u);
 
 /// Sum of egalitarian agent costs.
 double max_social_cost(const Game& game, const StrategyProfile& s);
@@ -28,9 +34,24 @@ double max_social_cost(const Game& game, const StrategyProfile& s);
 double max_network_social_cost(const Game& game,
                                const std::vector<Edge>& network);
 
-/// Exact best response under the egalitarian objective (pruned subset
-/// search, same contract as exact_best_response).
+/// Exact best response under the egalitarian objective.  Runs the shared
+/// incremental branch-and-bound driver (core/br_search.hpp) with the MAX
+/// cost model -- the same skeleton as exact_best_response, so the sum/max
+/// searches cannot diverge.
 BestResponseResult max_exact_best_response(
+    const Game& game, const StrategyProfile& s, int u,
+    const BestResponseOptions& options = {});
+
+/// Engine-backed variant: borrows the engine's materialized adjacency for
+/// the environment (no rebuild).  Batch callers reuse one engine.
+BestResponseResult max_exact_best_response(
+    const DeviationEngine& engine, int u,
+    const BestResponseOptions& options = {});
+
+/// Pre-refactor reference search (one fresh Dijkstra per visited subset,
+/// sequential): the differential-testing and benchmarking baseline for the
+/// shared driver, mirroring naive_exact_best_response.
+BestResponseResult naive_max_exact_best_response(
     const Game& game, const StrategyProfile& s, int u,
     const BestResponseOptions& options = {});
 
@@ -38,7 +59,11 @@ BestResponseResult max_exact_best_response(
 bool max_has_improving_deviation(const Game& game, const StrategyProfile& s,
                                  int u);
 
-/// Pure NE check under the egalitarian objective.
+/// Engine-backed early-exit existence check.
+bool max_has_improving_deviation(DeviationEngine& engine, int u);
+
+/// Pure NE check under the egalitarian objective (one engine reused across
+/// the agent loop).
 bool max_is_nash_equilibrium(const Game& game, const StrategyProfile& s);
 
 }  // namespace gncg

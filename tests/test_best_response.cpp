@@ -1,10 +1,16 @@
 // Tests for best-response machinery: the pruned exact search against the
-// unpruned brute force, single-move scans, and the improvement predicate.
+// unpruned brute force, the incremental br_search engine against the naive
+// per-subset-Dijkstra baseline, single-move scans, and the improvement
+// predicate.
 #include <gtest/gtest.h>
 
 #include "core/best_response.hpp"
+#include "core/deviation_engine.hpp"
 #include "core/dynamics.hpp"
 #include "metric/host_graph.hpp"
+#include "metric/points.hpp"
+#include "metric/tree.hpp"
+#include "support/parallel.hpp"
 #include "support/rng.hpp"
 #include "test_util.hpp"
 
@@ -18,6 +24,41 @@ Game random_game(int n, double alpha, int flavor, Rng& rng) {
     case 1: return Game(random_one_two_host(n, 0.5, rng), alpha);
     case 2: return Game(random_general_host(n, rng), alpha);
     default: return Game(random_one_inf_host(n, 0.6, rng), alpha);
+  }
+}
+
+/// Randomized hosts across every backend kind (dense model classes plus the
+/// implicit euclidean / tree backends) for the differential fuzz.
+Game random_backend_game(int n, double alpha, int flavor, Rng& rng) {
+  switch (flavor % 6) {
+    case 0: return Game(random_metric_host(n, rng), alpha);
+    case 1: return Game(random_one_two_host(n, 0.5, rng), alpha);
+    case 2: return Game(random_general_host(n, rng), alpha);
+    case 3: return Game(random_one_inf_host(n, 0.6, rng), alpha);
+    case 4:
+      return Game(HostGraph::from_points(uniform_points(n, 2, 100.0, rng),
+                                         2.0),
+                  alpha);
+    default:
+      return Game(HostGraph::from_tree(random_tree(n, rng, 1.0, 10.0)),
+                  alpha);
+  }
+}
+
+/// Inserts `pairs` mutual (double-ownership) buys into the profile: both
+/// endpoints pay for the same built edge, the state dynamics can pass
+/// through and the environment masking must keep.
+void force_mutual_buys(const Game& game, StrategyProfile& profile, int pairs,
+                       Rng& rng) {
+  const int n = game.node_count();
+  for (int j = 0; j < pairs; ++j) {
+    const int a = static_cast<int>(rng.uniform_below(
+        static_cast<std::uint64_t>(n)));
+    const int b = static_cast<int>(rng.uniform_below(
+        static_cast<std::uint64_t>(n)));
+    if (a == b || !game.can_buy(a, b)) continue;
+    profile.add_buy(a, b);
+    profile.add_buy(b, a);
   }
 }
 
@@ -167,6 +208,151 @@ TEST(SingleMoves, ApplyMoveMatchesReportedCost) {
     apply_move(moved, u, result.move);
     EXPECT_NEAR(agent_cost(game, moved, u), result.cost, 1e-9);
     return;  // one verified application suffices
+  }
+}
+
+// --- incremental br_search vs naive baseline (differential fuzz) ----------
+
+TEST(BrSearchDifferential, FullSearchMatchesNaiveAcrossBackends) {
+  Rng rng(211);
+  for (int trial = 0; trial < 36; ++trial) {
+    const int n = 6 + (trial % 5);  // 6..10
+    const double alpha = rng.uniform_real(0.2, 4.0);
+    const Game game = random_backend_game(n, alpha, trial, rng);
+    StrategyProfile profile = random_profile(game, rng);
+    force_mutual_buys(game, profile, n / 3, rng);
+    for (int u = 0; u < n; ++u) {
+      const auto naive = naive_exact_best_response(game, profile, u);
+      const auto fast = exact_best_response(game, profile, u);
+      EXPECT_TRUE(fast.strategy == naive.strategy)
+          << "trial " << trial << " agent " << u;
+      EXPECT_EQ(fast.improved, naive.improved);
+      // The new engine's evaluation is canonical: its cost equals the
+      // environment re-evaluation of the winning strategy bitwise.  (The
+      // naive search records its running DFS accumulator instead, whose
+      // low-order bits are path-dependent, so its raw cost is compared
+      // through re-evaluation.)
+      const AgentEnvironment env(game, profile, u);
+      EXPECT_EQ(fast.cost, env.cost_of(naive.strategy))
+          << "trial " << trial << " agent " << u;
+      if (naive.cost < kInf) {
+        EXPECT_NEAR(fast.cost, naive.cost,
+                    1e-12 * std::max(1.0, std::abs(naive.cost)));
+      } else {
+        EXPECT_FALSE(fast.cost < kInf);
+      }
+    }
+  }
+}
+
+TEST(BrSearchDifferential, CertificationMatchesNaiveAcrossBackends) {
+  // NE-certification mode: incumbent = current cost, stop at the first
+  // strict improvement.  The found improvement (the DFS-first one) must be
+  // identical, not just its existence.
+  Rng rng(227);
+  for (int trial = 0; trial < 36; ++trial) {
+    const int n = 6 + (trial % 5);
+    const double alpha = rng.uniform_real(0.2, 4.0);
+    const Game game = random_backend_game(n, alpha, trial, rng);
+    StrategyProfile profile = random_profile(game, rng);
+    force_mutual_buys(game, profile, n / 3, rng);
+    DeviationEngine engine(game, profile);
+    for (int u = 0; u < n; ++u) {
+      BestResponseOptions options;
+      options.incumbent = agent_cost(game, profile, u);
+      options.first_improvement = true;
+      const auto naive = naive_exact_best_response(game, profile, u, options);
+      const auto fast = exact_best_response(engine, u, options);
+      EXPECT_EQ(fast.improved, naive.improved)
+          << "trial " << trial << " agent " << u;
+      if (naive.improved) {
+        EXPECT_TRUE(fast.strategy == naive.strategy)
+            << "trial " << trial << " agent " << u;
+        const AgentEnvironment env(game, profile, u);
+        EXPECT_EQ(fast.cost, env.cost_of(naive.strategy));
+      }
+      EXPECT_EQ(fast.improved, has_improving_deviation(engine, u));
+    }
+  }
+}
+
+TEST(BrSearchDifferential, ThreadCountInvariant) {
+  // The parallel first-level fan-out folds branch outcomes in branch
+  // order: full-search results -- including the evaluation count -- must be
+  // byte-identical between 1 worker and the default pool.
+  Rng rng(229);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int n = 8 + (trial % 4);
+    const double alpha = rng.uniform_real(0.3, 3.0);
+    const Game game = random_backend_game(n, alpha, trial, rng);
+    StrategyProfile profile = random_profile(game, rng);
+    force_mutual_buys(game, profile, n / 3, rng);
+    for (int u = 0; u < n; ++u) {
+      set_default_thread_count(1);
+      const auto serial = exact_best_response(game, profile, u);
+      set_default_thread_count(0);
+      const auto parallel = exact_best_response(game, profile, u);
+      EXPECT_EQ(parallel.cost, serial.cost);
+      EXPECT_TRUE(parallel.strategy == serial.strategy);
+      EXPECT_EQ(parallel.improved, serial.improved);
+      EXPECT_EQ(parallel.evaluations, serial.evaluations)
+          << "full-mode searches do the same work at any thread count";
+
+      // Certification mode: the result (not the work counter) is invariant.
+      BestResponseOptions options;
+      options.incumbent = agent_cost(game, profile, u);
+      options.first_improvement = true;
+      set_default_thread_count(1);
+      const auto serial_cert = exact_best_response(game, profile, u, options);
+      set_default_thread_count(0);
+      const auto parallel_cert =
+          exact_best_response(game, profile, u, options);
+      EXPECT_EQ(parallel_cert.improved, serial_cert.improved);
+      if (serial_cert.improved) {
+        EXPECT_EQ(parallel_cert.cost, serial_cert.cost);
+        EXPECT_TRUE(parallel_cert.strategy == serial_cert.strategy);
+      }
+    }
+  }
+  set_default_thread_count(0);
+}
+
+// --- AgentEnvironment borrow mode (double-ownership masking) --------------
+
+TEST(AgentEnvironmentView, BorrowMatchesOwnedBuildUnderMutualBuys) {
+  // The engine-borrowing environment masks u's sole-owned edges on the fly;
+  // edges both endpoints buy must survive the mask.  Differential fuzz of
+  // borrowed vs owned costs on profiles with forced mutual buys.
+  Rng rng(233);
+  for (int trial = 0; trial < 24; ++trial) {
+    const int n = 5 + (trial % 5);
+    const double alpha = rng.uniform_real(0.2, 4.0);
+    const Game game = random_backend_game(n, alpha, trial, rng);
+    StrategyProfile profile = random_profile(game, rng);
+    force_mutual_buys(game, profile, n / 2, rng);
+    DeviationEngine engine(game, profile);
+    for (int u = 0; u < n; ++u) {
+      const AgentEnvironment owned(game, profile, u);
+      const AgentEnvironment borrowed(engine, u);
+      // The agent's own strategy: cost_of must reproduce agent_cost.
+      EXPECT_EQ(borrowed.cost_of(profile.strategy(u)),
+                owned.cost_of(profile.strategy(u)))
+          << "trial " << trial << " agent " << u;
+      // Random candidate sets.
+      for (int draw = 0; draw < 4; ++draw) {
+        NodeSet targets(n);
+        for (int v = 0; v < n; ++v)
+          if (v != u && game.can_buy(u, v) && rng.bernoulli(0.4))
+            targets.insert(v);
+        EXPECT_EQ(borrowed.cost_of(targets), owned.cost_of(targets))
+            << "trial " << trial << " agent " << u << " draw " << draw;
+      }
+      // Full searches through both environment paths agree.
+      const auto via_profile = exact_best_response(game, profile, u);
+      const auto via_engine = exact_best_response(engine, u);
+      EXPECT_EQ(via_engine.cost, via_profile.cost);
+      EXPECT_TRUE(via_engine.strategy == via_profile.strategy);
+    }
   }
 }
 

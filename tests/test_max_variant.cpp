@@ -2,6 +2,7 @@
 // exact best response against brute force, and cross-objective relations.
 #include <gtest/gtest.h>
 
+#include "core/deviation_engine.hpp"
 #include "core/dynamics.hpp"
 #include "metric/host_graph.hpp"
 #include "support/rng.hpp"
@@ -141,6 +142,56 @@ TEST(MaxVariant, SumEquilibriaNeedNotBeMaxEquilibria) {
   }
   EXPECT_GT(differing, 0)
       << "every SUM equilibrium was also a MAX equilibrium -- suspicious";
+}
+
+TEST(MaxVariant, SharedDriverMatchesNaiveSearch) {
+  // The MAX best response now runs the shared incremental br_search driver;
+  // the pre-refactor per-subset-Dijkstra search is the differential
+  // baseline (full and certification modes, profile and engine paths).
+  Rng rng(1733);
+  for (int trial = 0; trial < 24; ++trial) {
+    const int n = 5 + (trial % 4);
+    const Game game(trial % 2 == 0 ? random_metric_host(n, rng)
+                                   : random_one_two_host(n, 0.5, rng),
+                    rng.uniform_real(0.2, 3.0));
+    const auto profile = random_profile(game, rng);
+    DeviationEngine engine(game, profile);
+    for (int u = 0; u < n; ++u) {
+      const auto naive = naive_max_exact_best_response(game, profile, u);
+      const auto fast = max_exact_best_response(game, profile, u);
+      EXPECT_TRUE(fast.strategy == naive.strategy)
+          << "trial " << trial << " agent " << u;
+      // Canonical-cost contract: the driver's cost equals the egalitarian
+      // re-evaluation of the winning strategy bitwise (the naive search's
+      // raw cost carries DFS-accumulator noise; see br_search.hpp).
+      StrategyProfile rewired = profile;
+      rewired.set_strategy(u, naive.strategy);
+      EXPECT_EQ(fast.cost, max_agent_cost(game, rewired, u))
+          << "trial " << trial << " agent " << u;
+      const auto via_engine = max_exact_best_response(engine, u);
+      EXPECT_EQ(via_engine.cost, fast.cost);
+      EXPECT_TRUE(via_engine.strategy == naive.strategy);
+
+      BestResponseOptions options;
+      options.incumbent = max_agent_cost(game, profile, u);
+      options.first_improvement = true;
+      const auto naive_cert =
+          naive_max_exact_best_response(game, profile, u, options);
+      EXPECT_EQ(max_has_improving_deviation(engine, u), naive_cert.improved);
+    }
+  }
+}
+
+TEST(MaxVariant, EngineAgentCostMatchesProfileBuild) {
+  Rng rng(1741);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 5 + (trial % 4);
+    const Game game(random_metric_host(n, rng), rng.uniform_real(0.3, 3.0));
+    const auto profile = random_profile(game, rng);
+    DeviationEngine engine(game, profile);
+    for (int u = 0; u < n; ++u)
+      EXPECT_EQ(max_agent_cost(engine, u), max_agent_cost(game, profile, u));
+  }
 }
 
 }  // namespace
