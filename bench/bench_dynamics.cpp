@@ -245,6 +245,15 @@ int main(int argc, char** argv) {
   }
 #endif
 
+  const unsigned num_cpus = std::thread::hardware_concurrency();
+  const bool parallelism_limited = num_cpus <= 1;
+  if (parallelism_limited)
+    std::fprintf(stderr,
+                 "bench_dynamics: only %u CPU(s) visible; the serial-vs-pool "
+                 "ratio measures orchestration overhead, not parallel "
+                 "speedup (parallelism_limited).\n",
+                 num_cpus);
+
   const std::vector<int> sizes =
       smoke ? std::vector<int>{64} : std::vector<int>{64, 128, 256};
   const int restarts = smoke ? 8 : 16;
@@ -284,7 +293,9 @@ int main(int argc, char** argv) {
               smoke ? " --smoke" : "");
   std::printf("  \"context\": {\n");
   std::printf("    \"date\": \"%s\",\n", date);
-  std::printf("    \"num_cpus\": %u,\n", std::thread::hardware_concurrency());
+  std::printf("    \"num_cpus\": %u,\n", num_cpus);
+  std::printf("    \"parallelism_limited\": %s,\n",
+              parallelism_limited ? "true" : "false");
   std::printf("    \"library_build_type\": \"%s\"\n", build_type);
   std::printf("  },\n");
   std::printf("  \"restart_throughput\": [\n");

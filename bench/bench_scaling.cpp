@@ -1,0 +1,427 @@
+// SSSP-kernel and multi-core scaling bench (recorded as BENCH_scaling.json).
+//
+// Two sections:
+//
+//  * sssp_kernel (single thread): the layout/kernel ablation behind this
+//    PR's perf work.  One all-sources distance sweep over the built network
+//    of a random profile, three ways:
+//      - vecvec_heap: the pre-PR layout -- build_adjacency's per-node
+//        std::vector<Neighbor> lists walked by the thread-local binary-heap
+//        Dijkstra;
+//      - csr_heap:   the engine's flat CSR slab, heap kernel (dial forced
+//        off);
+//      - csr_dial:   CSR slab + bucket-queue kernel (integer-weight hosts).
+//    All three must produce the bit-identical distance-sum checksum (same
+//    relaxation order / same integer fixpoint); a mismatch aborts.  The
+//    recorded speedup_total = vecvec_heap / csr_dial is the PR's >= 2x
+//    single-thread acceptance gate on an SSSP-dominated workload.
+//
+//  * thread_curves: run_restarts, best-response certification fan-out and
+//    the warm single-move sweep at 1/2/4/8 workers.  Every workload's
+//    results must be byte-identical across thread counts (the determinism
+//    contract); a divergence aborts.  On hosts with fewer visible CPUs than
+//    the curve (CI containers are often 1-CPU) the context block carries
+//    "parallelism_limited": true -- the curves then measure oversubscribed
+//    determinism, not speedup.
+//
+// The process refuses to record numbers from a non-optimized build
+// (--allow-debug overrides, never for recorded numbers).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/best_response.hpp"
+#include "core/deviation_engine.hpp"
+#include "core/dynamics.hpp"
+#include "core/profile_gen.hpp"
+#include "core/restarts.hpp"
+#include "metric/host_graph.hpp"
+#include "support/arena.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+
+namespace gncg {
+namespace {
+
+// --- section 1: single-thread SSSP kernel ablation -------------------------
+
+struct KernelResult {
+  int n = 0;
+  int sweeps = 0;
+  int dial_bound = 0;
+  double vecvec_heap_ms = 0.0;
+  double csr_heap_ms = 0.0;
+  double csr_dial_ms = 0.0;
+};
+
+KernelResult bench_sssp_kernel(int n, int sweeps) {
+  Rng rng(777u + static_cast<std::uint64_t>(n));
+  const Game game(random_one_two_host(n, 0.5, rng), 1.5);
+  const StrategyProfile profile = random_profile(game, rng, 0.3);
+
+  KernelResult result;
+  result.n = n;
+  result.sweeps = sweeps;
+  result.dial_bound = game.host().dial_weight_bound();
+
+  // Pre-PR layout: per-node vectors + thread-local heap workspace.
+  const auto vecvec = build_adjacency(game, profile);
+  const auto vecvec_fn = [&](int u, auto&& visit) {
+    for (const auto& nb : vecvec[static_cast<std::size_t>(u)])
+      visit(nb.to, nb.weight);
+  };
+  double checksum_vecvec = 0.0;
+  {
+    const Stopwatch timer;
+    for (int s = 0; s < sweeps; ++s) {
+      double total = 0.0;
+      for (int source = 0; source < n; ++source) {
+        const auto& dist = tls_dijkstra_buffers().run(n, source, vecvec_fn);
+        for (double d : dist) total += d;
+      }
+      checksum_vecvec = total;
+    }
+    result.vecvec_heap_ms = timer.millis();
+  }
+
+  DeviationEngine engine(game, profile);
+  const auto csr_fn = [&](int u, auto&& visit) {
+    for (const auto& nb : engine.adjacency().neighbors(u))
+      visit(nb.to, nb.weight);
+  };
+  double checksum_csr_heap = 0.0;
+  {
+    DijkstraBuffers& heap = worker_arena().dijkstra();
+    const Stopwatch timer;
+    for (int s = 0; s < sweeps; ++s) {
+      double total = 0.0;
+      for (int source = 0; source < n; ++source) {
+        const auto& dist = heap.run(n, source, csr_fn);
+        for (double d : dist) total += d;
+      }
+      checksum_csr_heap = total;
+    }
+    result.csr_heap_ms = timer.millis();
+  }
+  double checksum_csr_dial = 0.0;
+  {
+    DialBuffers& dial = worker_arena().dial();
+    const Stopwatch timer;
+    for (int s = 0; s < sweeps; ++s) {
+      double total = 0.0;
+      for (int source = 0; source < n; ++source) {
+        const auto& dist = dial.run(n, source, result.dial_bound, csr_fn);
+        for (double d : dist) total += d;
+      }
+      checksum_csr_dial = total;
+    }
+    result.csr_dial_ms = timer.millis();
+  }
+
+  // Same enumeration order and exact-integer distances: the checksums must
+  // be bit-identical across all three variants.
+  if (checksum_vecvec != checksum_csr_heap ||
+      checksum_vecvec != checksum_csr_dial) {
+    std::fprintf(stderr,
+                 "FAIL: kernel checksums diverge at n=%d "
+                 "(vecvec %.17g, csr_heap %.17g, csr_dial %.17g)\n",
+                 n, checksum_vecvec, checksum_csr_heap, checksum_csr_dial);
+    std::exit(3);
+  }
+  return result;
+}
+
+// --- section 2: thread-count curves ----------------------------------------
+
+struct Curve {
+  int n = 0;
+  int work = 0;  ///< restarts / certified agents / sweep rounds
+  std::vector<double> ms;  ///< one entry per thread count
+};
+
+/// run_restarts at every thread count; converged count and total moves must
+/// be identical everywhere (the PR-3 determinism contract).
+Curve bench_restarts_curve(int n, int restarts,
+                           const std::vector<int>& thread_counts) {
+  Rng rng(4242u + static_cast<std::uint64_t>(n));
+  const Game game(random_one_two_host(n, 0.5, rng), 1.5);
+  RestartOptions options;
+  options.restarts = restarts;
+  options.seed = 11;
+  options.label = "bench_scaling";
+  options.start = StartProfileKind::kRecursiveTree;
+  options.dynamics.rule = MoveRule::kBestSingleMove;
+  options.dynamics.scheduler = SchedulerKind::kRoundRobin;
+  options.dynamics.max_moves = 48;
+  options.dynamics.record_steps = false;
+
+  Curve curve;
+  curve.n = n;
+  curve.work = restarts;
+  std::size_t ref_converged = 0;
+  std::uint64_t ref_moves = 0;
+  for (std::size_t t = 0; t < thread_counts.size(); ++t) {
+    set_default_thread_count(static_cast<std::size_t>(thread_counts[t]));
+    const Stopwatch timer;
+    const RestartReport report = run_restarts(game, options);
+    curve.ms.push_back(timer.millis());
+    std::uint64_t moves = 0;
+    for (const auto& run : report.runs) moves += run.result.moves;
+    if (t == 0) {
+      ref_converged = report.converged;
+      ref_moves = moves;
+    } else if (report.converged != ref_converged || moves != ref_moves) {
+      std::fprintf(stderr,
+                   "FAIL: run_restarts diverges at n=%d threads=%d\n", n,
+                   thread_counts[t]);
+      std::exit(3);
+    }
+  }
+  return curve;
+}
+
+/// Per-agent exact best-response certification (first-improvement, current
+/// cost as incumbent) -- the search's parallel branch fan-out under the
+/// hood.  Improving-agent sets must match across thread counts.
+Curve bench_br_curve(int n, const std::vector<int>& thread_counts) {
+  Rng rng(5151u + static_cast<std::uint64_t>(n));
+  const Game game(random_one_two_host(n, 0.5, rng), static_cast<double>(n));
+  DynamicsOptions settle;
+  settle.rule = MoveRule::kBestSingleMove;
+  settle.scheduler = SchedulerKind::kRoundRobin;
+  settle.max_moves = static_cast<std::uint64_t>(4) * n;
+  settle.detect_cycles = false;
+  const auto settled =
+      run_dynamics(game, recursive_tree_profile(game, rng), settle);
+  DeviationEngine engine(game, settled.final_profile);
+
+  Curve curve;
+  curve.n = n;
+  curve.work = n;
+  std::vector<char> ref_improving;
+  std::vector<double> ref_costs;
+  for (std::size_t t = 0; t < thread_counts.size(); ++t) {
+    set_default_thread_count(static_cast<std::size_t>(thread_counts[t]));
+    std::vector<char> improving;
+    std::vector<double> costs;
+    const Stopwatch timer;
+    for (int u = 0; u < n; ++u) {
+      BestResponseOptions options;
+      options.incumbent = engine.agent_cost(u);
+      options.first_improvement = true;
+      const BestResponseResult br = exact_best_response(engine, u, options);
+      improving.push_back(br.improved ? 1 : 0);
+      costs.push_back(br.cost);
+    }
+    curve.ms.push_back(timer.millis());
+    if (t == 0) {
+      ref_improving = std::move(improving);
+      ref_costs = std::move(costs);
+    } else if (improving != ref_improving || costs != ref_costs) {
+      std::fprintf(stderr,
+                   "FAIL: best-response certification diverges at n=%d "
+                   "threads=%d\n",
+                   n, thread_counts[t]);
+      std::exit(3);
+    }
+  }
+  return curve;
+}
+
+/// Warm single-move sweep: flip an edge, re-warm every distance cache in
+/// parallel, scan every agent's best single move in parallel.  The cost
+/// vector must be byte-identical across thread counts.
+Curve bench_sweep_curve(int n, int rounds,
+                        const std::vector<int>& thread_counts) {
+  Rng rng(6363u + static_cast<std::uint64_t>(n));
+  const Game game(random_one_two_host(n, 0.5, rng), 1.5);
+  DeviationEngine engine(game, random_profile(game, rng, 0.2));
+  int flip_u = -1, flip_v = -1;
+  for (int u = 0; u < n && flip_u < 0; ++u)
+    for (int v = u + 1; v < n; ++v)
+      if (!engine.profile().has_edge(u, v)) {
+        flip_u = u;
+        flip_v = v;
+        break;
+      }
+
+  Curve curve;
+  curve.n = n;
+  curve.work = rounds;
+  std::vector<double> ref_costs;
+  for (std::size_t t = 0; t < thread_counts.size(); ++t) {
+    set_default_thread_count(static_cast<std::size_t>(thread_counts[t]));
+    std::vector<double> costs(static_cast<std::size_t>(n) *
+                              static_cast<std::size_t>(rounds));
+    const Stopwatch timer;
+    for (int r = 0; r < rounds; ++r) {
+      if (r % 2 == 0) engine.add_buy(flip_u, flip_v);
+      else engine.remove_buy(flip_u, flip_v);
+      engine.warm_distances();
+      double* row = costs.data() + static_cast<std::size_t>(r) * n;
+      parallel_for(0, static_cast<std::size_t>(n), [&](std::size_t a) {
+        row[a] = engine.best_single_move_warm(static_cast<int>(a)).cost;
+      });
+    }
+    curve.ms.push_back(timer.millis());
+    // Leave the profile as found for the next thread count.
+    if (rounds % 2 == 1) engine.remove_buy(flip_u, flip_v);
+    if (t == 0) {
+      ref_costs = std::move(costs);
+    } else if (costs != ref_costs) {
+      std::fprintf(stderr,
+                   "FAIL: single-move sweep diverges at n=%d threads=%d\n", n,
+                   thread_counts[t]);
+      std::exit(3);
+    }
+  }
+  return curve;
+}
+
+void print_curves(const char* key, const std::vector<Curve>& curves,
+                  bool trailing_comma) {
+  std::printf("  \"%s\": [\n", key);
+  for (std::size_t i = 0; i < curves.size(); ++i) {
+    const Curve& c = curves[i];
+    std::printf("    {\"n\": %d, \"work\": %d, \"ms\": [", c.n, c.work);
+    for (std::size_t t = 0; t < c.ms.size(); ++t)
+      std::printf("%s%.1f", t == 0 ? "" : ", ", c.ms[t]);
+    std::printf("], \"speedup\": [");
+    for (std::size_t t = 0; t < c.ms.size(); ++t)
+      std::printf("%s%.2f", t == 0 ? "" : ", ",
+                  c.ms[t] > 0.0 ? c.ms.front() / c.ms[t] : 0.0);
+    std::printf("]}%s\n", i + 1 < curves.size() ? "," : "");
+  }
+  std::printf("  ]%s\n", trailing_comma ? "," : "");
+}
+
+}  // namespace
+}  // namespace gncg
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool allow_debug = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    else if (std::strcmp(argv[i], "--allow-debug") == 0) allow_debug = true;
+    else {
+      std::fprintf(stderr, "usage: bench_scaling [--smoke] [--allow-debug]\n");
+      return 1;
+    }
+  }
+
+#ifdef NDEBUG
+  const char* build_type = "release";
+#else
+  const char* build_type = "debug";
+  if (!allow_debug) {
+    std::fprintf(stderr,
+                 "bench_scaling: refusing to record numbers from a "
+                 "non-optimized build (NDEBUG is not set).\n"
+                 "Configure with -DCMAKE_BUILD_TYPE=Release, or pass "
+                 "--allow-debug for a non-recorded run.\n");
+    return 2;
+  }
+#endif
+
+  const std::vector<int> thread_counts{1, 2, 4, 8};
+  const unsigned num_cpus = std::thread::hardware_concurrency();
+  const bool parallelism_limited =
+      num_cpus < static_cast<unsigned>(thread_counts.back());
+  if (parallelism_limited)
+    std::fprintf(stderr,
+                 "bench_scaling: only %u CPU(s) visible; thread curves "
+                 "measure oversubscribed determinism, not speedup "
+                 "(parallelism_limited).\n",
+                 num_cpus);
+
+  // Size the worker pool for the largest point on the curve BEFORE its lazy
+  // construction (the pool is built once, at first parallel use).
+  gncg::set_default_thread_count(
+      static_cast<std::size_t>(thread_counts.back()));
+  gncg::parallel_for(0, 64, [](std::size_t) {}, 1, 1);
+
+  // --- single-thread kernel ablation ---
+  gncg::set_default_thread_count(1);
+  const std::vector<int> kernel_sizes =
+      smoke ? std::vector<int>{128} : std::vector<int>{256, 512};
+  const int sweeps = smoke ? 2 : 5;
+  std::vector<gncg::KernelResult> kernels;
+  for (int n : kernel_sizes) {
+    kernels.push_back(gncg::bench_sssp_kernel(n, sweeps));
+    const auto& k = kernels.back();
+    std::fprintf(stderr,
+                 "sssp_kernel n=%-4d vecvec+heap %.1f ms, csr+heap %.1f ms, "
+                 "csr+dial %.1f ms (total speedup %.2fx)\n",
+                 k.n, k.vecvec_heap_ms, k.csr_heap_ms, k.csr_dial_ms,
+                 k.csr_dial_ms > 0.0 ? k.vecvec_heap_ms / k.csr_dial_ms : 0.0);
+  }
+
+  // --- thread curves ---
+  std::vector<gncg::Curve> restart_curves;
+  std::vector<gncg::Curve> br_curves;
+  std::vector<gncg::Curve> sweep_curves;
+  for (int n : smoke ? std::vector<int>{48} : std::vector<int>{64, 128})
+    restart_curves.push_back(
+        gncg::bench_restarts_curve(n, smoke ? 8 : 16, thread_counts));
+  for (int n : smoke ? std::vector<int>{32} : std::vector<int>{64})
+    br_curves.push_back(gncg::bench_br_curve(n, thread_counts));
+  for (int n : smoke ? std::vector<int>{128} : std::vector<int>{256, 512})
+    sweep_curves.push_back(
+        gncg::bench_sweep_curve(n, smoke ? 4 : 8, thread_counts));
+  gncg::set_default_thread_count(0);
+
+  for (const auto& curves : {restart_curves, br_curves, sweep_curves})
+    for (const auto& c : curves)
+      std::fprintf(stderr, "curve n=%-4d work=%-4d ms=[%.1f, %.1f, %.1f, %.1f]\n",
+                   c.n, c.work, c.ms[0], c.ms[1], c.ms[2], c.ms[3]);
+
+  char date[64];
+  const std::time_t now = std::time(nullptr);
+  std::strftime(date, sizeof date, "%Y-%m-%dT%H:%M:%S%z", std::localtime(&now));
+
+  std::printf("{\n");
+  std::printf(
+      "  \"description\": \"SSSP kernel ablation (single thread: pre-PR "
+      "vec-of-vec adjacency + binary-heap Dijkstra vs flat CSR slab with "
+      "heap and bucket-queue kernels; bit-identical distance checksums "
+      "enforced, speedup_total is the recorded >= 2x gate) and thread-count "
+      "curves at 1/2/4/8 workers for run_restarts, exact best-response "
+      "certification and the warm single-move sweep (results byte-identical "
+      "across thread counts by the determinism contract; a divergence fails "
+      "the bench).\",\n");
+  std::printf("  \"command\": \"./build/bench_scaling%s\",\n",
+              smoke ? " --smoke" : "");
+  std::printf("  \"context\": {\n");
+  std::printf("    \"date\": \"%s\",\n", date);
+  std::printf("    \"num_cpus\": %u,\n", num_cpus);
+  std::printf("    \"parallelism_limited\": %s,\n",
+              parallelism_limited ? "true" : "false");
+  std::printf("    \"library_build_type\": \"%s\"\n", build_type);
+  std::printf("  },\n");
+  std::printf("  \"thread_counts\": [1, 2, 4, 8],\n");
+  std::printf("  \"sssp_kernel\": [\n");
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    const auto& k = kernels[i];
+    std::printf(
+        "    {\"n\": %d, \"sweeps\": %d, \"dial_bound\": %d, "
+        "\"vecvec_heap_ms\": %.1f, \"csr_heap_ms\": %.1f, \"csr_dial_ms\": "
+        "%.1f, \"speedup_csr\": %.2f, \"speedup_total\": %.2f}%s\n",
+        k.n, k.sweeps, k.dial_bound, k.vecvec_heap_ms, k.csr_heap_ms,
+        k.csr_dial_ms,
+        k.csr_heap_ms > 0.0 ? k.vecvec_heap_ms / k.csr_heap_ms : 0.0,
+        k.csr_dial_ms > 0.0 ? k.vecvec_heap_ms / k.csr_dial_ms : 0.0,
+        i + 1 < kernels.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  gncg::print_curves("restart_throughput", restart_curves, true);
+  gncg::print_curves("br_certification", br_curves, true);
+  gncg::print_curves("single_move_sweep", sweep_curves, false);
+  std::printf("}\n");
+  return 0;
+}

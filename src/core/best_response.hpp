@@ -24,6 +24,7 @@
 
 #include "core/cost.hpp"
 #include "core/game.hpp"
+#include "graph/csr_adjacency.hpp"
 
 namespace gncg {
 
@@ -57,7 +58,7 @@ class AgentEnvironment {
   template <class Visit>
   void for_neighbors(int x, Visit&& visit) const {
     if (borrowed_ != nullptr) {
-      for (const auto& nb : (*borrowed_)[static_cast<std::size_t>(x)]) {
+      for (const auto& nb : borrowed_->neighbors(x)) {
         if (x == agent_) {
           if (sole_owned_.contains(nb.to)) continue;
         } else if (nb.to == agent_ && sole_owned_.contains(x)) {
@@ -81,9 +82,9 @@ class AgentEnvironment {
  private:
   const Game* game_;
   int agent_;
-  /// Borrow mode: the engine's adjacency plus the mask of u's sole-owned
+  /// Borrow mode: the engine's CSR adjacency plus the mask of u's sole-owned
   /// targets (the edges that vanish when u rethinks its strategy).
-  const std::vector<std::vector<Neighbor>>* borrowed_ = nullptr;
+  const CsrAdjacency* borrowed_ = nullptr;
   NodeSet sole_owned_;
   /// Owned mode: environment adjacency built from the profile.
   std::vector<std::vector<Neighbor>> owned_;

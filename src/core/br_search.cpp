@@ -9,6 +9,7 @@
 
 #include "graph/dijkstra.hpp"
 #include "graph/incremental_sssp.hpp"
+#include "support/arena.hpp"
 #include "support/parallel.hpp"
 
 namespace gncg {
@@ -98,7 +99,10 @@ struct BranchSearch {
   int branch = 0;
   const std::atomic<int>* winner = nullptr;  ///< lowest improving branch
 
-  IncrementalSssp sssp;
+  /// The executing worker's arena-owned incremental SSSP.  Branches run to
+  /// completion on one thread and reseed via reset(), so sequential branches
+  /// on the same worker can share the instance.
+  IncrementalSssp* sssp = nullptr;
   NodeSet current;
   double current_weight = 0.0;
   BestResponseResult result;
@@ -126,7 +130,7 @@ struct BranchSearch {
     current.for_each(
         [&](int v) { edge_sum += (*weight_row)[static_cast<std::size_t>(v)]; });
     const double cost =
-        game->alpha() * edge_sum + Model::distance_term(sssp.dist());
+        game->alpha() * edge_sum + Model::distance_term(sssp->dist());
     ++result.evaluations;
     if (improves(cost, bound())) {
       result.cost = cost;
@@ -146,7 +150,7 @@ struct BranchSearch {
         game->alpha() * (current_weight + (*weights)[i]);
     if (!improves(edge_cost + cheap_floor, b)) return true;
     return !improves(
-        edge_cost + Model::tight_floor(*host_row, sssp.dist(), (*weights)[i]),
+        edge_cost + Model::tight_floor(*host_row, sssp->dist(), (*weights)[i]),
         b);
   }
 
@@ -155,14 +159,14 @@ struct BranchSearch {
     current_weight += (*weights)[i];
     // The source's distance is 0 and never changes, so the repair needs
     // only the environment edges: no path improves through the source.
-    sssp.relax_insert((*candidates)[i], (*weights)[i],
-                      [this](int x, auto&& visit) {
-                        env->for_neighbors(x, visit);
-                      });
+    sssp->relax_insert((*candidates)[i], (*weights)[i],
+                       [this](int x, auto&& visit) {
+                         env->for_neighbors(x, visit);
+                       });
   }
 
   void remove(std::size_t i, IncrementalSssp::Checkpoint mark) {
-    sssp.rollback(mark);
+    sssp->rollback(mark);
     current.erase((*candidates)[i]);
     current_weight -= (*weights)[i];
   }
@@ -174,7 +178,7 @@ struct BranchSearch {
         break;
       }
       if (pruned(i)) break;
-      const IncrementalSssp::Checkpoint mark = sssp.checkpoint();
+      const IncrementalSssp::Checkpoint mark = sssp->checkpoint();
       insert(i);
       evaluate();
       if (!done) descend(i + 1);
@@ -200,16 +204,24 @@ BestResponseResult run_search(const AgentEnvironment& env,
   const int n = game.node_count();
   const int u = env.agent();
 
+  // Driver scratch comes from the calling worker's arena.  Branch tasks on
+  // other workers read these buffers through const pointers only; branch
+  // tasks on *this* thread (the caller participates in the fan-out) must
+  // therefore never write them -- they use the arena's disjoint
+  // incremental-SSSP member instead.
+  ScratchArena::BrScratch& scratch = worker_arena().br();
+
   // Candidate targets: every node u may buy towards, sorted by edge weight
   // so the branch-and-bound cut is monotone.
-  std::vector<std::pair<double, int>> order;
+  std::vector<std::pair<double, int>>& order = scratch.order;
+  order.clear();
   for (int v = 0; v < n; ++v)
     if (game.can_buy(u, v)) order.emplace_back(game.weight(u, v), v);
   std::sort(order.begin(), order.end());
-  std::vector<int> candidates;
-  std::vector<double> weights;
-  candidates.reserve(order.size());
-  weights.reserve(order.size());
+  std::vector<int>& candidates = scratch.candidates;
+  std::vector<double>& weights = scratch.weights;
+  candidates.clear();
+  weights.clear();
   for (const auto& [w, v] : order) {
     candidates.push_back(v);
     weights.push_back(w);
@@ -217,18 +229,30 @@ BestResponseResult run_search(const AgentEnvironment& env,
 
   // The one Dijkstra of the search: u's distances in the bare environment
   // (the empty-strategy network).  Every branch seeds its incremental
-  // vector from this.
-  std::vector<double> base_dist;
-  tls_dijkstra_buffers().run_into(
-      base_dist, n, u,
-      [&](int x, auto&& visit) { env.for_neighbors(x, visit); });
+  // vector from this.  Integer-weight hosts take the bucket-queue kernel
+  // (bit-identical distances).
+  std::vector<double>& base_dist = scratch.base_dist;
+  {
+    ScratchArena& arena = worker_arena();
+    const int dial_bound = game.host().dial_weight_bound();
+    const auto environment_edges = [&](int x, auto&& visit) {
+      env.for_neighbors(x, visit);
+    };
+    if (dial_bound > 0) {
+      arena.dial().run_into(base_dist, n, u, dial_bound, environment_edges);
+    } else {
+      arena.dijkstra().run_into(base_dist, n, u, environment_edges);
+    }
+  }
 
   // Host-closure row of u: the per-node admissible floor (stable per the
   // host-backend query contract; materialized once per search so the DFS
   // bound never re-queries implicit backends).  weight_row serves the
   // canonical edge-sum evaluation the same way.
-  std::vector<double> host_row(static_cast<std::size_t>(n));
-  std::vector<double> weight_row(static_cast<std::size_t>(n), kInf);
+  std::vector<double>& host_row = scratch.host_row;
+  std::vector<double>& weight_row = scratch.weight_row;
+  host_row.assign(static_cast<std::size_t>(n), 0.0);
+  weight_row.assign(static_cast<std::size_t>(n), kInf);
   for (int v = 0; v < n; ++v)
     host_row[static_cast<std::size_t>(v)] = game.host_distance(u, v);
   for (std::size_t i = 0; i < candidates.size(); ++i)
@@ -284,11 +308,12 @@ BestResponseResult run_search(const AgentEnvironment& env,
           search.first_improvement = options.first_improvement;
           search.branch = static_cast<int>(i);
           if (options.first_improvement) search.winner = &winner;
-          search.sssp.reset(base_dist);
+          search.sssp = &worker_arena().incremental_sssp();
+          search.sssp->reset(base_dist);
           search.current = NodeSet(n);
           search.result.strategy = NodeSet(n);
 
-          const IncrementalSssp::Checkpoint mark = search.sssp.checkpoint();
+          const IncrementalSssp::Checkpoint mark = search.sssp->checkpoint();
           search.insert(i);
           search.evaluate();
           if (!search.done) search.descend(i + 1);

@@ -2,41 +2,83 @@
 
 #include "core/transposition.hpp"
 #include "graph/dijkstra.hpp"
+#include "support/arena.hpp"
 #include "support/parallel.hpp"
 
 namespace gncg {
+
+namespace {
+
+/// SSSP from `source` into `dist` with the calling worker's arena, selecting
+/// the bucket-queue kernel when the engine certified an integer bound.
+template <class NeighborFn>
+void arena_sssp(std::vector<double>& dist, int n, int source, int dial_bound,
+                NeighborFn&& neighbor_fn) {
+  ScratchArena& arena = worker_arena();
+  if (dial_bound > 0) {
+    arena.dial().run_into(dist, n, source, dial_bound,
+                          std::forward<NeighborFn>(neighbor_fn));
+  } else {
+    arena.dijkstra().run_into(dist, n, source,
+                              std::forward<NeighborFn>(neighbor_fn));
+  }
+}
+
+/// Distance sum from `source` via the arena's sum-scratch vector (increasing
+/// index order, same as summing a run_into result).
+template <class NeighborFn>
+double arena_sssp_sum(int n, int source, int dial_bound,
+                      NeighborFn&& neighbor_fn) {
+  std::vector<double>& dist = worker_arena().sum_dist();
+  arena_sssp(dist, n, source, dial_bound,
+             std::forward<NeighborFn>(neighbor_fn));
+  double total = 0.0;
+  for (double d : dist) total += d;
+  return total;
+}
+
+}  // namespace
 
 DeviationEngine::DeviationEngine(const Game& game, StrategyProfile profile)
     : game_(&game), profile_(std::move(profile)) {
   GNCG_CHECK(profile_.node_count() == game.node_count(),
              "profile/game size mismatch");
-  adjacency_ = build_adjacency(game, profile_);
+  rebuild_adjacency();
   caches_.resize(static_cast<std::size_t>(game.node_count()));
   profile_hash_ = zobrist_profile_hash(profile_);
+  dial_bound_ = game.host().dial_weight_bound();
+}
+
+void DeviationEngine::rebuild_adjacency() {
+  // Two passes over the profile in the exact traversal order of
+  // build_adjacency: a doubly-owned edge is emitted once, by the
+  // smaller-index owner, so per-node entry order matches the vector-of-
+  // vectors reference builder entry for entry.
+  const int n = game_->node_count();
+  adjacency_.begin_rebuild(n);
+  for (int u = 0; u < n; ++u) {
+    profile_.strategy(u).for_each([&](int v) {
+      if (v < u && profile_.buys(v, u)) return;
+      adjacency_.count_half(u);
+      adjacency_.count_half(v);
+    });
+  }
+  adjacency_.finish_counts();
+  for (int u = 0; u < n; ++u) {
+    profile_.strategy(u).for_each([&](int v) {
+      if (v < u && profile_.buys(v, u)) return;
+      const double w = game_->weight(u, v);
+      adjacency_.fill_half(u, v, w);
+      adjacency_.fill_half(v, u, w);
+    });
+  }
 }
 
 void DeviationEngine::link(int a, int b) {
-  const double w = game_->weight(a, b);
-  adjacency_[idx(a)].push_back({b, w});
-  adjacency_[idx(b)].push_back({a, w});
+  adjacency_.link(a, b, game_->weight(a, b));
 }
 
-void DeviationEngine::unlink(int a, int b) {
-  const auto erase_half = [this](int from, int to) {
-    auto& list = adjacency_[idx(from)];
-    for (std::size_t i = 0; i < list.size(); ++i) {
-      if (list[i].to == to) {
-        list[i] = list.back();
-        list.pop_back();
-        return;
-      }
-    }
-    GNCG_CHECK(false, "engine adjacency missing edge (" << from << "," << to
-                                                        << ")");
-  };
-  erase_half(a, b);
-  erase_half(b, a);
-}
+void DeviationEngine::unlink(int a, int b) { adjacency_.unlink(a, b); }
 
 void DeviationEngine::add_buy(int u, int v) {
   GNCG_CHECK(game_->can_buy(u, v), "engine add_buy of a forbidden edge");
@@ -96,7 +138,7 @@ void DeviationEngine::set_profile(StrategyProfile profile) {
   GNCG_CHECK(profile.node_count() == game_->node_count(),
              "profile/game size mismatch");
   profile_ = std::move(profile);
-  adjacency_ = build_adjacency(*game_, profile_);
+  rebuild_adjacency();
   profile_hash_ = zobrist_profile_hash(profile_);
   ++epoch_;
 }
@@ -104,10 +146,11 @@ void DeviationEngine::set_profile(StrategyProfile profile) {
 const DeviationEngine::AgentCache& DeviationEngine::ensure(int u) {
   AgentCache& cache = caches_[idx(u)];
   if (cache.epoch != epoch_) {
-    tls_dijkstra_buffers().run_into(
-        cache.dist, game_->node_count(), u, [&](int y, auto&& visit) {
-          for (const auto& nb : adjacency_[idx(y)]) visit(nb.to, nb.weight);
-        });
+    arena_sssp(cache.dist, game_->node_count(), u, dial_bound_,
+               [&](int y, auto&& visit) {
+                 for (const auto& nb : adjacency_.neighbors(y))
+                   visit(nb.to, nb.weight);
+               });
     double total = 0.0;
     for (double d : cache.dist) total += d;
     cache.dist_sum = total;
@@ -188,14 +231,14 @@ bool DeviationEngine::mark_reachable_without(int u, int v,
                                              std::vector<char>& mark) const {
   const int n = game_->node_count();
   mark.assign(static_cast<std::size_t>(n), 0);
-  std::vector<int> stack;
-  stack.reserve(static_cast<std::size_t>(n));
+  std::vector<int>& stack = worker_arena().dfs_stack();
+  stack.clear();
   mark[idx(u)] = 1;
   stack.push_back(u);
   while (!stack.empty()) {
     const int y = stack.back();
     stack.pop_back();
-    for (const auto& nb : adjacency_[idx(y)]) {
+    for (const auto& nb : adjacency_.neighbors(y)) {
       if ((y == u && nb.to == v) || (y == v && nb.to == u)) continue;
       if (!mark[idx(nb.to)]) {
         mark[idx(nb.to)] = 1;
@@ -223,24 +266,26 @@ double DeviationEngine::bridge_swap_distance_cost(
 double DeviationEngine::masked_distance_cost(int u, int remove,
                                              int add) const {
   const double add_weight = add >= 0 ? game_->weight(u, add) : 0.0;
-  return distance_sum_over(game_->node_count(), u, [&](int y, auto&& visit) {
-    for (const auto& nb : adjacency_[idx(y)]) {
-      if ((y == u && nb.to == remove) || (y == remove && nb.to == u)) continue;
-      visit(nb.to, nb.weight);
-    }
-    if (add >= 0) {
-      if (y == u) visit(add, add_weight);
-      else if (y == add) visit(u, add_weight);
-    }
-  });
+  return arena_sssp_sum(
+      game_->node_count(), u, dial_bound_, [&](int y, auto&& visit) {
+        for (const auto& nb : adjacency_.neighbors(y)) {
+          if ((y == u && nb.to == remove) || (y == remove && nb.to == u))
+            continue;
+          visit(nb.to, nb.weight);
+        }
+        if (add >= 0) {
+          if (y == u) visit(add, add_weight);
+          else if (y == add) visit(u, add_weight);
+        }
+      });
 }
 
 double DeviationEngine::cost_of_strategy(int u, const NodeSet& targets) const {
   double edge_weight = 0.0;
   targets.for_each([&](int v) { edge_weight += game_->weight(u, v); });
-  const double dist =
-      distance_sum_over(game_->node_count(), u, [&](int y, auto&& visit) {
-        for (const auto& nb : adjacency_[idx(y)]) {
+  const double dist = arena_sssp_sum(
+      game_->node_count(), u, dial_bound_, [&](int y, auto&& visit) {
+        for (const auto& nb : adjacency_.neighbors(y)) {
           // Mask u's sole-owned edges: the environment is everyone else's.
           if (y == u && solely_owned(u, nb.to)) continue;
           if (nb.to == u && solely_owned(u, y)) continue;
@@ -289,8 +334,14 @@ SingleMoveResult DeviationEngine::scan_moves(int u, const ScanFlags& flags,
   }
 
   if (flags.deletes || flags.swaps) {
-    const auto owned = profile_.strategy(u).to_vector();
-    std::vector<char> u_side;
+    // Arena-backed scratch: the owned-target list replaces a per-scan
+    // to_vector() allocation, the side-mark buffer a per-scan vector.  Both
+    // belong to the calling worker, so parallel warm scans never collide.
+    ScratchArena& arena = worker_arena();
+    std::vector<int>& owned = arena.owned_targets();
+    owned.clear();
+    profile_.strategy(u).for_each([&](int v) { owned.push_back(v); });
+    std::vector<char>& u_side = arena.side_mark();
     for (int v : owned) {
       // If v buys the edge too, dropping u's payment keeps the topology.
       const bool doubly = profile_.buys(v, u);

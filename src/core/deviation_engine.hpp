@@ -22,9 +22,16 @@
 //        side are unchanged, so the swap re-costs from cached vectors plus
 //        one reachability sweep per owned edge;
 //      - all remaining deletes/swaps re-run Dijkstra over a masked view of
-//        the engine adjacency with thread-local scratch buffers, pruned by
-//        the admissible bound "distances cannot shrink when an edge is
-//        removed".
+//        the engine adjacency with per-worker arena scratch (support/
+//        arena.hpp), pruned by the admissible bound "distances cannot
+//        shrink when an edge is removed".
+//
+// All SSSP work runs over a flat CSR adjacency slab (graph/csr_adjacency.hpp)
+// and draws every scratch buffer from the calling worker's ScratchArena, so
+// steady-state move evaluation performs no heap allocation.  On hosts whose
+// weights are small integers (unit, 1-2, integer trees) the kernels switch
+// from the binary heap to the bucket-queue ("dial") Dijkstra -- distances
+// are bit-identical either way.
 //
 // Scan order and tie-breaking replicate the naive scan_single_moves exactly,
 // so on hosts whose weights sum exactly in doubles (unit, 1-2, integer
@@ -59,6 +66,7 @@
 #include "core/best_response.hpp"
 #include "core/cost.hpp"
 #include "core/game.hpp"
+#include "graph/csr_adjacency.hpp"
 
 namespace gncg {
 
@@ -75,10 +83,20 @@ class DeviationEngine {
   std::uint64_t profile_hash() const { return profile_hash_; }
 
   /// Materialized adjacency of the built network (double ownership collapsed
-  /// into one undirected entry).  Invalidated by mutations.
-  const std::vector<std::vector<Neighbor>>& adjacency() const {
-    return adjacency_;
-  }
+  /// into one undirected entry), stored as a flat CSR slab so SSSP inner
+  /// loops traverse contiguous memory.  Spans/references into it are
+  /// invalidated by any mutation (entries may relocate).
+  const CsrAdjacency& adjacency() const { return adjacency_; }
+
+  /// True when this engine's SSSP kernels use the bucket-queue (dial) path
+  /// (integer-weight host within the dial gate; see
+  /// HostGraph::dial_weight_bound).
+  bool dial_enabled() const { return dial_bound_ > 0; }
+
+  /// Forces the binary-heap Dijkstra path even on integer-weight hosts.
+  /// Bench/test knob (dial-vs-heap comparisons); distances are bit-identical
+  /// either way, so this never changes results.
+  void disable_dial() { dial_bound_ = 0; }
 
   // --- mutations (incremental adjacency, lazy cache invalidation) ---
 
@@ -137,7 +155,7 @@ class DeviationEngine {
 
   /// cost(u) if u plays exactly `targets` (everyone else fixed): Dijkstra
   /// over the engine adjacency with u's sole-owned edges masked and the
-  /// target edges added, using thread-local scratch.  Const and thread-safe.
+  /// target edges added, using the worker arena.  Const and thread-safe.
   double cost_of_strategy(int u, const NodeSet& targets) const;
 
  private:
@@ -196,12 +214,18 @@ class DeviationEngine {
   SingleMoveResult scan_moves(int u, const ScanFlags& flags,
                               bool early_exit) const;
 
+  /// Refills adjacency_ from profile_ with the two-pass CSR rebuild
+  /// (replicates build_adjacency's double-ownership collapse and per-node
+  /// entry order exactly).
+  void rebuild_adjacency();
+
   const Game* game_;
   StrategyProfile profile_;
-  std::vector<std::vector<Neighbor>> adjacency_;
+  CsrAdjacency adjacency_;
   std::vector<AgentCache> caches_;
   std::uint64_t epoch_ = 1;
   std::uint64_t profile_hash_ = 0;
+  int dial_bound_ = 0;  ///< bucket-queue weight bound; 0 = use the heap
 };
 
 }  // namespace gncg

@@ -1,0 +1,111 @@
+#include "graph/csr_adjacency.hpp"
+
+#include <numeric>
+
+namespace gncg {
+
+namespace {
+
+/// Compaction trigger: once more than a third of the slab is dead, rewrite
+/// it.  The ratio must be strictly below 1/2: a relocation strands old_cap
+/// slots while appending 2*old_cap fresh ones, so the dead fraction only
+/// approaches 1/2 asymptotically and a 1/2 threshold would never fire.
+constexpr std::size_t kCompactionNumerator = 1;
+constexpr std::size_t kCompactionDenominator = 3;
+
+}  // namespace
+
+void CsrAdjacency::add_half(int u, int v, double w) {
+  const std::size_t ui = static_cast<std::size_t>(u);
+  GNCG_DASSERT(ui < deg_.size());
+  if (deg_[ui] == cap_[ui]) relocate_grow(ui);
+  entries_[start_[ui] + static_cast<std::size_t>(deg_[ui]++)] = {v, w};
+}
+
+void CsrAdjacency::remove_half(int u, int v) {
+  const std::size_t ui = static_cast<std::size_t>(u);
+  GNCG_DASSERT(ui < deg_.size());
+  Neighbor* slice = entries_.data() + start_[ui];
+  const int deg = deg_[ui];
+  for (int i = 0; i < deg; ++i) {
+    if (slice[i].to == v) {
+      slice[i] = slice[deg - 1];
+      --deg_[ui];
+      return;
+    }
+  }
+  GNCG_CHECK(false, "half-edge " << u << " -> " << v << " not present");
+}
+
+void CsrAdjacency::relocate_grow(std::size_t ui) {
+  const int old_cap = cap_[ui];
+  const int new_cap = old_cap < 2 ? 4 : old_cap * 2;
+  const std::size_t old_start = start_[ui];
+  const std::size_t new_start = entries_.size();
+  entries_.resize(new_start + static_cast<std::size_t>(new_cap));
+  // resize may reallocate, so re-derive the source pointer afterwards
+  const Neighbor* src = entries_.data() + old_start;
+  Neighbor* dst = entries_.data() + new_start;
+  for (int i = 0; i < deg_[ui]; ++i) dst[i] = src[i];
+  start_[ui] = new_start;
+  cap_[ui] = new_cap;
+  dead_ += static_cast<std::size_t>(old_cap);
+  ++relocations_;
+  if (dead_ * kCompactionDenominator >
+      entries_.size() * kCompactionNumerator) {
+    compact();
+  }
+}
+
+void CsrAdjacency::compact() {
+  // Rewrite every slice tight-plus-slack in node order into the double
+  // buffer, then swap.  Live-entry order within each slice is preserved, so
+  // enumeration order is unaffected.
+  std::size_t total = 0;
+  for (std::size_t ui = 0; ui < deg_.size(); ++ui) {
+    total += static_cast<std::size_t>(deg_[ui] + slack_for(deg_[ui]));
+  }
+  scratch_.resize(total);
+  std::size_t cursor = 0;
+  for (std::size_t ui = 0; ui < deg_.size(); ++ui) {
+    const Neighbor* src = entries_.data() + start_[ui];
+    for (int i = 0; i < deg_[ui]; ++i) scratch_[cursor + static_cast<std::size_t>(i)] = src[i];
+    start_[ui] = cursor;
+    cap_[ui] = deg_[ui] + slack_for(deg_[ui]);
+    cursor += static_cast<std::size_t>(cap_[ui]);
+  }
+  entries_.swap(scratch_);
+  dead_ = 0;
+  ++compactions_;
+}
+
+void CsrAdjacency::begin_rebuild(int n) {
+  GNCG_CHECK(n >= 0, "node count must be non-negative");
+  const std::size_t ns = static_cast<std::size_t>(n);
+  start_.assign(ns, 0);
+  deg_.assign(ns, 0);
+  cap_.assign(ns, 0);
+}
+
+void CsrAdjacency::finish_counts() {
+  // deg_ holds the half-edge counts from pass 1; lay slices out in node
+  // order with fresh slack and reset deg_ so fill_half can append.
+  std::size_t cursor = 0;
+  for (std::size_t ui = 0; ui < deg_.size(); ++ui) {
+    start_[ui] = cursor;
+    cap_[ui] = deg_[ui] + slack_for(deg_[ui]);
+    cursor += static_cast<std::size_t>(cap_[ui]);
+    deg_[ui] = 0;
+  }
+  entries_.resize(cursor);
+  dead_ = 0;
+}
+
+std::size_t CsrAdjacency::footprint_bytes() const {
+  return entries_.capacity() * sizeof(Neighbor) +
+         scratch_.capacity() * sizeof(Neighbor) +
+         start_.capacity() * sizeof(std::size_t) +
+         (deg_.capacity() + cap_.capacity()) * sizeof(int);
+}
+
+}  // namespace gncg

@@ -1,0 +1,123 @@
+// Flat CSR adjacency with per-node slack: the cache-friendly storage behind
+// DeviationEngine's materialized built network.
+//
+// The per-node `std::vector<Neighbor>` layout the engine used to carry pays
+// one pointer dereference per visited node and scatters neighbor lists across
+// the allocator's whim -- measurably hostile to the SSSP inner loops that
+// dominate every dynamics / best-response workload.  CsrAdjacency packs all
+// adjacency entries into one contiguous slab:
+//
+//   * node u's live entries occupy entries_[start_[u], start_[u] + deg_[u]),
+//     inside a reserved slice of cap_[u] slots, so enumeration is a single
+//     contiguous span (SIMD/prefetcher friendly, one indirection total);
+//   * incremental mutation is O(degree): `add_half` appends into the node's
+//     slack, `remove_half` swap-erases within the slice (the same
+//     enumeration-order semantics the old per-node vectors had);
+//   * when a node's slack is exhausted its slice relocates to the end of the
+//     slab with doubled capacity (the old slice becomes a dead region), and
+//     once dead regions exceed a third of the slab an epoch compaction rewrites
+//     every slice tight-plus-slack in node order -- amortized O(1) per
+//     mutation, like vector push_back;
+//   * a two-pass rebuild API (`begin_rebuild` / `count_half` /
+//     `finish_counts` / `fill_half`) refills the structure from a profile
+//     without intermediate per-node vectors, reusing the slab's capacity --
+//     what DeviationEngine::set_profile rides on in the restart hot loop.
+//
+// Mutations may move entries (relocation, compaction, slab growth), so any
+// borrowed span or pointer is invalidated by any mutation -- exactly the
+// invalidation contract engine.adjacency() always had.  Enumeration order is
+// deterministic: a given operation sequence yields the same per-node order
+// regardless of relocations/compactions (live entries are moved in order).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/weighted_graph.hpp"
+
+namespace gncg {
+
+class CsrAdjacency {
+ public:
+  CsrAdjacency() = default;
+
+  int node_count() const { return static_cast<int>(deg_.size()); }
+
+  /// Live entries of node u as one contiguous span.  Invalidated by any
+  /// mutation (entries may relocate).
+  std::span<const Neighbor> neighbors(int u) const {
+    const std::size_t ui = static_cast<std::size_t>(u);
+    GNCG_DASSERT(ui < deg_.size());
+    return {entries_.data() + start_[ui],
+            static_cast<std::size_t>(deg_[ui])};
+  }
+
+  int degree(int u) const { return deg_[static_cast<std::size_t>(u)]; }
+
+  // --- incremental mutation (amortized O(degree)) ---
+
+  /// Appends the half-edge u -> (v, w); relocates u's slice when its slack
+  /// is exhausted.
+  void add_half(int u, int v, double w);
+
+  /// Removes the half-edge u -> v by swap-with-last inside u's slice;
+  /// contract-checks that it exists.
+  void remove_half(int u, int v);
+
+  /// Undirected insert/remove: both half-edges.
+  void link(int a, int b, double w) {
+    add_half(a, b, w);
+    add_half(b, a, w);
+  }
+  void unlink(int a, int b) {
+    remove_half(a, b);
+    remove_half(b, a);
+  }
+
+  // --- two-pass rebuild (reuses slab capacity; for set_profile) ---
+  //
+  //   begin_rebuild(n);
+  //   for each half-edge: count_half(u);
+  //   finish_counts();
+  //   for each half-edge (same order): fill_half(u, v, w);
+
+  void begin_rebuild(int n);
+  void count_half(int u) { ++deg_[static_cast<std::size_t>(u)]; }
+  void finish_counts();
+  void fill_half(int u, int v, double w) {
+    const std::size_t ui = static_cast<std::size_t>(u);
+    GNCG_DASSERT(deg_[ui] < cap_[ui]);
+    entries_[start_[ui] + static_cast<std::size_t>(deg_[ui]++)] = {v, w};
+  }
+
+  // --- observability (tests, benches) ---
+
+  std::size_t slab_entries() const { return entries_.size(); }
+  std::size_t dead_entries() const { return dead_; }
+  std::uint64_t relocations() const { return relocations_; }
+  std::uint64_t compactions() const { return compactions_; }
+  std::size_t footprint_bytes() const;
+
+ private:
+  /// Fresh slack for a node holding `count` live entries: enough that a few
+  /// add/remove cycles never relocate, growing with the degree.
+  static int slack_for(int count) {
+    return count < 4 ? 2 : count / 2;
+  }
+
+  void relocate_grow(std::size_t ui);
+  void compact();
+
+  std::vector<std::size_t> start_;  ///< slice offset per node
+  std::vector<int> deg_;            ///< live entries per node
+  std::vector<int> cap_;            ///< reserved slots per node
+  std::vector<Neighbor> entries_;   ///< the slab (live + slack + dead)
+  std::vector<Neighbor> scratch_;   ///< compaction double-buffer (reused)
+  std::size_t dead_ = 0;            ///< slots stranded by relocations
+  std::uint64_t relocations_ = 0;
+  std::uint64_t compactions_ = 0;
+};
+
+}  // namespace gncg

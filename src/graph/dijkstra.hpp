@@ -36,6 +36,22 @@ using HeapEntry = std::pair<double, int>;
 using MinHeap =
     std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
 
+/// Buffer-shrink policy for reusable workspaces: a vector whose capacity
+/// exceeds kShrinkFactor times the current need (with a floor below which
+/// nobody cares) is released and re-reserved tight.  Keeps a workspace that
+/// once served a big-n engine from pinning that memory -- and from handing
+/// later small-n callers a huge capacity -- forever.
+inline constexpr std::size_t kShrinkFactor = 4;
+inline constexpr std::size_t kShrinkFloor = 256;
+
+template <class T>
+void release_excess(std::vector<T>& v, std::size_t needed) {
+  if (v.capacity() > kShrinkFactor * std::max(needed, kShrinkFloor)) {
+    std::vector<T>().swap(v);
+    v.reserve(needed);
+  }
+}
+
 }  // namespace detail
 
 /// Dijkstra over an implicit graph.  `neighbor_fn(u, visit)` must invoke
@@ -87,6 +103,12 @@ class DijkstraBuffers {
   void run_into(std::vector<double>& dist, int n, int source,
                 NeighborFn&& neighbor_fn) {
     GNCG_CHECK(source >= 0 && source < n, "source out of range");
+    // Shrink before reuse: dist needs exactly n slots; the heap's need is
+    // estimated by the previous run's peak (stable workloads keep a stable
+    // peak, so steady-state runs never shrink-then-regrow).
+    detail::release_excess(dist, static_cast<std::size_t>(n));
+    detail::release_excess(heap_, heap_peak_);
+    heap_peak_ = 0;
     dist.assign(static_cast<std::size_t>(n), kInf);
     heap_.clear();
     dist[static_cast<std::size_t>(source)] = 0.0;
@@ -115,9 +137,18 @@ class DijkstraBuffers {
     return dist_;
   }
 
+  // Capacity observers for the shrink-policy regression tests.
+  std::size_t dist_capacity() const { return dist_.capacity(); }
+  std::size_t heap_capacity() const { return heap_.capacity(); }
+  std::size_t footprint_bytes() const {
+    return dist_.capacity() * sizeof(double) +
+           heap_.capacity() * sizeof(detail::HeapEntry);
+  }
+
  private:
   void push(double d, int v) {
     heap_.emplace_back(d, v);
+    if (heap_.size() > heap_peak_) heap_peak_ = heap_.size();
     std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
   }
 
@@ -130,6 +161,99 @@ class DijkstraBuffers {
 
   std::vector<double> dist_;
   std::vector<detail::HeapEntry> heap_;
+  std::size_t heap_peak_ = 0;  ///< high-water mark of the previous run
+};
+
+/// Bucket-queue ("dial") Dijkstra workspace for hosts whose finite weights
+/// are all non-negative integers bounded by C.  Distances are then integers,
+/// and a circular array of C+1 rings replaces the binary heap: pushes and
+/// pops are O(1) instead of O(log m), and the sweep touches rings in strictly
+/// increasing distance order.
+///
+/// Bit-identical to the heap path: every reachable distance is an exact
+/// integer below 2^53, so both kernels converge to the same least fixpoint
+/// d(t) = min over edges (x,t) of d(x) + w with *no* rounding anywhere --
+/// the doubles compare equal bit-for-bit (tests/test_dial_dijkstra.cpp is
+/// the gate).  Zero-weight edges are supported: a relaxation at the current
+/// sweep distance appends to the ring being drained and is processed in the
+/// same sweep.
+///
+/// Not thread-safe; lives in the per-worker ScratchArena.
+class DialBuffers {
+ public:
+  /// Runs Dijkstra from `source` over the implicit graph `neighbor_fn`,
+  /// filling `dist` (resized to n, kInf-initialized).  `max_weight` must
+  /// bound every weight the enumeration produces; all weights must be
+  /// non-negative integers.
+  template <class NeighborFn>
+  void run_into(std::vector<double>& dist, int n, int source, int max_weight,
+                NeighborFn&& neighbor_fn) {
+    GNCG_CHECK(source >= 0 && source < n, "source out of range");
+    GNCG_CHECK(max_weight >= 0, "dial weight bound must be non-negative");
+    detail::release_excess(dist, static_cast<std::size_t>(n));
+    dist.assign(static_cast<std::size_t>(n), kInf);
+    const std::size_t rings = static_cast<std::size_t>(max_weight) + 1;
+    if (buckets_.size() < rings) {
+      buckets_.resize(rings);
+    } else if (buckets_.size() > detail::kShrinkFactor * rings &&
+               buckets_.size() > 64) {
+      buckets_.resize(rings);
+      buckets_.shrink_to_fit();
+    }
+    dist[static_cast<std::size_t>(source)] = 0.0;
+    buckets_[0].push_back(source);
+    // Every queued entry has a value in the window [d, d + max_weight], so
+    // the modulo mapping onto the rings is injective over the live window
+    // and each entry is drained within max_weight + 1 sweeps.
+    std::size_t pending = 1;
+    for (long long d = 0; pending > 0; ++d) {
+      auto& ring = buckets_[static_cast<std::size_t>(d) % rings];
+      const double sweep = static_cast<double>(d);
+      // The ring may grow mid-drain (zero-weight relaxations land here and
+      // are processed in this same sweep), so re-check size() each step.
+      for (std::size_t i = 0; i < ring.size(); ++i) {
+        const int x = ring[i];
+        if (dist[static_cast<std::size_t>(x)] != sweep) continue;  // stale
+        neighbor_fn(x, [&](int y, double w) {
+          GNCG_DASSERT(w >= 0.0 && w <= static_cast<double>(max_weight));
+          GNCG_DASSERT(w == static_cast<double>(static_cast<long long>(w)));
+          const double candidate = sweep + w;
+          const std::size_t yi = static_cast<std::size_t>(y);
+          if (candidate < dist[yi]) {
+            dist[yi] = candidate;
+            buckets_[static_cast<std::size_t>(d + static_cast<long long>(w)) %
+                     rings]
+                .push_back(y);
+            ++pending;
+          }
+        });
+      }
+      pending -= ring.size();
+      ring.clear();  // keeps ring capacity: zero steady-state allocation
+    }
+  }
+
+  /// Runs into the internally owned distance vector; same aliasing caveats
+  /// as DijkstraBuffers::run.
+  template <class NeighborFn>
+  const std::vector<double>& run(int n, int source, int max_weight,
+                                 NeighborFn&& neighbor_fn) {
+    run_into(dist_, n, source, max_weight,
+             std::forward<NeighborFn>(neighbor_fn));
+    return dist_;
+  }
+
+  std::size_t ring_count() const { return buckets_.size(); }
+  std::size_t footprint_bytes() const {
+    std::size_t total = dist_.capacity() * sizeof(double) +
+                        buckets_.capacity() * sizeof(std::vector<int>);
+    for (const auto& ring : buckets_) total += ring.capacity() * sizeof(int);
+    return total;
+  }
+
+ private:
+  std::vector<double> dist_;
+  std::vector<std::vector<int>> buckets_;
 };
 
 /// Per-thread Dijkstra workspace for hot paths.

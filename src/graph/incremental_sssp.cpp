@@ -3,6 +3,14 @@
 namespace gncg {
 
 void IncrementalSssp::reset(const std::vector<double>& dist) {
+  // Same shrink policy as DijkstraBuffers: release capacities left over
+  // from a much larger previous search (log/heap needs are estimated by the
+  // previous search's peaks, so stable workloads never churn).
+  detail::release_excess(dist_, dist.size());
+  detail::release_excess(log_, log_peak_);
+  detail::release_excess(heap_, heap_peak_);
+  log_peak_ = 0;
+  heap_peak_ = 0;
   dist_ = dist;
   log_.clear();
   heap_.clear();

@@ -79,15 +79,23 @@ class IncrementalSssp {
         }
       });
     }
+    if (log_.size() > log_peak_) log_peak_ = log_.size();
   }
 
   /// Restores every distance overwritten since `mark`, newest first (a node
   /// improved twice ends up at its earliest logged value).
   void rollback(Checkpoint mark);
 
+  std::size_t footprint_bytes() const {
+    return dist_.capacity() * sizeof(double) +
+           log_.capacity() * sizeof(std::pair<int, double>) +
+           heap_.capacity() * sizeof(detail::HeapEntry);
+  }
+
  private:
   void push(double d, int v) {
     heap_.emplace_back(d, v);
+    if (heap_.size() > heap_peak_) heap_peak_ = heap_.size();
     std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
   }
 
@@ -101,6 +109,8 @@ class IncrementalSssp {
   std::vector<double> dist_;
   std::vector<std::pair<int, double>> log_;
   std::vector<detail::HeapEntry> heap_;
+  std::size_t log_peak_ = 0;   ///< high-water marks of the previous search,
+  std::size_t heap_peak_ = 0;  ///< driving reset()'s shrink policy
 };
 
 }  // namespace gncg

@@ -1,11 +1,41 @@
 #include "metric/host_backend.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "graph/apsp.hpp"
 #include "support/assert.hpp"
 
 namespace gncg {
+
+namespace {
+
+/// Largest weight the integer capability will certify.  Keeps the double ->
+/// integer casts exact and the dial ring count bounded by construction.
+constexpr double kMaxCertifiedIntegerWeight = 1e9;
+
+bool is_certifiable_integer(double w) {
+  return w >= 0.0 && w <= kMaxCertifiedIntegerWeight && w == std::floor(w);
+}
+
+/// Scans a weight matrix once: the max finite weight when every finite entry
+/// is a small non-negative integer (at least 1.0 so "capable" is always
+/// positive), 0.0 otherwise.
+double integer_bound_of_matrix(const DistanceMatrix& weights) {
+  const int n = weights.size();
+  double bound = 1.0;
+  for (int u = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      const double w = weights.at(u, v);
+      if (w == kInf) continue;
+      if (!is_certifiable_integer(w)) return 0.0;
+      bound = std::max(bound, w);
+    }
+  }
+  return bound;
+}
+
+}  // namespace
 
 std::string backend_name(HostBackendKind kind) {
   switch (kind) {
@@ -69,6 +99,12 @@ DistanceMatrix DenseHostBackend::materialize_closure() const {
   return closure_;
 }
 
+double DenseHostBackend::integer_weight_bound() const {
+  std::call_once(int_bound_once_,
+                 [this] { int_bound_ = integer_bound_of_matrix(weights_); });
+  return int_bound_;
+}
+
 // --- lazy closure ---------------------------------------------------------
 
 LazyClosureHostBackend::LazyClosureHostBackend(DistanceMatrix weights)
@@ -104,6 +140,12 @@ double LazyClosureHostBackend::host_distance(int u, int v) const {
 double LazyClosureHostBackend::host_distance_sum(int u) const {
   row(u);
   return sums_[static_cast<std::size_t>(u)];
+}
+
+double LazyClosureHostBackend::integer_weight_bound() const {
+  std::call_once(int_bound_once_,
+                 [this] { int_bound_ = integer_bound_of_matrix(weights_); });
+  return int_bound_;
 }
 
 int LazyClosureHostBackend::rows_computed() const {
@@ -224,6 +266,24 @@ TreeHostBackend::TreeHostBackend(const WeightedTree& tree)
     }
   }
 
+  // Integer capability: every pairwise distance is a signed combination of
+  // weighted depths, so if all edge weights are integers every distance is
+  // an exact integer bounded by twice the deepest node.
+  bool all_integer = true;
+  for (int u = 0; u < n_ && all_integer; ++u) {
+    for (const auto& nb : g.neighbors(u)) {
+      if (!is_certifiable_integer(nb.weight)) {
+        all_integer = false;
+        break;
+      }
+    }
+  }
+  if (all_integer) {
+    double max_depth = 0.0;
+    for (double d : depth_weighted_) max_depth = std::max(max_depth, d);
+    const double bound = std::max(1.0, 2.0 * max_depth);
+    int_bound_ = bound <= kMaxCertifiedIntegerWeight ? bound : 0.0;
+  }
 }
 
 void TreeHostBackend::ensure_sums() const {

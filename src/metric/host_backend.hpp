@@ -70,6 +70,13 @@ class HostBackend {
   /// Sum over v (in increasing index order) of host_distance(u, v).
   virtual double host_distance_sum(int u) const = 0;
 
+  /// Integer-weight capability: when every finite value `weight` can return
+  /// is a non-negative integer, returns a positive upper bound on those
+  /// values; returns 0.0 when the capability is absent (fractional,
+  /// unbounded or unknown weights).  Gates the bucket-queue (dial) Dijkstra
+  /// kernel.  Stable and thread-safe like every other query.
+  virtual double integer_weight_bound() const { return 0.0; }
+
   /// The backing weight matrix when this backend stores one (dense / lazy
   /// closure), nullptr for implicit backends.  HostGraph uses this for a
   /// branch-free fast path on `weight`.
@@ -96,6 +103,7 @@ class DenseHostBackend final : public HostBackend {
   double weight(int u, int v) const override { return weights_.at(u, v); }
   double host_distance(int u, int v) const override;
   double host_distance_sum(int u) const override;
+  double integer_weight_bound() const override;
   const DistanceMatrix* dense_weights() const override { return &weights_; }
   DistanceMatrix materialize_weights() const override { return weights_; }
   DistanceMatrix materialize_closure() const override;
@@ -107,6 +115,8 @@ class DenseHostBackend final : public HostBackend {
   mutable std::once_flag closure_once_;
   mutable DistanceMatrix closure_;
   mutable std::vector<double> sums_;
+  mutable std::once_flag int_bound_once_;
+  mutable double int_bound_ = 0.0;
 };
 
 /// Lazy-closure backend: owns the weight matrix but computes closure *rows*
@@ -125,6 +135,7 @@ class LazyClosureHostBackend final : public HostBackend {
   double weight(int u, int v) const override { return weights_.at(u, v); }
   double host_distance(int u, int v) const override;
   double host_distance_sum(int u) const override;
+  double integer_weight_bound() const override;
   const DistanceMatrix* dense_weights() const override { return &weights_; }
   DistanceMatrix materialize_weights() const override { return weights_; }
 
@@ -135,6 +146,8 @@ class LazyClosureHostBackend final : public HostBackend {
   const std::vector<double>& row(int u) const;
 
   DistanceMatrix weights_;
+  mutable std::once_flag int_bound_once_;
+  mutable double int_bound_ = 0.0;
   mutable std::mutex fill_mutex_;
   mutable std::vector<std::vector<double>> rows_;
   mutable std::vector<double> sums_;
@@ -188,6 +201,7 @@ class TreeHostBackend final : public HostBackend {
   double weight(int u, int v) const override { return host_distance(u, v); }
   double host_distance(int u, int v) const override;
   double host_distance_sum(int u) const override;
+  double integer_weight_bound() const override { return int_bound_; }
 
   /// Lowest common ancestor of u and v (root is node 0's DFS root).
   int lca(int u, int v) const;
@@ -196,6 +210,7 @@ class TreeHostBackend final : public HostBackend {
   void ensure_sums() const;
 
   int n_ = 0;
+  double int_bound_ = 0.0;              ///< integer capability, set at build
   std::vector<double> depth_weighted_;  ///< weighted distance from the root
   std::vector<int> euler_;              ///< Euler tour node sequence
   std::vector<int> euler_level_;        ///< tree level at each tour position

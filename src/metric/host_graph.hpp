@@ -103,6 +103,27 @@ class HostGraph {
   const HostBackend& backend() const { return *backend_; }
   HostBackendKind backend_kind() const { return backend_->kind(); }
 
+  /// Backend integer-weight capability (see
+  /// HostBackend::integer_weight_bound): positive bound or 0.0.
+  double integer_weight_bound() const {
+    return backend_->integer_weight_bound();
+  }
+
+  /// Bucket-queue eligibility: the backend's integer bound as an int when
+  /// the capability is present *and* small enough that a C+1-ring dial queue
+  /// beats the binary heap; 0 otherwise (use the heap).  SSSP kernels key
+  /// off this single value.
+  int dial_weight_bound() const {
+    const double bound = backend_->integer_weight_bound();
+    return (bound > 0.0 && bound <= kDialMaxWeight)
+               ? static_cast<int>(bound)
+               : 0;
+  }
+
+  /// Largest integer weight bound for which the dial kernel is used (rings
+  /// are O(bound) memory per worker; beyond this the heap wins anyway).
+  static constexpr double kDialMaxWeight = 4096.0;
+
   /// Dense weight matrix view.  On dense backends this is the backing
   /// matrix; on implicit backends the matrix is materialized (O(n^2)) once
   /// and cached -- a small-n escape hatch for matrix-shaped consumers

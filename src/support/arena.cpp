@@ -1,0 +1,65 @@
+#include "support/arena.hpp"
+
+#include <memory>
+#include <mutex>
+
+namespace gncg {
+
+std::size_t ScratchArena::footprint_bytes() const {
+  std::size_t total = dijkstra_.footprint_bytes() + dial_.footprint_bytes() +
+                      sssp_.footprint_bytes();
+  total += sum_dist_.capacity() * sizeof(double);
+  total += owned_targets_.capacity() * sizeof(int);
+  total += side_mark_.capacity() * sizeof(char);
+  total += dfs_stack_.capacity() * sizeof(int);
+  total += br_.order.capacity() * sizeof(std::pair<double, int>);
+  total += br_.candidates.capacity() * sizeof(int);
+  total += (br_.weights.capacity() + br_.base_dist.capacity() +
+            br_.host_row.capacity() + br_.weight_row.capacity()) *
+           sizeof(double);
+  return total;
+}
+
+namespace {
+
+/// Registry owning every arena; arenas outlive their threads so stats stay
+/// meaningful after a pool resize.  Leaked deliberately (never destroyed)
+/// so worker threads that outlive main()'s statics can still touch their
+/// arena during teardown.
+struct ArenaRegistry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ScratchArena>> arenas;
+};
+
+ArenaRegistry& registry() {
+  static ArenaRegistry* instance = new ArenaRegistry();
+  return *instance;
+}
+
+ScratchArena* make_registered_arena() {
+  auto arena = std::make_unique<ScratchArena>();
+  ScratchArena* raw = arena.get();
+  ArenaRegistry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.arenas.push_back(std::move(arena));
+  return raw;
+}
+
+}  // namespace
+
+ScratchArena& worker_arena() {
+  static thread_local ScratchArena* arena = make_registered_arena();
+  return *arena;
+}
+
+ArenaStats arena_stats() {
+  ArenaRegistry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  ArenaStats stats;
+  stats.arenas = reg.arenas.size();
+  for (const auto& arena : reg.arenas)
+    stats.footprint_bytes += arena->footprint_bytes();
+  return stats;
+}
+
+}  // namespace gncg

@@ -1,0 +1,107 @@
+// Per-worker scratch arenas: pool-owned workspaces behind every hot path.
+//
+// The SSSP-dominated inner loops (engine cache refills, single-move scans,
+// best-response branch evaluation) used to draw on a grab-bag of
+// thread_local buffers plus per-call vector allocations (strategy
+// to_vector(), DFS stacks, candidate/weight rows).  ScratchArena gathers all
+// of that per-thread state into one object:
+//
+//   * the binary-heap and bucket-queue Dijkstra workspaces,
+//   * the IncrementalSssp instance best-response branches repair,
+//   * the deviation engine's scan scratch (owned-target list, side marks,
+//     DFS stack, distance-sum vector),
+//   * the best-response driver's candidate/weight/base-distance rows.
+//
+// `worker_arena()` hands the calling thread its arena, creating and
+// registering it on first use.  The worker pool's threads persist for the
+// process lifetime, so after one warm-up pass every buffer has reached its
+// steady-state capacity and the hot loops allocate nothing
+// (tests/test_arena.cpp holds the zero-allocation probe).  Arenas are owned
+// by a process-wide registry (not the threads), so `arena_stats()` can
+// report fleet-wide footprint and tests can reason about reuse.
+//
+// Thread-safety: an arena is single-threaded by construction -- only the
+// owning thread ever touches it.  Code holding one arena reference must not
+// hand it to another thread, and nested users of the same thread must use
+// disjoint members (the engine's scan path uses scan buffers + a Dijkstra
+// workspace; best-response branches use the IncrementalSssp -- the members
+// are partitioned so no hot path aliases another's buffer).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "graph/dijkstra.hpp"
+#include "graph/incremental_sssp.hpp"
+
+namespace gncg {
+
+class ScratchArena {
+ public:
+  /// Binary-heap Dijkstra workspace (general weights).
+  DijkstraBuffers& dijkstra() { return dijkstra_; }
+
+  /// Bucket-queue Dijkstra workspace (integer-weight hosts).
+  DialBuffers& dial() { return dial_; }
+
+  /// Incremental SSSP maintained along a best-response DFS branch.
+  IncrementalSssp& incremental_sssp() { return sssp_; }
+
+  /// Distance vector for sum-only SSSP queries (masked scans, strategy
+  /// costs).  Distinct from the Dijkstra workspaces' internal vectors so a
+  /// sum query never clobbers a caller-visible run() result.
+  std::vector<double>& sum_dist() { return sum_dist_; }
+
+  // --- deviation-engine scan scratch ---
+
+  /// Owned purchase targets of the scanning agent (replaces per-scan
+  /// NodeSet::to_vector()).
+  std::vector<int>& owned_targets() { return owned_targets_; }
+
+  /// Per-node side/reachability marks for bridge detection.
+  std::vector<char>& side_mark() { return side_mark_; }
+
+  /// Explicit DFS stack for reachability sweeps.
+  std::vector<int>& dfs_stack() { return dfs_stack_; }
+
+  // --- best-response driver scratch ---
+
+  struct BrScratch {
+    std::vector<std::pair<double, int>> order;  ///< (key, node) branch order
+    std::vector<int> candidates;                ///< candidate purchase targets
+    std::vector<double> weights;                ///< edge weight per candidate
+    std::vector<double> base_dist;              ///< SSSP from the empty set
+    std::vector<double> host_row;               ///< host distances from u
+    std::vector<double> weight_row;             ///< buy weights from u
+  };
+  BrScratch& br() { return br_; }
+
+  /// Bytes currently reserved across every buffer in this arena.
+  std::size_t footprint_bytes() const;
+
+ private:
+  DijkstraBuffers dijkstra_;
+  DialBuffers dial_;
+  IncrementalSssp sssp_;
+  std::vector<double> sum_dist_;
+  std::vector<int> owned_targets_;
+  std::vector<char> side_mark_;
+  std::vector<int> dfs_stack_;
+  BrScratch br_;
+};
+
+/// The calling thread's arena, created and registered on first use.  Stable
+/// for the thread's lifetime; pool workers persist for the process lifetime,
+/// so each worker pays the creation exactly once.
+ScratchArena& worker_arena();
+
+/// Fleet-wide arena statistics (every arena ever registered, including ones
+/// whose threads have exited -- the registry owns them).
+struct ArenaStats {
+  std::size_t arenas = 0;
+  std::size_t footprint_bytes = 0;
+};
+ArenaStats arena_stats();
+
+}  // namespace gncg

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <cstdlib>
 
 namespace gncg {
 
@@ -109,9 +110,31 @@ class ThreadPool {
 
 }  // namespace
 
+namespace {
+
+/// GNCG_THREADS environment default: consulted once, used only when no
+/// programmatic override is set, so set_default_thread_count(1)/(0) probes
+/// in tests behave identically under the CI multi-thread job.  0 = unset.
+std::size_t env_thread_default() {
+  static const std::size_t cached = [] {
+    const char* raw = std::getenv("GNCG_THREADS");
+    if (raw == nullptr || *raw == '\0') return std::size_t{0};
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(raw, &end, 10);
+    if (end == raw || *end != '\0' || value < 1 || value > 1024)
+      return std::size_t{0};
+    return static_cast<std::size_t>(value);
+  }();
+  return cached;
+}
+
+}  // namespace
+
 std::size_t default_thread_count() {
   const std::size_t override = g_thread_override.load(std::memory_order_relaxed);
   if (override != 0) return override;
+  const std::size_t env = env_thread_default();
+  if (env != 0) return env;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }

@@ -20,7 +20,9 @@
 
 namespace gncg {
 
-/// Number of worker threads used by default (hardware concurrency, >= 1).
+/// Number of worker threads used by default: the programmatic override if
+/// set, else the GNCG_THREADS environment variable if set (how CI forces an
+/// 8-worker pool on any runner), else hardware concurrency (>= 1).
 std::size_t default_thread_count();
 
 /// Overrides the default worker count (0 restores hardware concurrency).

@@ -1,0 +1,244 @@
+// Bucket-queue ("dial") Dijkstra: capability certification and the
+// bit-identity gate against the binary-heap kernel.
+//
+// The dial path is only ever taken when the host certifies its finite
+// weights as small non-negative integers (HostGraph::dial_weight_bound).
+// On such hosts every shortest-path distance is an exact integer far below
+// 2^53, so the heap and bucket kernels compute the SAME doubles bit for
+// bit -- which is what lets DeviationEngine switch kernels without
+// perturbing any differential or determinism contract in the suite.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/best_response.hpp"
+#include "core/deviation_engine.hpp"
+#include "core/profile_gen.hpp"
+#include "graph/dijkstra.hpp"
+#include "metric/host_graph.hpp"
+#include "metric/points.hpp"
+#include "metric/tree.hpp"
+#include "support/rng.hpp"
+
+namespace gncg {
+namespace {
+
+HostGraph dense_integer_host(int n, Rng& rng, int w_max) {
+  DistanceMatrix weights(n, 0.0);
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v)
+      weights.set_symmetric(
+          u, v, static_cast<double>(rng.uniform_int(1, w_max)));
+  return HostGraph::from_weights(std::move(weights));
+}
+
+// --- capability certification ---------------------------------------------
+
+TEST(DialCapability, OneTwoHostCertifiesBoundTwo) {
+  DistanceMatrix weights(4, 0.0);
+  weights.set_symmetric(0, 1, 1.0);
+  weights.set_symmetric(0, 2, 2.0);
+  weights.set_symmetric(0, 3, 1.0);
+  weights.set_symmetric(1, 2, 2.0);
+  weights.set_symmetric(1, 3, 2.0);
+  weights.set_symmetric(2, 3, 1.0);
+  const HostGraph host = HostGraph::from_weights(std::move(weights));
+  EXPECT_DOUBLE_EQ(host.integer_weight_bound(), 2.0);
+  EXPECT_EQ(host.dial_weight_bound(), 2);
+}
+
+TEST(DialCapability, FractionalDenseHostRefuses) {
+  DistanceMatrix weights(3, 0.0);
+  weights.set_symmetric(0, 1, 1.0);
+  weights.set_symmetric(0, 2, 1.5);  // one fractional weight poisons it
+  weights.set_symmetric(1, 2, 2.0);
+  const HostGraph host = HostGraph::from_weights(std::move(weights));
+  EXPECT_DOUBLE_EQ(host.integer_weight_bound(), 0.0);
+  EXPECT_EQ(host.dial_weight_bound(), 0);
+}
+
+TEST(DialCapability, LazyIntegerHostCertifies) {
+  Rng rng(5);
+  DistanceMatrix weights(6, 0.0);
+  for (int u = 0; u < 6; ++u)
+    for (int v = u + 1; v < 6; ++v)
+      weights.set_symmetric(u, v,
+                            static_cast<double>(rng.uniform_int(1, 7)));
+  const HostGraph host =
+      HostGraph::from_weights_lazy(std::move(weights), ModelClass::kGeneral);
+  EXPECT_GT(host.integer_weight_bound(), 0.0);
+  EXPECT_GT(host.dial_weight_bound(), 0);
+}
+
+TEST(DialCapability, EuclideanHostRefuses) {
+  Rng rng(6);
+  const HostGraph host =
+      HostGraph::from_points(uniform_points(8, 2, 100.0, rng), /*p=*/2.0);
+  EXPECT_DOUBLE_EQ(host.integer_weight_bound(), 0.0);
+  EXPECT_EQ(host.dial_weight_bound(), 0);
+}
+
+TEST(DialCapability, IntegerTreeCertifiesAndFractionalTreeRefuses) {
+  Rng rng(7);
+  const std::vector<double> integer_weights{3, 7, 2, 5, 12, 9, 11, 2, 10};
+  const HostGraph integer_tree =
+      HostGraph::from_tree(random_tree_with_weights(10, integer_weights, rng));
+  EXPECT_GT(integer_tree.integer_weight_bound(), 0.0);
+  EXPECT_GT(integer_tree.dial_weight_bound(), 0);
+
+  const HostGraph fractional_tree =
+      HostGraph::from_tree(path_tree({1.25, 2.0, 3.0}));
+  EXPECT_DOUBLE_EQ(fractional_tree.integer_weight_bound(), 0.0);
+  EXPECT_EQ(fractional_tree.dial_weight_bound(), 0);
+}
+
+TEST(DialCapability, HugeIntegerWeightsExceedTheDialGate) {
+  // Certified integer, but above kDialMaxWeight: the dial would need that
+  // many rings, so the engine must stay on the heap.
+  const HostGraph host = HostGraph::from_tree(path_tree({8192.0, 8192.0}));
+  EXPECT_GT(host.integer_weight_bound(),
+            HostGraph::kDialMaxWeight);
+  EXPECT_EQ(host.dial_weight_bound(), 0);
+}
+
+// --- kernel bit-identity ---------------------------------------------------
+
+/// Runs heap and dial kernels over the same implicit graph and asserts the
+/// distance vectors are equal bit for bit.
+template <class NeighborFn>
+void expect_kernels_identical(int n, int max_weight,
+                              const NeighborFn& neighbor_fn) {
+  DijkstraBuffers heap;
+  DialBuffers dial;
+  for (int source = 0; source < n; ++source) {
+    SCOPED_TRACE(::testing::Message() << "source " << source);
+    const std::vector<double> from_heap =
+        heap.run(n, source, neighbor_fn);  // copy: dial reuses nothing of it
+    const std::vector<double>& from_dial =
+        dial.run(n, source, max_weight, neighbor_fn);
+    ASSERT_EQ(from_heap.size(), from_dial.size());
+    for (int v = 0; v < n; ++v) {
+      if (from_heap[static_cast<std::size_t>(v)] == kInf) {
+        EXPECT_EQ(from_dial[static_cast<std::size_t>(v)], kInf);
+      } else {
+        EXPECT_EQ(from_heap[static_cast<std::size_t>(v)],
+                  from_dial[static_cast<std::size_t>(v)]);  // bitwise
+      }
+    }
+  }
+}
+
+TEST(DialBitIdentity, RandomIntegerGraphsMatchHeap) {
+  Rng rng(31337);
+  for (int round = 0; round < 10; ++round) {
+    const int n = 6 + static_cast<int>(rng.uniform_below(20));
+    // Random sparse integer graph, possibly disconnected.
+    std::vector<std::vector<Neighbor>> adj(static_cast<std::size_t>(n));
+    for (int u = 0; u < n; ++u)
+      for (int v = u + 1; v < n; ++v)
+        if (rng.uniform_below(4) == 0) {
+          const double w = static_cast<double>(rng.uniform_int(1, 9));
+          adj[static_cast<std::size_t>(u)].push_back({v, w});
+          adj[static_cast<std::size_t>(v)].push_back({u, w});
+        }
+    SCOPED_TRACE(::testing::Message() << "round " << round << " n " << n);
+    expect_kernels_identical(n, 9, [&](int u, auto&& visit) {
+      for (const auto& nb : adj[static_cast<std::size_t>(u)])
+        visit(nb.to, nb.weight);
+    });
+  }
+}
+
+TEST(DialBitIdentity, ZeroWeightEdgesMatchHeap) {
+  // Chain with interleaved zero-weight edges plus a zero-weight shortcut:
+  // exercises the mid-drain ring growth path (same-distance relaxations are
+  // processed in the sweep that discovers them).
+  const int n = 12;
+  std::vector<std::vector<Neighbor>> adj(static_cast<std::size_t>(n));
+  auto add = [&](int u, int v, double w) {
+    adj[static_cast<std::size_t>(u)].push_back({v, w});
+    adj[static_cast<std::size_t>(v)].push_back({u, w});
+  };
+  for (int v = 0; v + 1 < n; ++v) add(v, v + 1, v % 3 == 0 ? 0.0 : 2.0);
+  add(0, 6, 0.0);
+  add(2, 9, 3.0);
+  expect_kernels_identical(n, 3, [&](int u, auto&& visit) {
+    for (const auto& nb : adj[static_cast<std::size_t>(u)])
+      visit(nb.to, nb.weight);
+  });
+}
+
+// --- engine-level bit-identity (dial vs disable_dial) ----------------------
+
+/// Compares an engine on the dial path against a heap-forced twin on every
+/// cached distance vector and every scan family, expecting bitwise equality.
+void expect_engine_paths_identical(const Game& game,
+                                   const StrategyProfile& profile) {
+  ASSERT_GT(game.host().dial_weight_bound(), 0);
+  DeviationEngine with_dial(game, profile);
+  DeviationEngine with_heap(game, profile);
+  with_heap.disable_dial();
+  ASSERT_TRUE(with_dial.dial_enabled());
+  ASSERT_FALSE(with_heap.dial_enabled());
+  const int n = game.node_count();
+  for (int u = 0; u < n; ++u) {
+    SCOPED_TRACE(::testing::Message() << "agent " << u);
+    const std::vector<double>& dial_dist = with_dial.distances(u);
+    const std::vector<double>& heap_dist = with_heap.distances(u);
+    for (int v = 0; v < n; ++v)
+      EXPECT_EQ(dial_dist[static_cast<std::size_t>(v)],
+                heap_dist[static_cast<std::size_t>(v)]);
+    EXPECT_EQ(with_dial.agent_cost(u), with_heap.agent_cost(u));
+
+    const SingleMoveResult dial_move = with_dial.best_single_move(u);
+    const SingleMoveResult heap_move = with_heap.best_single_move(u);
+    EXPECT_EQ(dial_move.move.type, heap_move.move.type);
+    EXPECT_EQ(dial_move.move.remove, heap_move.move.remove);
+    EXPECT_EQ(dial_move.move.add, heap_move.move.add);
+    EXPECT_EQ(dial_move.cost, heap_move.cost);
+
+    const BestResponseResult dial_br = exact_best_response(with_dial, u);
+    const BestResponseResult heap_br = exact_best_response(with_heap, u);
+    EXPECT_EQ(dial_br.cost, heap_br.cost);
+    EXPECT_TRUE(dial_br.strategy == heap_br.strategy);
+  }
+}
+
+TEST(DialBitIdentity, EngineMatchesHeapOnOneTwoHosts) {
+  Rng rng(91);
+  for (int round = 0; round < 6; ++round) {
+    const int n = 5 + static_cast<int>(rng.uniform_below(4));
+    const Game game(random_one_two_host(n, 0.5, rng),
+                    rng.uniform_real(0.3, 3.0));
+    SCOPED_TRACE(::testing::Message() << "round " << round << " n " << n);
+    expect_engine_paths_identical(game, random_profile(game, rng, 0.3));
+  }
+}
+
+TEST(DialBitIdentity, EngineMatchesHeapOnIntegerHosts) {
+  Rng rng(92);
+  for (int round = 0; round < 6; ++round) {
+    const int n = 5 + static_cast<int>(rng.uniform_below(4));
+    const Game game(dense_integer_host(n, rng, 9),
+                    rng.uniform_real(0.3, 3.0));
+    SCOPED_TRACE(::testing::Message() << "round " << round << " n " << n);
+    expect_engine_paths_identical(game, random_profile(game, rng, 0.3));
+  }
+}
+
+TEST(DialBitIdentity, EngineMatchesHeapOnIntegerTrees) {
+  Rng rng(93);
+  const std::vector<double> weights{3, 7, 2, 5, 12, 9, 11, 2, 10};
+  for (int round = 0; round < 4; ++round) {
+    const Game game(
+        HostGraph::from_tree(random_tree_with_weights(10, weights, rng)),
+        rng.uniform_real(0.5, 4.0));
+    ASSERT_GT(game.host().dial_weight_bound(), 0);
+    SCOPED_TRACE(::testing::Message() << "round " << round);
+    expect_engine_paths_identical(game, random_profile(game, rng, 0.2));
+  }
+}
+
+}  // namespace
+}  // namespace gncg
