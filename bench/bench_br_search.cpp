@@ -33,6 +33,7 @@
 #include "core/profile_gen.hpp"
 #include "metric/points.hpp"
 #include "metric/tree.hpp"
+#include "support/arena.hpp"
 #include "support/rng.hpp"
 #include "support/timer.hpp"
 
@@ -275,7 +276,17 @@ int main(int argc, char** argv) {
   std::printf("  \"context\": {\n");
   std::printf("    \"date\": \"%s\",\n", date);
   std::printf("    \"num_cpus\": %u,\n", std::thread::hardware_concurrency());
-  std::printf("    \"library_build_type\": \"%s\"\n", build_type);
+  std::printf("    \"library_build_type\": \"%s\",\n", build_type);
+  {
+    const gncg::ArenaStats arenas = gncg::arena_stats();
+    std::printf("    \"arenas\": %zu,\n", arenas.arenas);
+    std::printf("    \"arena_footprint_bytes\": %zu,\n",
+                arenas.footprint_bytes);
+    std::printf("    \"arena_peak_footprint_bytes\": %zu,\n",
+                arenas.peak_footprint_bytes);
+    std::printf("    \"arena_shrink_events\": %llu\n",
+                static_cast<unsigned long long>(arenas.shrink_events));
+  }
   std::printf("  },\n");
   std::printf("  \"results\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {

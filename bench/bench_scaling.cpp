@@ -402,7 +402,17 @@ int main(int argc, char** argv) {
   std::printf("    \"num_cpus\": %u,\n", num_cpus);
   std::printf("    \"parallelism_limited\": %s,\n",
               parallelism_limited ? "true" : "false");
-  std::printf("    \"library_build_type\": \"%s\"\n", build_type);
+  std::printf("    \"library_build_type\": \"%s\",\n", build_type);
+  {
+    const gncg::ArenaStats arenas = gncg::arena_stats();
+    std::printf("    \"arenas\": %zu,\n", arenas.arenas);
+    std::printf("    \"arena_footprint_bytes\": %zu,\n",
+                arenas.footprint_bytes);
+    std::printf("    \"arena_peak_footprint_bytes\": %zu,\n",
+                arenas.peak_footprint_bytes);
+    std::printf("    \"arena_shrink_events\": %llu\n",
+                static_cast<unsigned long long>(arenas.shrink_events));
+  }
   std::printf("  },\n");
   std::printf("  \"thread_counts\": [1, 2, 4, 8],\n");
   std::printf("  \"sssp_kernel\": [\n");

@@ -1,0 +1,248 @@
+#include "core/approx_br.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "core/br_search.hpp"
+#include "core/cost.hpp"
+#include "core/deviation_engine.hpp"
+#include "support/arena.hpp"
+
+namespace gncg {
+
+namespace {
+
+constexpr int kDefaultLadderBudget = 16;
+
+double dist_sum(const std::vector<double>& dist) {
+  double total = 0.0;
+  for (double d : dist) total += d;
+  return total;
+}
+
+/// The PR 5 per-node admissible floor (SumCostModel::tight_floor in
+/// core/br_search.cpp), re-stated here as the escape bound's distance term:
+/// in any strategy whose new edges all weigh >= w_next, node t sits at
+/// distance >= max(d_H(u,t), min(d_base(t), w_next)).
+double tight_floor_sum(const std::vector<double>& host_row,
+                       const std::vector<double>& dist, double w_next) {
+  double total = 0.0;
+  for (std::size_t t = 0; t < dist.size(); ++t)
+    total += std::max(host_row[t], std::min(dist[t], w_next));
+  return total;
+}
+
+double beta_of(double cost, double lb) {
+  if (!(cost < kInf)) return lb < kInf ? kInf : 1.0;
+  if (cost <= 0.0) return 1.0;  // cost is 0: nothing can be cheaper
+  if (lb <= 0.0) return kInf;   // vacuous bound, nothing certified
+  return cost / lb;
+}
+
+ApproxBrResult ladder_over(const AgentEnvironment& env,
+                           const ApproxBrOptions& options) {
+  const Game& game = env.game();
+  const int n = game.node_count();
+  const int u = env.agent();
+
+  ScratchArena& arena = worker_arena();
+  ScratchArena::LadderScratch& scratch = arena.ladder();
+
+  int budget = options.budget > 0 ? options.budget : kDefaultLadderBudget;
+  budget = std::min(budget, n - 1);
+  budget = std::max(budget, 0);
+
+  // Candidate shortlist from the spatial oracle, (weight, id)-sorted.
+  std::vector<int>& cand = scratch.cand;
+  game.host().candidate_targets(u, budget, cand);
+
+  // One Dijkstra for the whole ladder: u's distances in the bare
+  // environment.  Same kernel selection as br_search so distances match
+  // bitwise.
+  std::vector<double>& base_dist = scratch.base_dist;
+  {
+    const int dial_bound = game.host().dial_weight_bound();
+    const auto environment_edges = [&](int x, auto&& visit) {
+      env.for_neighbors(x, visit);
+    };
+    if (dial_bound > 0) {
+      arena.dial().run_into(base_dist, n, u, dial_bound, environment_edges);
+    } else {
+      arena.dijkstra().run_into(base_dist, n, u, environment_edges);
+    }
+  }
+
+  // Host-closure row (per-node floor) and per-node buy weights (canonical
+  // edge-sum evaluation), as in br_search.
+  std::vector<double>& host_row = scratch.host_row;
+  std::vector<double>& weight_row = scratch.weight_row;
+  host_row.assign(static_cast<std::size_t>(n), 0.0);
+  weight_row.assign(static_cast<std::size_t>(n), kInf);
+  for (int v = 0; v < n; ++v)
+    host_row[static_cast<std::size_t>(v)] = game.host_distance(u, v);
+
+  std::vector<double>& cand_w = scratch.cand_w;
+  std::vector<char>& in_cand = scratch.in_cand;
+  in_cand.assign(static_cast<std::size_t>(n), 0);
+  cand_w.clear();
+  cand_w.reserve(cand.size());
+  for (int v : cand) {
+    const double w = game.weight(u, v);
+    cand_w.push_back(w);
+    weight_row[static_cast<std::size_t>(v)] = w;
+    in_cand[static_cast<std::size_t>(v)] = 1;
+  }
+
+  // One O(n) scan for the certification weights: the cheapest purchasable
+  // edge overall (w_min_all, floor for *any* non-empty strategy) and the
+  // cheapest purchasable edge outside the shortlist (w_out_min, entry fee
+  // of every escaping strategy).
+  double w_min_all = kInf;
+  double w_out_min = kInf;
+  for (int v = 0; v < n; ++v) {
+    if (v == u) continue;
+    const double w = game.weight(u, v);
+    if (!(w < kInf)) continue;
+    w_min_all = std::min(w_min_all, w);
+    if (!in_cand[static_cast<std::size_t>(v)])
+      w_out_min = std::min(w_out_min, w);
+  }
+
+  ApproxBrResult result;
+  result.candidates = static_cast<int>(cand.size());
+  result.strategy = NodeSet(n);
+  const double empty_cost = dist_sum(base_dist);
+  result.cost = empty_cost;
+  result.evaluations = 1;
+
+  // --- tier 1: greedy edge additions over the shortlist ------------------
+  //
+  // Probe each unused candidate with a checkpointed decrease-only repair,
+  // commit the best strictly-improving addition, repeat until none.  At
+  // most |C| rounds of |C| probes; each probe is one bounded repair plus an
+  // O(n) aggregation.
+  IncrementalSssp& sssp = scratch.sssp;
+  sssp.reset(base_dist);
+  NodeSet current(n);
+  double current_cost = empty_cost;
+  const auto environment_edges = [&](int x, auto&& visit) {
+    env.for_neighbors(x, visit);
+  };
+  for (;;) {
+    int best_i = -1;
+    double best_cost = current_cost;
+    for (std::size_t i = 0; i < cand.size(); ++i) {
+      const int v = cand[i];
+      if (current.contains(v)) continue;
+      const IncrementalSssp::Checkpoint mark = sssp.checkpoint();
+      sssp.relax_insert(v, cand_w[i], environment_edges);
+      // Canonical evaluation: re-sum the edge term in increasing target
+      // order (br_search's contract), then the maintained distance vector.
+      current.insert(v);
+      double edge_sum = 0.0;
+      current.for_each(
+          [&](int t) { edge_sum += weight_row[static_cast<std::size_t>(t)]; });
+      current.erase(v);
+      const double cost = game.alpha() * edge_sum + dist_sum(sssp.dist());
+      ++result.evaluations;
+      if (improves(cost, best_cost)) {
+        best_cost = cost;
+        best_i = static_cast<int>(i);
+      }
+      sssp.rollback(mark);
+    }
+    if (best_i < 0) break;
+    const int v = cand[static_cast<std::size_t>(best_i)];
+    current.insert(v);
+    sssp.relax_insert(v, cand_w[static_cast<std::size_t>(best_i)],
+                      environment_edges);
+    current_cost = best_cost;
+  }
+  if (improves(current_cost, result.cost)) {
+    result.cost = current_cost;
+    result.strategy = current;
+  }
+  result.tier = 1;
+
+  // Tier-1 certificate: any non-empty strategy pays at least the cheapest
+  // edge plus the w_min_all floor; the empty strategy costs empty_cost.
+  const double floor_any =
+      w_min_all < kInf
+          ? game.alpha() * w_min_all +
+                tight_floor_sum(host_row, base_dist, w_min_all)
+          : kInf;
+  result.lower_bound = std::min(empty_cost, floor_any);
+  result.beta = beta_of(result.cost, result.lower_bound);
+  result.exact = !improves(result.lower_bound, result.cost);
+  if (result.exact) result.beta = 1.0;
+
+  const bool tier1_suffices =
+      result.exact ||
+      (options.beta_target > 0.0 && result.beta <= options.beta_target);
+  if (!tier1_suffices) {
+    // --- tier 2: exact search restricted to the shortlist ----------------
+    BestResponseOptions restricted;
+    restricted.incumbent = result.cost;
+    restricted.restrict_targets = &cand;
+    const BestResponseResult br = br_search_sum(env, restricted);
+    result.evaluations += br.evaluations;
+    if (br.improved) {
+      result.cost = br.cost;
+      result.strategy = br.strategy;
+    }
+    result.tier = 2;
+
+    // Escape bound: every strategy buying outside the shortlist pays at
+    // least alpha * w_out_min in edges and the w_min_all distance floor.
+    // Inside the shortlist, result.cost is already the exact minimum.
+    const double escape_lb =
+        w_out_min < kInf
+            ? game.alpha() * w_out_min +
+                  tight_floor_sum(host_row, base_dist, w_min_all)
+            : kInf;
+    result.exact = !improves(escape_lb, result.cost);
+    result.lower_bound = std::min(result.cost, escape_lb);
+    result.beta = result.exact ? 1.0 : beta_of(result.cost, result.lower_bound);
+  }
+
+  // --- tier 3: unrestricted exact search, on demand ---------------------
+  const bool want_exact =
+      options.allow_exact && !result.exact &&
+      (options.beta_target <= 0.0 || result.beta > options.beta_target);
+  if (want_exact) {
+    BestResponseOptions full;
+    full.incumbent = result.cost;
+    const BestResponseResult br = br_search_sum(env, full);
+    result.evaluations += br.evaluations;
+    if (br.improved) {
+      result.cost = br.cost;
+      result.strategy = br.strategy;
+    }
+    result.tier = 3;
+    result.exact = true;
+    result.lower_bound = result.cost;
+    result.beta = 1.0;
+  }
+
+  result.improved = improves(result.cost, options.incumbent);
+  return result;
+}
+
+}  // namespace
+
+ApproxBrResult approx_best_response_ladder(const Game& game,
+                                           const StrategyProfile& s, int u,
+                                           const ApproxBrOptions& options) {
+  const AgentEnvironment env(game, s, u);
+  return ladder_over(env, options);
+}
+
+ApproxBrResult approx_best_response_ladder(const DeviationEngine& engine,
+                                           int u,
+                                           const ApproxBrOptions& options) {
+  const AgentEnvironment env(engine, u);
+  return ladder_over(env, options);
+}
+
+}  // namespace gncg

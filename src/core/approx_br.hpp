@@ -1,0 +1,93 @@
+// Approximate best response: the three-tier ladder for large geometric
+// games.
+//
+// Exact best response is NP-hard (Corollary 1), and even the pruned
+// branch-and-bound of core/br_search.hpp enumerates subsets of *all* n-1
+// purchase targets.  On geometric hosts most of those targets are useless:
+// a far-away node is reached more cheaply through a near neighbor than by a
+// direct edge.  The ladder exploits this through the spatial candidate
+// oracle (HostBackend::candidate_targets -- grid-accelerated on euclidean
+// backends) and climbs three tiers, each with a certified quality bound:
+//
+//  * Tier 1 -- greedy over the shortlist.  Starting from the empty
+//    strategy, repeatedly add the candidate edge with the largest cost
+//    decrease (incremental decrease-only SSSP repair per probe, rollback
+//    between probes; canonical cost evaluation as in br_search).  Cost:
+//    O(budget^2) bounded-Dijkstra repairs, no subset enumeration.
+//  * Tier 2 -- exact search restricted to the shortlist.  br_search with
+//    BestResponseOptions::restrict_targets: the true minimum c_C over
+//    strategies inside the candidate set C.
+//  * Tier 3 (on demand) -- the full unrestricted exact search, seeded with
+//    c_C as the incumbent.
+//
+// Certification.  Every tier reports an admissible lower bound LB on the
+// *unrestricted* best-response cost and beta = cost / LB.  The bound is the
+// PR 5 floor contract re-used as an escape bound: any strategy buying at
+// least one edge outside C pays at least
+//     escape_lb = alpha * w_out_min + tight_floor(host_row, base_dist,
+//                                                 w_min_all)
+// where w_out_min is the cheapest purchasable non-candidate edge, and
+// tight_floor is the per-node admissible floor
+//     sum_t max(d_H(u,t), min(d_base(t), w_min_all))
+// (any path either avoids new edges, length >= the empty-strategy distance,
+// or starts with one, whose weight alone is >= w_min_all -- new edges are
+// all incident to the source).  Hence after tier 2,
+//     LB = min(c_C, escape_lb)
+// and when escape_lb cannot strictly beat c_C the restricted optimum *is*
+// the unrestricted one: the result is certified exact (beta = 1) without
+// ever enumerating outside the shortlist.  tests/test_approx_br.cpp holds
+// the differential gates (full-coverage shortlist == naive exact search,
+// bitwise).
+#pragma once
+
+#include <cstdint>
+
+#include "core/best_response.hpp"
+#include "core/game.hpp"
+
+namespace gncg {
+
+/// Options for the approximate-BR ladder.
+struct ApproxBrOptions {
+  /// Candidate-shortlist size handed to the spatial oracle; <= 0 picks the
+  /// default (min(n-1, 16)).  budget >= n-1 makes tier 2 the unrestricted
+  /// exact search.
+  int budget = 0;
+  /// The agent's current cost; `improved` reports a strict win over it.
+  double incumbent = kInf;
+  /// Permit the tier-3 unrestricted exact search when tier 2 fails to
+  /// certify beta <= beta_target (or fails to certify exactness when
+  /// beta_target == 0).
+  bool allow_exact = false;
+  /// Certification goal: stop climbing once beta <= beta_target.  0 means
+  /// "certify exactness or climb as far as allowed".
+  double beta_target = 0.0;
+};
+
+/// Result of an approximate-BR ladder run.
+struct ApproxBrResult {
+  NodeSet strategy;               ///< best strategy found
+  double cost = kInf;             ///< canonical agent cost of `strategy`
+  double lower_bound = 0.0;       ///< admissible LB on the unrestricted BR
+  double beta = 1.0;              ///< cost / lower_bound (kInf when LB == 0)
+  int tier = 1;                   ///< highest tier that ran
+  bool exact = false;             ///< certified equal to the unrestricted BR
+  bool improved = false;          ///< beat options.incumbent strictly
+  int candidates = 0;             ///< shortlist size actually used
+  std::uint64_t evaluations = 0;  ///< candidate evaluations across tiers
+};
+
+class DeviationEngine;
+
+/// Approximate best response of agent u against the rest of profile `s`.
+ApproxBrResult approx_best_response_ladder(const Game& game,
+                                           const StrategyProfile& s, int u,
+                                           const ApproxBrOptions& options = {});
+
+/// Engine-backed variant: borrows the engine's materialized adjacency for
+/// the environment (no copy), like exact_best_response.
+ApproxBrResult approx_best_response_ladder(const DeviationEngine& engine,
+                                           int u,
+                                           const ApproxBrOptions& options = {});
+
+}  // namespace gncg

@@ -107,6 +107,16 @@ struct BestResponseOptions {
   /// is_nash_equilibrium; the returned strategy is then *an* improvement,
   /// not necessarily the best one).
   bool first_improvement = false;
+
+  /// When non-null, the search only considers strategies over this target
+  /// list (the spatial candidate oracle's shortlist; entries that are not
+  /// purchasable are skipped, duplicates collapse).  The search is then
+  /// exact *over the restricted space*: the returned cost is the true
+  /// minimum among subsets of the list, an upper bound on the unrestricted
+  /// best response.  With a list covering every purchasable target the
+  /// result is bit-identical to the unrestricted search (the differential
+  /// gate in tests/test_approx_br.cpp).  The pointee must outlive the call.
+  const std::vector<int>* restrict_targets = nullptr;
 };
 
 /// Exact best response of agent u against the rest of profile `s`.

@@ -211,13 +211,24 @@ BestResponseResult run_search(const AgentEnvironment& env,
   // incremental-SSSP member instead.
   ScratchArena::BrScratch& scratch = worker_arena().br();
 
-  // Candidate targets: every node u may buy towards, sorted by edge weight
-  // so the branch-and-bound cut is monotone.
+  // Candidate targets sorted by edge weight so the branch-and-bound cut is
+  // monotone: every node u may buy towards, or -- under restrict_targets --
+  // only the oracle's shortlist (same sort key, so a full-coverage list
+  // reproduces the unrestricted order bit-for-bit).
   std::vector<std::pair<double, int>>& order = scratch.order;
   order.clear();
-  for (int v = 0; v < n; ++v)
-    if (game.can_buy(u, v)) order.emplace_back(game.weight(u, v), v);
-  std::sort(order.begin(), order.end());
+  if (options.restrict_targets != nullptr) {
+    for (int v : *options.restrict_targets)
+      if (game.can_buy(u, v)) order.emplace_back(game.weight(u, v), v);
+    std::sort(order.begin(), order.end());
+    // A duplicated list entry would make the DFS insert one node twice;
+    // collapse exact repeats (identical (weight, node) pairs).
+    order.erase(std::unique(order.begin(), order.end()), order.end());
+  } else {
+    for (int v = 0; v < n; ++v)
+      if (game.can_buy(u, v)) order.emplace_back(game.weight(u, v), v);
+    std::sort(order.begin(), order.end());
+  }
   std::vector<int>& candidates = scratch.candidates;
   std::vector<double>& weights = scratch.weights;
   candidates.clear();

@@ -44,6 +44,7 @@ DynamicsResult run_dynamics(DeviationEngine& engine,
   config.node_count = n;
   config.fairness_bound = options.fairness_bound;
   config.softmax_tau = options.softmax_tau;
+  config.approx_budget = options.approx_budget;
   const auto rule = resolve_rule(options, config);
   const auto scheduler = resolve_scheduler(options, config);
 

@@ -81,6 +81,7 @@ struct DynamicsOptions {
   /// Policy knobs (see PolicyConfig).
   std::uint64_t fairness_bound = 0;
   double softmax_tau = 0.25;
+  int approx_budget = 0;
 
   /// Record the full move trajectory into DynamicsResult::steps.  Disable
   /// for bulk restart sweeps that only consume aggregate statistics; note

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <utility>
 
+#include "core/approx_br.hpp"
 #include "core/best_response.hpp"
 #include "core/facility_location.hpp"
 #include "support/parallel.hpp"
@@ -87,6 +88,41 @@ class UmflRule final : public MoveRulePolicy {
     }
     return proposal;
   }
+};
+
+/// Approximate-BR ladder rule: tier-1 greedy over the spatial shortlist,
+/// escalating to the shortlist-restricted exact search (core/approx_br.hpp).
+/// The ladder's result is re-checked against the agent's warm current cost,
+/// so an applied move is always a strict improvement -- the dynamics then
+/// follow approximate better-response, and a converged profile is a
+/// (beta, eps)-equilibrium certified by the ladder's escape bound.
+class ApproxLadderRule final : public MoveRulePolicy {
+ public:
+  explicit ApproxLadderRule(int budget) : budget_(budget) {}
+
+  std::string_view name() const override { return "approx_ladder"; }
+  bool wants_full_warm() const override { return false; }
+
+  Proposal propose_warm(const DeviationEngine& engine, int u) const override {
+    Proposal proposal;
+    const double current = engine.agent_cost_warm(u);
+    ApproxBrOptions options;
+    options.budget = budget_;
+    options.incumbent = current;
+    const ApproxBrResult ladder = approx_best_response_ladder(engine, u,
+                                                              options);
+    proposal.old_cost = current;
+    if (ladder.improved &&
+        !(ladder.strategy == engine.profile().strategy(u))) {
+      proposal.improving = true;
+      proposal.strategy = ladder.strategy;
+      proposal.new_cost = ladder.cost;
+    }
+    return proposal;
+  }
+
+ private:
+  int budget_;
 };
 
 // --- schedulers -----------------------------------------------------------
@@ -359,6 +395,9 @@ void register_builtin_policies(DynamicsPolicyRegistry& registry) {
   registry.add_rule("umfl_response", [](const PolicyConfig&) {
     return std::make_unique<UmflRule>();
   });
+  registry.add_rule("approx_ladder", [](const PolicyConfig& config) {
+    return std::make_unique<ApproxLadderRule>(config.approx_budget);
+  });
   registry.add_scheduler("round_robin", [](const PolicyConfig& config) {
     return std::make_unique<OrderScheduler>(config.node_count,
                                             /*reshuffle=*/false);
@@ -485,6 +524,7 @@ std::string_view move_rule_name(MoveRule rule) {
     case MoveRule::kBestSingleMove: return "best_single_move";
     case MoveRule::kBestAddition: return "best_addition";
     case MoveRule::kUmflResponse: return "umfl_response";
+    case MoveRule::kApproxLadder: return "approx_ladder";
   }
   GNCG_CHECK(false, "unknown MoveRule");
 }

@@ -43,6 +43,7 @@ enum class MoveRule {
   kBestSingleMove,  ///< best add/delete/swap (the GE move set)
   kBestAddition,    ///< best single addition (the AE move set)
   kUmflResponse,    ///< 3-approximate BR via facility-location local search
+  kApproxLadder,    ///< spatial-shortlist approximate-BR ladder
 };
 
 /// Order in which agents are activated.
@@ -82,6 +83,9 @@ struct PolicyConfig {
   /// Softmax-gain scheduler: selection temperature relative to the largest
   /// current gain (higher = closer to uniform over improving agents).
   double softmax_tau = 0.25;
+  /// Approx-ladder move rule: candidate-shortlist size handed to the
+  /// spatial oracle.  <= 0 picks the ladder's default.
+  int approx_budget = 0;
 };
 
 /// Maps an activated agent to its proposal.  Stateless; const-callable from

@@ -13,6 +13,8 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <queue>
 #include <utility>
@@ -44,11 +46,20 @@ using MinHeap =
 inline constexpr std::size_t kShrinkFactor = 4;
 inline constexpr std::size_t kShrinkFloor = 256;
 
+/// Process-wide count of buffer shrinks actually taken (release_excess
+/// firing, dial ring-array downsizing).  Relaxed: a telemetry counter for
+/// arena_stats(), never a synchronization point.
+inline std::atomic<std::uint64_t>& shrink_event_counter() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter;
+}
+
 template <class T>
 void release_excess(std::vector<T>& v, std::size_t needed) {
   if (v.capacity() > kShrinkFactor * std::max(needed, kShrinkFloor)) {
     std::vector<T>().swap(v);
     v.reserve(needed);
+    shrink_event_counter().fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -199,6 +210,7 @@ class DialBuffers {
                buckets_.size() > 64) {
       buckets_.resize(rings);
       buckets_.shrink_to_fit();
+      detail::shrink_event_counter().fetch_add(1, std::memory_order_relaxed);
     }
     dist[static_cast<std::size_t>(source)] = 0.0;
     buckets_[0].push_back(source);

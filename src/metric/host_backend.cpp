@@ -63,6 +63,30 @@ DistanceMatrix HostBackend::materialize_closure() const {
   return m;
 }
 
+void HostBackend::candidate_targets(int u, int budget,
+                                    std::vector<int>& out) const {
+  const int n = node_count();
+  GNCG_DASSERT(u >= 0 && u < n);
+  out.clear();
+  if (budget <= 0) return;
+  // All purchasable targets by (weight, id): the id-ascending scan plus a
+  // stable-by-construction sort key makes the order deterministic, and the
+  // full-budget list is exactly the unrestricted search's candidate set.
+  std::vector<std::pair<double, int>> order;
+  order.reserve(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    if (v == u) continue;
+    const double w = weight(u, v);
+    if (w == kInf) continue;
+    order.emplace_back(w, v);
+  }
+  std::sort(order.begin(), order.end());
+  if (static_cast<int>(order.size()) > budget)
+    order.resize(static_cast<std::size_t>(budget));
+  out.reserve(order.size());
+  for (const auto& [w, v] : order) out.push_back(v);
+}
+
 // --- dense ----------------------------------------------------------------
 
 DenseHostBackend::DenseHostBackend(DistanceMatrix weights)
@@ -184,6 +208,31 @@ double EuclideanHostBackend::host_distance_sum(int u) const {
   ensure_sums();
   GNCG_DASSERT(u >= 0 && u < points_.size());
   return sums_[static_cast<std::size_t>(u)];
+}
+
+void EuclideanHostBackend::ensure_index() const {
+  std::call_once(index_once_,
+                 [this] { index_ = std::make_unique<SpatialIndex>(points_, p_); });
+}
+
+const SpatialIndex* EuclideanHostBackend::spatial_index() const {
+  return index_.get();
+}
+
+void EuclideanHostBackend::candidate_targets(int u, int budget,
+                                             std::vector<int>& out) const {
+  // Full budget delegates to the base full scan so the restricted-search
+  // differential gates compare against a bit-identical candidate order.
+  if (budget >= points_.size() - 1) {
+    HostBackend::candidate_targets(u, budget, out);
+    return;
+  }
+  ensure_index();
+  // Per-thread query scratch (same pattern as tls_dijkstra_buffers): the
+  // oracle is const + thread-safe, and steady-state queries allocate
+  // nothing once the buffers reach capacity.
+  static thread_local SpatialIndex::QueryScratch scratch;
+  index_->candidates(u, budget, out, scratch);
 }
 
 // --- tree -----------------------------------------------------------------

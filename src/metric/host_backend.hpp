@@ -26,6 +26,10 @@
 //     path).
 //   * Lazily computed state (dense closure, lazy rows, euclidean sums) is
 //     synchronized internally; callers never observe partially filled rows.
+//   * `candidate_targets(u, budget, out)` is the spatial candidate oracle:
+//     a deterministic, (weight, id)-sorted shortlist of purchase targets the
+//     approximate best-response ladder searches over.  Same stability and
+//     thread-safety rules as every other query.
 #pragma once
 
 #include <atomic>
@@ -36,6 +40,7 @@
 
 #include "graph/distance_matrix.hpp"
 #include "metric/points.hpp"
+#include "metric/spatial_index.hpp"
 #include "metric/tree.hpp"
 
 namespace gncg {
@@ -88,6 +93,21 @@ class HostBackend {
 
   /// Materializes the full closure matrix (O(n^2) queries; small-n only).
   virtual DistanceMatrix materialize_closure() const;
+
+  /// Spatial candidate oracle: fills `out` with at most `budget` purchase
+  /// targets for node u (never u itself, never forbidden kInf pairs),
+  /// sorted by (weight, id) ascending.  Deterministic, stable and
+  /// thread-safe like every other query, so restricted best-response
+  /// searches over the returned list are reproducible bit-for-bit.
+  ///
+  /// Default implementation (dense / lazy / tree): all finite-weight
+  /// targets sorted by (weight, id), truncated to `budget` -- with
+  /// budget >= n-1 this is exactly the unrestricted candidate list, which
+  /// is what keeps restricted-search differential gates meaningful.  The
+  /// euclidean backend overrides this with grid-accelerated locality
+  /// queries (see metric/spatial_index.hpp).
+  virtual void candidate_targets(int u, int budget,
+                                 std::vector<int>& out) const;
 };
 
 /// Dense backend: the seed representation.  Owns the complete weight matrix;
@@ -171,16 +191,42 @@ class EuclideanHostBackend final : public HostBackend {
   double host_distance(int u, int v) const override { return weight(u, v); }
   double host_distance_sum(int u) const override;
 
+  /// Real-weight opt-out of the dial (bucket-queue) SSSP kernel: p-norm
+  /// distances are generally irrational even on integer coordinates, so
+  /// this backend never certifies the integer-weight capability and
+  /// HostGraph::dial_weight_bound stays 0 on euclidean hosts -- geometric
+  /// SSSP always takes the binary-heap kernel.  (Certifying the rare
+  /// integral layouts, e.g. 1-norm grids, would take the O(n^2) pairwise
+  /// scan this backend exists to avoid.)  Kept explicit rather than
+  /// inherited so the opt-out is a documented decision, not an accident;
+  /// tests/test_approx_br.cpp pins it.
+  double integer_weight_bound() const override { return 0.0; }
+
+  /// Grid-accelerated locality oracle: the `budget` nearest points united
+  /// with the nearest point per angular cone (Yao-style directional
+  /// coverage), (weight, id)-sorted.  budget >= n-1 falls back to the base
+  /// full scan, bit-identical to the dense backends' ordering.  The grid is
+  /// built once, on first query (O(n) memory, never O(n^2)).
+  void candidate_targets(int u, int budget,
+                         std::vector<int>& out) const override;
+
   const PointSet& points() const { return points_; }
   double norm_p() const { return p_; }
 
+  /// The lazily built grid (observability for tests/benches); nullptr until
+  /// the first restricted candidate_targets query.
+  const SpatialIndex* spatial_index() const;
+
  private:
   void ensure_sums() const;
+  void ensure_index() const;
 
   PointSet points_;
   double p_;
   mutable std::once_flag sums_once_;
   mutable std::vector<double> sums_;
+  mutable std::once_flag index_once_;
+  mutable std::unique_ptr<SpatialIndex> index_;
 };
 
 /// Tree-metric (T-GNCG) backend: the host is the metric closure of an

@@ -103,6 +103,14 @@ class HostGraph {
   const HostBackend& backend() const { return *backend_; }
   HostBackendKind backend_kind() const { return backend_->kind(); }
 
+  /// Spatial candidate oracle (see HostBackend::candidate_targets): at most
+  /// `budget` purchase targets for u, (weight, id)-sorted, deterministic.
+  /// Grid-accelerated on euclidean backends, weight-sorted truncation
+  /// elsewhere; budget >= n-1 always yields the full candidate list.
+  void candidate_targets(int u, int budget, std::vector<int>& out) const {
+    backend_->candidate_targets(u, budget, out);
+  }
+
   /// Backend integer-weight capability (see
   /// HostBackend::integer_weight_bound): positive bound or 0.0.
   double integer_weight_bound() const {

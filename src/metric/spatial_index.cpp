@@ -1,0 +1,250 @@
+#include "metric/spatial_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace gncg {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Angular cone of the projected direction u -> v (first two axes).
+/// Duplicate positions land in the atan2(0, 0) = 0 cone; any fixed choice
+/// works, it only has to be deterministic.
+int cone_of(const PointSet& points, int u, int v) {
+  const double dx = points.coord(v, 0) - points.coord(u, 0);
+  const double dy = points.coord(v, 1) - points.coord(u, 1);
+  const double angle = std::atan2(dy, dx);  // [-pi, pi]
+  int cone = static_cast<int>((angle + kPi) * SpatialIndex::kCones /
+                              (2.0 * kPi));
+  return std::clamp(cone, 0, SpatialIndex::kCones - 1);
+}
+
+}  // namespace
+
+SpatialIndex::SpatialIndex(const PointSet& points, double p)
+    : points_(&points), p_(p) {
+  const int n = points.size();
+  GNCG_CHECK(n >= 1, "spatial index needs at least one point");
+  gdim_ = std::min(points.dim(), 3);
+  GNCG_CHECK(gdim_ >= 1, "spatial index needs dimension >= 1");
+  cones_ = points.dim() >= 2;
+
+  double max_c[3] = {0, 0, 0};
+  for (int a = 0; a < gdim_; ++a) {
+    min_[a] = max_c[a] = points.coord(0, a);
+    for (int i = 1; i < n; ++i) {
+      const double c = points.coord(i, a);
+      min_[a] = std::min(min_[a], c);
+      max_c[a] = std::max(max_c[a], c);
+    }
+  }
+
+  // Cell sizing: aim for ~4 points per cell (total cells <= n/4, so the CSR
+  // stays O(n) memory).  Cells are near-cubes of one shared target edge; an
+  // axis whose extent is below that edge collapses to a single cell and
+  // never contributes to ring distances.
+  double max_extent = 0.0;
+  for (int a = 0; a < gdim_; ++a)
+    max_extent = std::max(max_extent, max_c[a] - min_[a]);
+  const double total_target = std::max(1.0, static_cast<double>(n) / 4.0);
+  const int cpa = std::max(
+      1, static_cast<int>(std::floor(
+             std::pow(total_target, 1.0 / static_cast<double>(gdim_)))));
+  const double target_edge =
+      max_extent > 0.0 ? max_extent / static_cast<double>(cpa) : 1.0;
+  for (int a = 0; a < gdim_; ++a) {
+    const double extent = max_c[a] - min_[a];
+    // floor keeps every multi-cell axis's actual edge >= target_edge, which
+    // is what makes the ring lower bound below admissible.
+    count_[a] = extent > 0.0
+                    ? std::clamp(static_cast<int>(std::floor(
+                                     extent / target_edge)),
+                                 1, cpa)
+                    : 1;
+    edge_[a] = count_[a] > 1 ? extent / static_cast<double>(count_[a]) : 1.0;
+    if (count_[a] > 1) ring_edge_ = std::min(ring_edge_, edge_[a]);
+  }
+
+  // CSR: counting sort of point ids by cell; scanning ids in increasing
+  // order keeps each cell's list id-ascending (the tie-break order).
+  const int cells = count_[0] * count_[1] * count_[2];
+  cell_start_.assign(static_cast<std::size_t>(cells) + 1, 0);
+  for (int i = 0; i < n; ++i)
+    ++cell_start_[static_cast<std::size_t>(cell_of(i)) + 1];
+  for (int c = 0; c < cells; ++c)
+    cell_start_[static_cast<std::size_t>(c) + 1] +=
+        cell_start_[static_cast<std::size_t>(c)];
+  cell_points_.resize(static_cast<std::size_t>(n));
+  std::vector<int> cursor(cell_start_.begin(), cell_start_.end() - 1);
+  for (int i = 0; i < n; ++i)
+    cell_points_[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(cell_of(i))]++)] = i;
+}
+
+int SpatialIndex::cell_coord(int point, int axis) const {
+  if (count_[axis] <= 1) return 0;
+  const int c = static_cast<int>((points_->coord(point, axis) - min_[axis]) /
+                                 edge_[axis]);
+  return std::clamp(c, 0, count_[axis] - 1);
+}
+
+int SpatialIndex::cell_of(int point) const {
+  int cell = 0;
+  for (int a = 0; a < gdim_; ++a) cell = cell * count_[a] + cell_coord(point, a);
+  // Axes beyond gdim_ are absent; axes between gdim_ and 3 have count 1 and
+  // coordinate 0, so the linearization above already matches
+  // (c0 * count1 + c1) * count2 + c2.
+  for (int a = gdim_; a < 3; ++a) cell = cell * count_[a];
+  return cell;
+}
+
+void SpatialIndex::candidates(int u, int budget, std::vector<int>& out,
+                              QueryScratch& scratch) const {
+  const int n = points_->size();
+  GNCG_DASSERT(u >= 0 && u < n);
+  out.clear();
+  const int k = std::min(budget, n - 1);
+  if (k <= 0) return;
+
+  auto& heap = scratch.heap;
+  heap.clear();
+  std::pair<double, int> cone_best[kCones];
+  for (auto& c : cone_best) c = {kInf, -1};
+
+  const auto visit_point = [&](int v) {
+    if (v == u) return;
+    const std::pair<double, int> entry{points_->distance(u, v, p_), v};
+    if (static_cast<int>(heap.size()) < k) {
+      heap.push_back(entry);
+      std::push_heap(heap.begin(), heap.end());
+    } else if (entry < heap.front()) {
+      std::pop_heap(heap.begin(), heap.end());
+      heap.back() = entry;
+      std::push_heap(heap.begin(), heap.end());
+    }
+    if (cones_) {
+      auto& best = cone_best[cone_of(*points_, u, v)];
+      if (entry < best) best = entry;
+    }
+  };
+
+  if (cell_count() == 1 || ring_edge_ == kInf || k >= n - 1) {
+    // Degenerate grids (single cell, zero-extent cloud) and near-full
+    // budgets: one id-ordered scan.
+    for (int v = 0; v < n; ++v) visit_point(v);
+  } else {
+    const int cu0 = cell_coord(u, 0);
+    const int cu1 = gdim_ >= 2 ? cell_coord(u, 1) : 0;
+    const int cu2 = gdim_ >= 3 ? cell_coord(u, 2) : 0;
+    const auto visit_cell = [&](int c0, int c1, int c2) {
+      if (c0 < 0 || c0 >= count_[0] || c1 < 0 || c1 >= count_[1] || c2 < 0 ||
+          c2 >= count_[2])
+        return;
+      const int cell = (c0 * count_[1] + c1) * count_[2] + c2;
+      const int begin = cell_start_[static_cast<std::size_t>(cell)];
+      const int end = cell_start_[static_cast<std::size_t>(cell) + 1];
+      for (int i = begin; i < end; ++i)
+        visit_point(cell_points_[static_cast<std::size_t>(i)]);
+    };
+
+    int max_r = 0;
+    max_r = std::max(max_r, std::max(cu0, count_[0] - 1 - cu0));
+    max_r = std::max(max_r, std::max(cu1, count_[1] - 1 - cu1));
+    max_r = std::max(max_r, std::max(cu2, count_[2] - 1 - cu2));
+
+    for (int r = 0; r <= max_r; ++r) {
+      // Shell |dc|_inf == r, fixed enumeration order (axis-0 faces first,
+      // then axis-1, then axis-2 with shrinking spans so no cell repeats).
+      if (r == 0) {
+        visit_cell(cu0, cu1, cu2);
+      } else {
+        for (int d1 = -r; d1 <= r; ++d1)
+          for (int d2 = -r; d2 <= r; ++d2) {
+            visit_cell(cu0 - r, cu1 + d1, cu2 + d2);
+            visit_cell(cu0 + r, cu1 + d1, cu2 + d2);
+          }
+        for (int d0 = -(r - 1); d0 <= r - 1; ++d0)
+          for (int d2 = -r; d2 <= r; ++d2) {
+            visit_cell(cu0 + d0, cu1 - r, cu2 + d2);
+            visit_cell(cu0 + d0, cu1 + r, cu2 + d2);
+          }
+        for (int d0 = -(r - 1); d0 <= r - 1; ++d0)
+          for (int d1 = -(r - 1); d1 <= r - 1; ++d1) {
+            visit_cell(cu0 + d0, cu1 + d1, cu2 - r);
+            visit_cell(cu0 + d0, cu1 + d1, cu2 + r);
+          }
+      }
+
+      if (static_cast<int>(heap.size()) < k) continue;
+      // Any point in ring r+1 or beyond is at least lb away on some
+      // multi-cell axis (it is >= r cells from u's cell there, each of edge
+      // >= ring_edge_) -- admissible for every p >= 1.
+      const double lb = static_cast<double>(r) * ring_edge_;
+      const double kth = heap.front().first;
+      if (!(lb > kth)) continue;  // a farther point could still enter the k-NN
+      bool cones_done = !cones_;
+      if (!cones_done) {
+        if (lb > kConeRadiusFactor * kth) {
+          cones_done = true;  // far cone reps are no longer useful candidates
+        } else {
+          cones_done = true;
+          for (const auto& best : cone_best)
+            if (best.second < 0 || !(best.first < lb)) {
+              cones_done = false;
+              break;
+            }
+        }
+      }
+      if (cones_done) break;
+    }
+  }
+
+  // Union, (distance, id) order, cone-priority truncation to `budget`.
+  auto& pool = scratch.pool;
+  pool.assign(heap.begin(), heap.end());
+  if (cones_)
+    for (const auto& best : cone_best)
+      if (best.second >= 0) pool.push_back(best);
+  std::sort(pool.begin(), pool.end());
+  pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+
+  if (static_cast<int>(pool.size()) <= budget) {
+    for (const auto& [d, v] : pool) out.push_back(v);
+    return;
+  }
+  int cone_ids[kCones];
+  int cone_n = 0;
+  if (cones_)
+    for (const auto& best : cone_best)
+      if (best.second >= 0) cone_ids[cone_n++] = best.second;
+  const auto is_cone = [&](int v) {
+    for (int i = 0; i < cone_n; ++i)
+      if (cone_ids[i] == v) return true;
+    return false;
+  };
+  // Cone representatives first (they are why the pool overflows), then the
+  // nearest remaining entries; emission in pool order keeps the output
+  // (distance, id)-sorted.
+  int kept_cones = 0;
+  for (const auto& [d, v] : pool)
+    if (is_cone(v) && kept_cones < budget) ++kept_cones;
+  int room = budget - kept_cones;
+  int taken_cones = 0;
+  for (const auto& [d, v] : pool) {
+    if (is_cone(v)) {
+      if (taken_cones < kept_cones) {
+        out.push_back(v);
+        ++taken_cones;
+      }
+    } else if (room > 0) {
+      out.push_back(v);
+      --room;
+    }
+  }
+}
+
+}  // namespace gncg

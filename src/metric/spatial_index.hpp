@@ -1,0 +1,96 @@
+// Uniform-grid spatial index over a PointSet: the geometric candidate
+// oracle behind HostBackend::candidate_targets on euclidean hosts.
+//
+// The paper's structural results say useful strategy edges on geometric
+// hosts are *local* (NE are spanners, so every bought edge is short relative
+// to the detour it saves).  The approximate best-response ladder
+// (core/approx_br.hpp) therefore searches over a small geometric candidate
+// set instead of all n-1 targets; this index serves that set:
+//
+//  * a uniform grid over the first min(dim, 3) axes, sized so the cell
+//    population stays O(1) on uniform inputs (total cells capped at O(n),
+//    memory O(n) always);
+//  * budget-k nearest neighbors via an expanding Chebyshev ring walk with an
+//    admissible ring lower bound ((r-1) * min occupied cell edge bounds any
+//    p-norm distance from below, p >= 1 including the Chebyshev limit);
+//  * Yao/theta-style cone coverage in the plane: the walk also tracks the
+//    nearest point in each of kCones angular cones around the query point,
+//    so the candidate set always spans all directions (the classic Yao-graph
+//    spanner argument) even when the k nearest cluster on one side.
+//
+// Determinism contract: queries are pure functions of (points, p, u,
+// budget).  All ties break toward the smaller node id ((distance, id)
+// lexicographic order everywhere), the ring walk visits cells in a fixed
+// order, and no state is mutated after construction -- so concurrent
+// queries are safe and repeated queries are bit-identical, matching the
+// host-backend query contract the oracle is exposed through.
+//
+// The index never computes or stores pairwise distances: construction is
+// O(n * dim), queries touch O(points in the visited rings) distances, and
+// the no-O(n^2) discipline of the euclidean backend (DistanceMatrix
+// allocation probe) is preserved.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "metric/points.hpp"
+
+namespace gncg {
+
+class SpatialIndex {
+ public:
+  /// Number of angular cones tracked in the plane (2-D projections).
+  static constexpr int kCones = 8;
+
+  /// Cone search stops once the ring lower bound exceeds this factor times
+  /// the k-th nearest distance: far cone representatives stop being useful
+  /// candidates long before the grid is exhausted, and boundary points
+  /// (whose outward cones are empty) must not force O(n) scans.
+  static constexpr double kConeRadiusFactor = 4.0;
+
+  /// Builds the grid over `points` (kept by reference: the caller -- the
+  /// euclidean host backend -- owns the points for the index's lifetime).
+  SpatialIndex(const PointSet& points, double p);
+
+  /// Reusable per-query workspace (the caller threads it through so steady-
+  /// state queries allocate nothing once buffers reach capacity).
+  struct QueryScratch {
+    std::vector<std::pair<double, int>> heap;  ///< (dist, id) k-NN max-heap
+    std::vector<std::pair<double, int>> pool;  ///< union before selection
+  };
+
+  /// Geometric candidate targets of point u: the `budget` nearest neighbors
+  /// united with the nearest point in each angular cone (plane only), sorted
+  /// by (distance, id) and truncated to `budget` entries -- cone
+  /// representatives survive truncation first, so directional coverage is
+  /// never traded for one more near neighbor.  Never includes u itself.
+  void candidates(int u, int budget, std::vector<int>& out,
+                  QueryScratch& scratch) const;
+
+  int cell_count() const { return static_cast<int>(cell_start_.size()) - 1; }
+  int grid_dim() const { return gdim_; }
+
+  std::size_t footprint_bytes() const {
+    return cell_start_.capacity() * sizeof(int) +
+           cell_points_.capacity() * sizeof(int);
+  }
+
+ private:
+  int cell_coord(int point, int axis) const;
+  int cell_of(int point) const;
+
+  const PointSet* points_;
+  double p_;
+  int gdim_ = 1;                ///< grid dimensionality (min(dim, 3))
+  bool cones_ = false;          ///< track angular cones (dim >= 2)
+  double min_[3] = {0, 0, 0};   ///< per-axis bounding-box minimum
+  double edge_[3] = {1, 1, 1};  ///< per-axis cell edge length
+  int count_[3] = {1, 1, 1};    ///< per-axis cell count
+  double ring_edge_ = kInf;     ///< ring lower-bound unit (min multi-cell edge)
+  std::vector<int> cell_start_;   ///< CSR offsets into cell_points_
+  std::vector<int> cell_points_;  ///< point ids grouped by cell, id-ascending
+};
+
+}  // namespace gncg

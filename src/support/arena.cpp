@@ -17,6 +17,12 @@ std::size_t ScratchArena::footprint_bytes() const {
   total += (br_.weights.capacity() + br_.base_dist.capacity() +
             br_.host_row.capacity() + br_.weight_row.capacity()) *
            sizeof(double);
+  total += ladder_.cand.capacity() * sizeof(int);
+  total += (ladder_.cand_w.capacity() + ladder_.base_dist.capacity() +
+            ladder_.host_row.capacity() + ladder_.weight_row.capacity()) *
+           sizeof(double);
+  total += ladder_.in_cand.capacity() * sizeof(char);
+  total += ladder_.sssp.footprint_bytes();
   return total;
 }
 
@@ -29,6 +35,7 @@ namespace {
 struct ArenaRegistry {
   std::mutex mu;
   std::vector<std::unique_ptr<ScratchArena>> arenas;
+  std::size_t peak_footprint_bytes = 0;
 };
 
 ArenaRegistry& registry() {
@@ -59,6 +66,11 @@ ArenaStats arena_stats() {
   stats.arenas = reg.arenas.size();
   for (const auto& arena : reg.arenas)
     stats.footprint_bytes += arena->footprint_bytes();
+  if (stats.footprint_bytes > reg.peak_footprint_bytes)
+    reg.peak_footprint_bytes = stats.footprint_bytes;
+  stats.peak_footprint_bytes = reg.peak_footprint_bytes;
+  stats.shrink_events =
+      detail::shrink_event_counter().load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -77,6 +77,24 @@ class ScratchArena {
   };
   BrScratch& br() { return br_; }
 
+  // --- approximate-BR ladder scratch (core/approx_br.cpp) ---
+  //
+  // Disjoint from BrScratch and the shared IncrementalSssp on purpose: the
+  // ladder's tier 2 nests a full br_search call, which owns those members
+  // for its duration -- the ladder must keep its candidate rows and greedy
+  // repair state alive across that call.
+
+  struct LadderScratch {
+    std::vector<int> cand;          ///< oracle candidate shortlist
+    std::vector<double> cand_w;     ///< edge weight per candidate
+    std::vector<double> base_dist;  ///< SSSP from the empty strategy
+    std::vector<double> host_row;   ///< host distances from u
+    std::vector<double> weight_row; ///< buy weights by node id
+    std::vector<char> in_cand;      ///< candidate membership by node id
+    IncrementalSssp sssp;           ///< tier-1 greedy repair state
+  };
+  LadderScratch& ladder() { return ladder_; }
+
   /// Bytes currently reserved across every buffer in this arena.
   std::size_t footprint_bytes() const;
 
@@ -89,6 +107,7 @@ class ScratchArena {
   std::vector<char> side_mark_;
   std::vector<int> dfs_stack_;
   BrScratch br_;
+  LadderScratch ladder_;
 };
 
 /// The calling thread's arena, created and registered on first use.  Stable
@@ -101,6 +120,13 @@ ScratchArena& worker_arena();
 struct ArenaStats {
   std::size_t arenas = 0;
   std::size_t footprint_bytes = 0;
+  /// High-water mark of footprint_bytes across arena_stats() calls (the
+  /// registry samples on query, so bracket a workload with two calls to
+  /// observe its peak).
+  std::size_t peak_footprint_bytes = 0;
+  /// Buffer shrinks taken process-wide (detail::shrink_event_counter):
+  /// release_excess firings plus dial ring-array downsizings.
+  std::uint64_t shrink_events = 0;
 };
 ArenaStats arena_stats();
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "constructions/ratio_constructions.hpp"
+#include "core/approx_br.hpp"
 #include "core/cost.hpp"
 #include "core/deviation_engine.hpp"
 #include "core/equilibrium.hpp"
@@ -403,6 +404,129 @@ ScenarioResult run_fip_probe(const SweepPoint& point, Rng& rng) {
   return result;
 }
 
+// --- approx_ne ------------------------------------------------------------
+
+/// Large-n geometric tier: approximate-better-response dynamics under the
+/// approx-ladder move rule, then a per-agent (beta, eps) certificate on the
+/// reached profile.  Every per-agent bound comes from the ladder's
+/// admissible escape lower bound (core/approx_br.hpp), so the reported
+/// max_beta / max_eps are *certified*: no agent can gain more than factor
+/// max_beta (additive max_eps) by any unrestricted deviation.  Euclidean
+/// hosts only -- the whole point is the spatial oracle's shortlist, and the
+/// scenario asserts the run never materialized a dense O(n^2) matrix.
+ScenarioResult run_approx_ne(const SweepPoint& point, Rng& rng) {
+  const int restarts = static_cast<int>(point.extra_or("restarts", 2.0));
+  const auto max_moves =
+      static_cast<std::uint64_t>(point.extra_or("max_moves", 200.0));
+  const int budget = static_cast<int>(point.extra_or("budget", 16.0));
+  const int certify_agents =
+      static_cast<int>(point.extra_or("certify_agents", 64.0));
+  GNCG_CHECK(restarts >= 1 && max_moves >= 1 && budget >= 1 &&
+                 certify_agents >= 1,
+             "approx_ne needs restarts, max_moves, budget and "
+             "certify_agents >= 1");
+  GNCG_CHECK(point.host == "euclidean",
+             "approx_ne is the large-n geometric tier; plan it with "
+             "hosts = {\"euclidean\"}, got " << point.host);
+
+  const std::uint64_t dense_cells_before =
+      DistanceMatrix::allocated_cells_total();
+  const Game game(make_sweep_host(point, rng), point.alpha);
+
+  RestartOptions restart_options;
+  restart_options.restarts = restarts;
+  restart_options.seed = rng();
+  restart_options.label = "approx_ne";
+  // O(n) start profiles: the default spanning-random family draws
+  // Theta(n^2) extra edges, which dwarfs the game itself at n >= 10^4.
+  restart_options.start = StartProfileKind::kRecursiveTree;
+  restart_options.dynamics.rule = MoveRule::kApproxLadder;
+  restart_options.dynamics.scheduler = SchedulerKind::kRoundRobin;
+  restart_options.dynamics.max_moves = max_moves;
+  restart_options.dynamics.approx_budget = budget;
+  restart_options.dynamics.detect_cycles = true;
+  restart_options.dynamics.record_steps = false;
+  const Stopwatch dynamics_timer;
+  const RestartReport report = run_restarts(game, restart_options);
+  const double dynamics_ms = dynamics_timer.millis();
+
+  double total_moves = 0.0;
+  const RestartRun* certified_run = nullptr;
+  for (const RestartRun& run : report.runs) {
+    if (run.skipped) continue;
+    total_moves += static_cast<double>(run.result.moves);
+    if (certified_run == nullptr) certified_run = &run;
+  }
+  GNCG_CHECK(certified_run != nullptr, "approx_ne ran no restart");
+
+  // Certify the first run's reached profile: for each sampled agent
+  // (evenly spaced ids, the br_dynamics convention), the ladder's lower
+  // bound LB_u on the unrestricted best response gives
+  //   beta_u = cost_u / LB_u,   eps_u = cost_u - LB_u.
+  const Stopwatch certify_timer;
+  DeviationEngine engine(game, certified_run->result.final_profile);
+  const int per = std::min(certify_agents, point.n);
+  double max_beta = 1.0;
+  double beta_sum = 0.0;
+  double max_eps = 0.0;
+  int improving = 0;
+  int certified_exact = 0;
+  int tier2 = 0;
+  for (int i = 0; i < per; ++i) {
+    const int u =
+        static_cast<int>((static_cast<long long>(i) * point.n) / per);
+    ApproxBrOptions options;
+    options.budget = budget;
+    options.incumbent = engine.agent_cost(u);
+    const ApproxBrResult ladder = approx_best_response_ladder(engine, u,
+                                                              options);
+    const double beta_u =
+        ladder.lower_bound > 0.0 && options.incumbent < kInf
+            ? options.incumbent / ladder.lower_bound
+            : 1.0;
+    const double eps_u =
+        options.incumbent < kInf && ladder.lower_bound < kInf
+            ? std::max(0.0, options.incumbent - ladder.lower_bound)
+            : 0.0;
+    max_beta = std::max(max_beta, beta_u);
+    beta_sum += beta_u;
+    max_eps = std::max(max_eps, eps_u);
+    if (ladder.improved) ++improving;
+    if (ladder.exact) ++certified_exact;
+    if (ladder.tier >= 2) ++tier2;
+  }
+  const double certify_ms = certify_timer.millis();
+
+  // The euclidean path must stay matrix-free end to end (the backend
+  // contract); a nonzero delta means something materialized O(n^2) state.
+  const double dense_cells_delta = static_cast<double>(
+      DistanceMatrix::allocated_cells_total() - dense_cells_before);
+  GNCG_CHECK(dense_cells_delta == 0.0,
+             "approx_ne materialized a dense matrix ("
+                 << dense_cells_delta << " cells) on the euclidean path");
+
+  ScenarioRow row;
+  row.metric("restarts", restarts)
+      .metric("budget", budget)
+      .metric("converged", static_cast<double>(report.converged))
+      .metric("total_moves", total_moves)
+      .metric("certified_agents", per)
+      .metric("max_beta", max_beta)
+      .metric("mean_beta", per > 0 ? beta_sum / per : 1.0)
+      .metric("max_eps", max_eps)
+      .metric("improving_agents", improving)
+      .metric("certified_exact", certified_exact)
+      .metric("tier2_certifications", tier2)
+      .metric("dense_cells_delta", dense_cells_delta)
+      .metric("dynamics_ms", dynamics_ms)
+      .metric("certify_ms", certify_ms)
+      .tag("rule", "approx_ladder")
+      .tag("equilibrium",
+           improving == 0 ? "approx NE (no improving agent sampled)"
+                          : "not settled");
+  return {{std::move(row)}};
+}
+
 /// build_host hook shared by the random-game scenarios.
 std::optional<HostGraph> sweep_host_of(const SweepPoint& point, Rng& rng) {
   return make_sweep_host(point, rng);
@@ -479,6 +603,19 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
           {"max_moves", 600.0, "move budget per restart"},
           {"schedulers", 2.0, "scheduler-axis prefix length (1-5)"}},
       run_fip_probe, sweep_host_of));
+  registry.add(std::make_shared<FunctionScenario>(
+      "approx_ne",
+      "large-n geometric tier: approx-ladder restart dynamics over the "
+      "spatial candidate oracle, then per-agent (beta, eps) certification "
+      "from the ladder's admissible escape bound; euclidean hosts only, "
+      "asserted matrix-free",
+      std::vector<std::string>{"euclidean"},
+      std::vector<ScenarioParam>{
+          {"restarts", 2.0, "dynamics restarts"},
+          {"max_moves", 200.0, "move budget per restart"},
+          {"budget", 16.0, "spatial candidate budget per agent"},
+          {"certify_agents", 64.0, "agents certified (evenly spaced)"}},
+      run_approx_ne, sweep_host_of));
 }
 
 }  // namespace gncg
