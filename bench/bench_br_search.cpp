@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "core/best_response.hpp"
 #include "core/deviation_engine.hpp"
 #include "core/dynamics.hpp"
@@ -34,6 +35,7 @@
 #include "metric/points.hpp"
 #include "metric/tree.hpp"
 #include "support/arena.hpp"
+#include "support/parallel.hpp"
 #include "support/rng.hpp"
 #include "support/timer.hpp"
 
@@ -200,19 +202,7 @@ int main(int argc, char** argv) {
     }
   }
 
-#ifdef NDEBUG
-  const char* build_type = "release";
-#else
-  const char* build_type = "debug";
-  if (!allow_debug) {
-    std::fprintf(stderr,
-                 "bench_br_search: refusing to record numbers from a "
-                 "non-optimized build (NDEBUG is not set).\n"
-                 "Configure with -DCMAKE_BUILD_TYPE=Release, or pass "
-                 "--allow-debug for a non-recorded run.\n");
-    return 2;
-  }
-#endif
+  if (!gncg::bench::require_release(allow_debug, "bench_br_search")) return 2;
 
   using gncg::RunResult;
   const std::vector<int> sizes =
@@ -250,11 +240,6 @@ int main(int argc, char** argv) {
     }
   }
 
-  char date[64];
-  const std::time_t now = std::time(nullptr);
-  std::strftime(date, sizeof date, "%Y-%m-%dT%H:%M:%S%z",
-                std::localtime(&now));
-
   std::printf("{\n");
   std::printf(
       "  \"description\": \"Best-response search: incremental br_search "
@@ -271,23 +256,9 @@ int main(int argc, char** argv) {
       "engine certifying all n agents) -- and (b) incumbent-bounded full "
       "BR for full_agents sampled agents.  improving_agents and full-BR "
       "strategies are differentially checked between the paths.\",\n");
-  std::printf("  \"command\": \"./build/bench_br_search%s\",\n",
-              smoke ? " --smoke" : "");
-  std::printf("  \"context\": {\n");
-  std::printf("    \"date\": \"%s\",\n", date);
-  std::printf("    \"num_cpus\": %u,\n", std::thread::hardware_concurrency());
-  std::printf("    \"library_build_type\": \"%s\",\n", build_type);
-  {
-    const gncg::ArenaStats arenas = gncg::arena_stats();
-    std::printf("    \"arenas\": %zu,\n", arenas.arenas);
-    std::printf("    \"arena_footprint_bytes\": %zu,\n",
-                arenas.footprint_bytes);
-    std::printf("    \"arena_peak_footprint_bytes\": %zu,\n",
-                arenas.peak_footprint_bytes);
-    std::printf("    \"arena_shrink_events\": %llu\n",
-                static_cast<unsigned long long>(arenas.shrink_events));
-  }
-  std::printf("  },\n");
+  gncg::bench::print_context(
+      std::string("./build/bench_br_search") + (smoke ? " --smoke" : ""),
+      gncg::default_thread_count());
   std::printf("  \"results\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const RunResult& r = results[i];

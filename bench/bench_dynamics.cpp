@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "core/dynamics.hpp"
 #include "core/restarts.hpp"
 #include "core/transposition.hpp"
@@ -231,19 +232,7 @@ int main(int argc, char** argv) {
     }
   }
 
-#ifdef NDEBUG
-  const char* build_type = "release";
-#else
-  const char* build_type = "debug";
-  if (!allow_debug) {
-    std::fprintf(stderr,
-                 "bench_dynamics: refusing to record numbers from a "
-                 "non-optimized build (NDEBUG is not set).\n"
-                 "Configure with -DCMAKE_BUILD_TYPE=Release, or pass "
-                 "--allow-debug for a non-recorded run.\n");
-    return 2;
-  }
-#endif
+  if (!gncg::bench::require_release(allow_debug, "bench_dynamics")) return 2;
 
   const unsigned num_cpus = std::thread::hardware_concurrency();
   const bool parallelism_limited = num_cpus <= 1;
@@ -274,10 +263,6 @@ int main(int argc, char** argv) {
                  detection.back().revisits);
   }
 
-  char date[64];
-  const std::time_t now = std::time(nullptr);
-  std::strftime(date, sizeof date, "%Y-%m-%dT%H:%M:%S%z", std::localtime(&now));
-
   std::printf("{\n");
   std::printf(
       "  \"description\": \"Dynamics kernel: run_restarts throughput (serial "
@@ -289,15 +274,9 @@ int main(int argc, char** argv) {
       "incrementally maintained hash + confirmed lookup (the kernel's "
       "transposition detector)). All three detectors confirm hits by exact "
       "comparison, so none can report a false cycle.\",\n");
-  std::printf("  \"command\": \"./build/bench_dynamics%s\",\n",
-              smoke ? " --smoke" : "");
-  std::printf("  \"context\": {\n");
-  std::printf("    \"date\": \"%s\",\n", date);
-  std::printf("    \"num_cpus\": %u,\n", num_cpus);
-  std::printf("    \"parallelism_limited\": %s,\n",
-              parallelism_limited ? "true" : "false");
-  std::printf("    \"library_build_type\": \"%s\"\n", build_type);
-  std::printf("  },\n");
+  gncg::bench::print_context(
+      std::string("./build/bench_dynamics") + (smoke ? " --smoke" : ""),
+      gncg::default_thread_count());
   std::printf("  \"restart_throughput\": [\n");
   for (std::size_t i = 0; i < throughput.size(); ++i) {
     const auto& r = throughput[i];

@@ -28,10 +28,12 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "core/deviation_engine.hpp"
 #include "core/game.hpp"
 #include "metric/host_graph.hpp"
 #include "metric/tree.hpp"
+#include "support/parallel.hpp"
 #include "support/rng.hpp"
 #include "support/timer.hpp"
 
@@ -131,19 +133,8 @@ int main(int argc, char** argv) {
     }
   }
 
-#ifdef NDEBUG
-  const char* build_type = "release";
-#else
-  const char* build_type = "debug";
-  if (!allow_debug) {
-    std::fprintf(stderr,
-                 "bench_host_backends: refusing to record numbers from a "
-                 "non-optimized build (NDEBUG is not set).\n"
-                 "Configure with -DCMAKE_BUILD_TYPE=Release, or pass "
-                 "--allow-debug for a non-recorded run.\n");
+  if (!gncg::bench::require_release(allow_debug, "bench_host_backends"))
     return 2;
-  }
-#endif
 
   using gncg::RunResult;
   const std::vector<int> sizes = smoke ? std::vector<int>{64, 128}
@@ -183,10 +174,6 @@ int main(int argc, char** argv) {
     }
   }
 
-  char date[64];
-  const std::time_t now = std::time(nullptr);
-  std::strftime(date, sizeof date, "%Y-%m-%dT%H:%M:%S%z", std::localtime(&now));
-
   std::printf("{\n");
   std::printf(
       "  \"description\": \"Host-backend scaling: dense vs implicit host "
@@ -197,13 +184,9 @@ int main(int argc, char** argv) {
       "host matrix was materialized); rss_mb is the process peak RSS after "
       "the run (implicit backends run first). closure_probe_ms -1 means "
       "skipped (eager O(n^3) closure at n=4096).\",\n");
-  std::printf("  \"command\": \"./build/bench_host_backends%s\",\n",
-              smoke ? " --smoke" : "");
-  std::printf("  \"context\": {\n");
-  std::printf("    \"date\": \"%s\",\n", date);
-  std::printf("    \"num_cpus\": %u,\n", std::thread::hardware_concurrency());
-  std::printf("    \"library_build_type\": \"%s\"\n", build_type);
-  std::printf("  },\n");
+  gncg::bench::print_context(
+      std::string("./build/bench_host_backends") + (smoke ? " --smoke" : ""),
+      gncg::default_thread_count());
   std::printf("  \"results\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const RunResult& r = results[i];

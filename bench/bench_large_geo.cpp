@@ -33,6 +33,7 @@
 #include <ctime>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "core/approx_br.hpp"
 #include "core/best_response.hpp"
 #include "core/cost.hpp"
@@ -44,6 +45,8 @@
 #include "metric/host_graph.hpp"
 #include "metric/points.hpp"
 #include "support/arena.hpp"
+#include "support/instrument.hpp"
+#include "support/parallel.hpp"
 #include "support/rng.hpp"
 #include "support/timer.hpp"
 
@@ -58,6 +61,28 @@ Game make_geo_game(int n, Rng& rng) {
               kAlpha);
 }
 
+/// Process-wide counter delta since `before` (all-zero under
+/// GNCG_INSTRUMENT=OFF).  Phases are bracketed at quiescent points (after
+/// pool joins), so the sums are exact.
+instrument::CounterArray counters_since(const instrument::MetricsSnapshot&
+                                            before) {
+  return instrument::counters_delta(before, instrument::metrics_snapshot());
+}
+
+/// Emits a counter delta as one inline JSON object of the nonzero entries.
+void print_counter_object(const instrument::CounterArray& counters) {
+  std::printf("{");
+  bool first = true;
+  for (std::size_t i = 0; i < instrument::kCounterCount; ++i) {
+    if (counters[i] == 0) continue;
+    std::printf("%s\"%s\": %llu", first ? "" : ", ",
+                instrument::counter_name(static_cast<instrument::Counter>(i)),
+                static_cast<unsigned long long>(counters[i]));
+    first = false;
+  }
+  std::printf("}");
+}
+
 // --- section 1: exact branch-and-bound vs the ladder -----------------------
 
 struct ExactVsLadder {
@@ -67,6 +92,8 @@ struct ExactVsLadder {
   double ladder_ms_per_agent = 0.0;
   std::uint64_t exact_evaluations = 0;  ///< strategy evaluations, summed
   std::uint64_t ladder_evaluations = 0;
+  instrument::CounterArray exact_counters{};   ///< kernel work, exact phase
+  instrument::CounterArray ladder_counters{};  ///< kernel work, ladder phase
 };
 
 ExactVsLadder bench_exact_vs_ladder(int n, int agents) {
@@ -79,6 +106,7 @@ ExactVsLadder bench_exact_vs_ladder(int n, int agents) {
   row.agents = agents;
   std::vector<double> exact_costs;
   {
+    const instrument::MetricsSnapshot before = instrument::metrics_snapshot();
     const Stopwatch timer;
     for (int i = 0; i < agents; ++i) {
       const int u = static_cast<int>((static_cast<long long>(i) * n) / agents);
@@ -89,8 +117,10 @@ ExactVsLadder bench_exact_vs_ladder(int n, int agents) {
       row.exact_evaluations += br.evaluations;
     }
     row.exact_ms_per_agent = timer.millis() / agents;
+    row.exact_counters = counters_since(before);
   }
   {
+    const instrument::MetricsSnapshot before = instrument::metrics_snapshot();
     const Stopwatch timer;
     for (int i = 0; i < agents; ++i) {
       const int u = static_cast<int>((static_cast<long long>(i) * n) / agents);
@@ -113,6 +143,7 @@ ExactVsLadder bench_exact_vs_ladder(int n, int agents) {
       }
     }
     row.ladder_ms_per_agent = timer.millis() / agents;
+    row.ladder_counters = counters_since(before);
   }
   return row;
 }
@@ -134,6 +165,8 @@ struct LargeTier {
   std::size_t arena_peak_bytes = 0;
   double arena_peak_bytes_per_node = 0.0;
   std::uint64_t arena_shrink_events = 0;
+  instrument::CounterArray dynamics_counters{};  ///< kernel work, dynamics
+  instrument::CounterArray certify_counters{};   ///< kernel work, certify
 };
 
 LargeTier bench_large_tier(int n, std::uint64_t max_moves, int certify) {
@@ -157,9 +190,12 @@ LargeTier bench_large_tier(int n, std::uint64_t max_moves, int certify) {
 
   LargeTier row;
   row.n = n;
+  const instrument::MetricsSnapshot dynamics_before =
+      instrument::metrics_snapshot();
   const Stopwatch dynamics_timer;
   const RestartReport report = run_restarts(game, options);
   row.dynamics_ms = dynamics_timer.millis();
+  row.dynamics_counters = counters_since(dynamics_before);
   const RestartRun* run = nullptr;
   for (const RestartRun& candidate : report.runs)
     if (!candidate.skipped) {
@@ -177,6 +213,8 @@ LargeTier bench_large_tier(int n, std::uint64_t max_moves, int certify) {
   DeviationEngine engine(game, run->result.final_profile);
   row.certified_agents = std::min(certify, n);
   double beta_sum = 0.0;
+  const instrument::MetricsSnapshot certify_before =
+      instrument::metrics_snapshot();
   const Stopwatch certify_timer;
   for (int i = 0; i < row.certified_agents; ++i) {
     const int u = static_cast<int>((static_cast<long long>(i) * n) /
@@ -197,6 +235,7 @@ LargeTier bench_large_tier(int n, std::uint64_t max_moves, int certify) {
     if (ladder.improved) ++row.improving_agents;
   }
   row.certify_ms_per_agent = certify_timer.millis() / row.certified_agents;
+  row.certify_counters = counters_since(certify_before);
   row.mean_beta = beta_sum / row.certified_agents;
 
   const std::uint64_t dense_after = DistanceMatrix::allocated_cells_total();
@@ -232,19 +271,7 @@ int main(int argc, char** argv) {
     }
   }
 
-#ifdef NDEBUG
-  const char* build_type = "release";
-#else
-  const char* build_type = "debug";
-  if (!allow_debug) {
-    std::fprintf(stderr,
-                 "bench_large_geo: refusing to record numbers from a "
-                 "non-optimized build (NDEBUG is not set).\n"
-                 "Configure with -DCMAKE_BUILD_TYPE=Release, or pass "
-                 "--allow-debug for a non-recorded run.\n");
-    return 2;
-  }
-#endif
+  if (!gncg::bench::require_release(allow_debug, "bench_large_geo")) return 2;
 
   // --- exact vs ladder ---
   const std::vector<int> contrast_sizes =
@@ -284,11 +311,6 @@ int main(int argc, char** argv) {
                  t.arena_peak_bytes_per_node);
   }
 
-  char date[64];
-  const std::time_t now = std::time(nullptr);
-  std::strftime(date, sizeof date, "%Y-%m-%dT%H:%M:%S%z",
-                std::localtime(&now));
-
   std::printf("{\n");
   std::printf(
       "  \"description\": \"Large-n geometric tier: exact branch-and-bound "
@@ -298,29 +320,38 @@ int main(int argc, char** argv) {
       "certified per-agent (beta, eps) sample at n = 10^4 and 10^5 with the "
       "dense-matrix-free contract enforced "
       "(DistanceMatrix::allocated_cells_total() unchanged) and the worker-"
-      "arena peak footprint reported per node.\",\n");
-  std::printf("  \"command\": \"./build/bench_large_geo%s\",\n",
-              smoke ? " --smoke" : "");
-  std::printf("  \"context\": {\n");
-  std::printf("    \"date\": \"%s\",\n", date);
-  std::printf("    \"library_build_type\": \"%s\",\n", build_type);
-  std::printf("    \"alpha\": %.1f,\n", gncg::kAlpha);
-  std::printf("    \"budget\": %d\n", gncg::kBudget);
-  std::printf("  },\n");
+      "arena peak footprint reported per node.  Every phase carries its "
+      "kernel-counter delta (nonzero entries only; empty under "
+      "GNCG_INSTRUMENT=OFF), so the ladder cost split -- base Dijkstra "
+      "relaxations vs incremental repairs vs restricted-search expansions "
+      "-- is recorded, not guessed.\",\n");
+  {
+    char alpha_json[32], budget_json[32];
+    std::snprintf(alpha_json, sizeof alpha_json, "%.1f", gncg::kAlpha);
+    std::snprintf(budget_json, sizeof budget_json, "%d", gncg::kBudget);
+    gncg::bench::print_context(
+        std::string("./build/bench_large_geo") + (smoke ? " --smoke" : ""),
+        gncg::default_thread_count(),
+        {{"alpha", alpha_json}, {"budget", budget_json}});
+  }
   std::printf("  \"exact_vs_ladder\": [\n");
   for (std::size_t i = 0; i < contrast.size(); ++i) {
     const auto& c = contrast[i];
     std::printf(
         "    {\"n\": %d, \"agents\": %d, \"exact_ms_per_agent\": %.3f, "
         "\"ladder_ms_per_agent\": %.3f, \"exact_evaluations\": %llu, "
-        "\"ladder_evaluations\": %llu, \"ladder_speedup\": %.2f}%s\n",
+        "\"ladder_evaluations\": %llu, \"ladder_speedup\": %.2f,\n",
         c.n, c.agents, c.exact_ms_per_agent, c.ladder_ms_per_agent,
         static_cast<unsigned long long>(c.exact_evaluations),
         static_cast<unsigned long long>(c.ladder_evaluations),
         c.ladder_ms_per_agent > 0.0
             ? c.exact_ms_per_agent / c.ladder_ms_per_agent
-            : 0.0,
-        i + 1 < contrast.size() ? "," : "");
+            : 0.0);
+    std::printf("     \"exact_counters\": ");
+    gncg::print_counter_object(c.exact_counters);
+    std::printf(",\n     \"ladder_counters\": ");
+    gncg::print_counter_object(c.ladder_counters);
+    std::printf("}%s\n", i + 1 < contrast.size() ? "," : "");
   }
   std::printf("  ],\n");
   std::printf("  \"large_tier\": [\n");
@@ -332,13 +363,17 @@ int main(int argc, char** argv) {
         "\"max_beta\": %.4f, \"mean_beta\": %.4f, \"max_eps\": %.4f, "
         "\"improving_agents\": %d, \"built_edges\": %d, "
         "\"arena_peak_bytes\": %zu, \"arena_peak_bytes_per_node\": %.1f, "
-        "\"arena_shrink_events\": %llu}%s\n",
+        "\"arena_shrink_events\": %llu,\n",
         t.n, static_cast<unsigned long long>(t.moves), t.ms_per_move,
         t.certified_agents, t.certify_ms_per_agent, t.max_beta, t.mean_beta,
         t.max_eps, t.improving_agents, t.built_edges, t.arena_peak_bytes,
         t.arena_peak_bytes_per_node,
-        static_cast<unsigned long long>(t.arena_shrink_events),
-        i + 1 < tiers.size() ? "," : "");
+        static_cast<unsigned long long>(t.arena_shrink_events));
+    std::printf("     \"dynamics_counters\": ");
+    gncg::print_counter_object(t.dynamics_counters);
+    std::printf(",\n     \"certify_counters\": ");
+    gncg::print_counter_object(t.certify_counters);
+    std::printf("}%s\n", i + 1 < tiers.size() ? "," : "");
   }
   std::printf("  ]\n");
   std::printf("}\n");

@@ -34,6 +34,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "core/best_response.hpp"
 #include "core/deviation_engine.hpp"
 #include "core/dynamics.hpp"
@@ -306,28 +307,23 @@ void print_curves(const char* key, const std::vector<Curve>& curves,
 int main(int argc, char** argv) {
   bool smoke = false;
   bool allow_debug = false;
+  bool kernel_only = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     else if (std::strcmp(argv[i], "--allow-debug") == 0) allow_debug = true;
+    // Single-thread SSSP kernel section only: the loop used to measure the
+    // GNCG_INSTRUMENT=ON-vs-OFF overhead (run both builds back to back and
+    // compare csr_* times) without paying for the thread-curve sections.
+    else if (std::strcmp(argv[i], "--kernel-only") == 0) kernel_only = true;
     else {
-      std::fprintf(stderr, "usage: bench_scaling [--smoke] [--allow-debug]\n");
+      std::fprintf(stderr,
+                   "usage: bench_scaling [--smoke] [--kernel-only] "
+                   "[--allow-debug]\n");
       return 1;
     }
   }
 
-#ifdef NDEBUG
-  const char* build_type = "release";
-#else
-  const char* build_type = "debug";
-  if (!allow_debug) {
-    std::fprintf(stderr,
-                 "bench_scaling: refusing to record numbers from a "
-                 "non-optimized build (NDEBUG is not set).\n"
-                 "Configure with -DCMAKE_BUILD_TYPE=Release, or pass "
-                 "--allow-debug for a non-recorded run.\n");
-    return 2;
-  }
-#endif
+  if (!gncg::bench::require_release(allow_debug, "bench_scaling")) return 2;
 
   const std::vector<int> thread_counts{1, 2, 4, 8};
   const unsigned num_cpus = std::thread::hardware_concurrency();
@@ -366,24 +362,22 @@ int main(int argc, char** argv) {
   std::vector<gncg::Curve> restart_curves;
   std::vector<gncg::Curve> br_curves;
   std::vector<gncg::Curve> sweep_curves;
-  for (int n : smoke ? std::vector<int>{48} : std::vector<int>{64, 128})
-    restart_curves.push_back(
-        gncg::bench_restarts_curve(n, smoke ? 8 : 16, thread_counts));
-  for (int n : smoke ? std::vector<int>{32} : std::vector<int>{64})
-    br_curves.push_back(gncg::bench_br_curve(n, thread_counts));
-  for (int n : smoke ? std::vector<int>{128} : std::vector<int>{256, 512})
-    sweep_curves.push_back(
-        gncg::bench_sweep_curve(n, smoke ? 4 : 8, thread_counts));
+  if (!kernel_only) {
+    for (int n : smoke ? std::vector<int>{48} : std::vector<int>{64, 128})
+      restart_curves.push_back(
+          gncg::bench_restarts_curve(n, smoke ? 8 : 16, thread_counts));
+    for (int n : smoke ? std::vector<int>{32} : std::vector<int>{64})
+      br_curves.push_back(gncg::bench_br_curve(n, thread_counts));
+    for (int n : smoke ? std::vector<int>{128} : std::vector<int>{256, 512})
+      sweep_curves.push_back(
+          gncg::bench_sweep_curve(n, smoke ? 4 : 8, thread_counts));
+  }
   gncg::set_default_thread_count(0);
 
   for (const auto& curves : {restart_curves, br_curves, sweep_curves})
     for (const auto& c : curves)
       std::fprintf(stderr, "curve n=%-4d work=%-4d ms=[%.1f, %.1f, %.1f, %.1f]\n",
                    c.n, c.work, c.ms[0], c.ms[1], c.ms[2], c.ms[3]);
-
-  char date[64];
-  const std::time_t now = std::time(nullptr);
-  std::strftime(date, sizeof date, "%Y-%m-%dT%H:%M:%S%z", std::localtime(&now));
 
   std::printf("{\n");
   std::printf(
@@ -395,25 +389,10 @@ int main(int argc, char** argv) {
       "certification and the warm single-move sweep (results byte-identical "
       "across thread counts by the determinism contract; a divergence fails "
       "the bench).\",\n");
-  std::printf("  \"command\": \"./build/bench_scaling%s\",\n",
-              smoke ? " --smoke" : "");
-  std::printf("  \"context\": {\n");
-  std::printf("    \"date\": \"%s\",\n", date);
-  std::printf("    \"num_cpus\": %u,\n", num_cpus);
-  std::printf("    \"parallelism_limited\": %s,\n",
-              parallelism_limited ? "true" : "false");
-  std::printf("    \"library_build_type\": \"%s\",\n", build_type);
-  {
-    const gncg::ArenaStats arenas = gncg::arena_stats();
-    std::printf("    \"arenas\": %zu,\n", arenas.arenas);
-    std::printf("    \"arena_footprint_bytes\": %zu,\n",
-                arenas.footprint_bytes);
-    std::printf("    \"arena_peak_footprint_bytes\": %zu,\n",
-                arenas.peak_footprint_bytes);
-    std::printf("    \"arena_shrink_events\": %llu\n",
-                static_cast<unsigned long long>(arenas.shrink_events));
-  }
-  std::printf("  },\n");
+  gncg::bench::print_context(
+      std::string("./build/bench_scaling") + (smoke ? " --smoke" : "") +
+          (kernel_only ? " --kernel-only" : ""),
+      static_cast<std::size_t>(thread_counts.back()));
   std::printf("  \"thread_counts\": [1, 2, 4, 8],\n");
   std::printf("  \"sssp_kernel\": [\n");
   for (std::size_t i = 0; i < kernels.size(); ++i) {

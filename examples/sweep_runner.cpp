@@ -20,6 +20,11 @@
 //     output flags:
 //       --journal sweep.jsonl         checkpoint journal (JSONL)
 //       --resume                      skip jobs already in the journal
+//       --metrics metrics.jsonl       per-job kernel counters (JSONL; pins
+//                                     each job to one thread so records are
+//                                     thread-count invariant)
+//       --trace trace.json            Chrome trace-event spans (load in
+//                                     chrome://tracing / ui.perfetto.dev)
 //       --out results.jsonl           canonical records, sorted by point
 //       --summary summary.jsonl       per-(group, metric) statistics
 //       --csv summary.csv             the summary as CSV
@@ -85,6 +90,7 @@ int usage(int code) {
          "   or: sweep_runner --scenario a,b [--host kinds] [--n list]\n"
          "       [--alpha list] [--p list] [--seeds k] [--seed-base s]\n"
          "       [--set k=v,...] [--threads t] [--journal file] [--resume]\n"
+         "       [--metrics file] [--trace file]\n"
          "       [--out file] [--summary file] [--csv file] [--table]\n"
          "       [--quiet]\n"
          "   or: sweep_runner --dump-host <point> <file> --scenario ...\n"
@@ -203,6 +209,10 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::atoll(value.c_str()));
     } else if (flag == "--journal") {
       options.runner.journal_path = value;
+    } else if (flag == "--metrics") {
+      options.runner.metrics_path = value;
+    } else if (flag == "--trace") {
+      options.runner.trace_path = value;
     } else if (flag == "--out") {
       options.out_path = value;
     } else if (flag == "--summary") {

@@ -8,6 +8,7 @@
 #include "core/cost.hpp"
 #include "core/deviation_engine.hpp"
 #include "support/arena.hpp"
+#include "support/instrument.hpp"
 
 namespace gncg {
 
@@ -56,6 +57,9 @@ ApproxBrResult ladder_over(const AgentEnvironment& env,
   // Candidate shortlist from the spatial oracle, (weight, id)-sorted.
   std::vector<int>& cand = scratch.cand;
   game.host().candidate_targets(u, budget, cand);
+  GNCG_COUNT(kLadderCalls);
+  GNCG_COUNT_N(kLadderCandidateBudget, static_cast<std::uint64_t>(budget));
+  GNCG_COUNT_N(kLadderCandidates, cand.size());
 
   // One Dijkstra for the whole ladder: u's distances in the bare
   // environment.  Same kernel selection as br_search so distances match
@@ -204,6 +208,7 @@ ApproxBrResult ladder_over(const AgentEnvironment& env,
     result.exact = !improves(escape_lb, result.cost);
     result.lower_bound = std::min(result.cost, escape_lb);
     result.beta = result.exact ? 1.0 : beta_of(result.cost, result.lower_bound);
+    GNCG_IF_INSTRUMENT(if (result.exact) GNCG_COUNT(kLadderEscapeExact);)
   }
 
   // --- tier 3: unrestricted exact search, on demand ---------------------
@@ -226,6 +231,11 @@ ApproxBrResult ladder_over(const AgentEnvironment& env,
   }
 
   result.improved = improves(result.cost, options.incumbent);
+  GNCG_IF_INSTRUMENT(switch (result.tier) {
+    case 1: GNCG_COUNT(kLadderTier1Final); break;
+    case 2: GNCG_COUNT(kLadderTier2Final); break;
+    default: GNCG_COUNT(kLadderTier3Final); break;
+  })
   return result;
 }
 

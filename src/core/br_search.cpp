@@ -10,6 +10,7 @@
 #include "graph/dijkstra.hpp"
 #include "graph/incremental_sssp.hpp"
 #include "support/arena.hpp"
+#include "support/instrument.hpp"
 #include "support/parallel.hpp"
 
 namespace gncg {
@@ -132,6 +133,7 @@ struct BranchSearch {
     const double cost =
         game->alpha() * edge_sum + Model::distance_term(sssp->dist());
     ++result.evaluations;
+    GNCG_COUNT(kBrEvaluations);
     if (improves(cost, bound())) {
       result.cost = cost;
       result.strategy = current;
@@ -148,13 +150,22 @@ struct BranchSearch {
     const double b = bound();
     const double edge_cost =
         game->alpha() * (current_weight + (*weights)[i]);
-    if (!improves(edge_cost + cheap_floor, b)) return true;
-    return !improves(
-        edge_cost + Model::tight_floor(*host_row, sssp->dist(), (*weights)[i]),
-        b);
+    if (!improves(edge_cost + cheap_floor, b)) {
+      GNCG_COUNT(kBrPrunesGlobal);
+      return true;
+    }
+    if (!improves(
+            edge_cost +
+                Model::tight_floor(*host_row, sssp->dist(), (*weights)[i]),
+            b)) {
+      GNCG_COUNT(kBrPrunesPerNode);
+      return true;
+    }
+    return false;
   }
 
   void insert(std::size_t i) {
+    GNCG_COUNT(kBrExpansions);
     current.insert((*candidates)[i]);
     current_weight += (*weights)[i];
     // The source's distance is 0 and never changes, so the repair needs
@@ -174,6 +185,7 @@ struct BranchSearch {
   void descend(std::size_t start) {
     for (std::size_t i = start; i < candidates->size() && !done; ++i) {
       if (aborted()) {
+        GNCG_COUNT(kBrBranchAborts);
         done = true;
         break;
       }
@@ -203,6 +215,7 @@ BestResponseResult run_search(const AgentEnvironment& env,
   const Game& game = env.game();
   const int n = game.node_count();
   const int u = env.agent();
+  GNCG_COUNT(kBrSearches);
 
   // Driver scratch comes from the calling worker's arena.  Branch tasks on
   // other workers read these buffers through const pointers only; branch
@@ -275,6 +288,7 @@ BestResponseResult run_search(const AgentEnvironment& env,
   const double empty_cost =
       game.alpha() * 0.0 + Model::distance_term(base_dist);
   result.evaluations = 1;
+  GNCG_COUNT(kBrEvaluations);
   bool done = false;
   if (improves(empty_cost, options.incumbent)) {
     result.cost = empty_cost;
@@ -294,17 +308,24 @@ BestResponseResult run_search(const AgentEnvironment& env,
         [&](std::size_t i) {
           if (options.first_improvement &&
               winner.load(std::memory_order_relaxed) <
-                  static_cast<int>(i))
+                  static_cast<int>(i)) {
+            GNCG_COUNT(kBrBranchAborts);
             return;
+          }
           // Entry cut against the base state (before paying the O(n)
           // seed copy).
           const double entry_edge = game.alpha() * (0.0 + weights[i]);
-          if (!improves(entry_edge + cheap_floor, base_bound)) return;
+          if (!improves(entry_edge + cheap_floor, base_bound)) {
+            GNCG_COUNT(kBrPrunesGlobal);
+            return;
+          }
           if (!improves(entry_edge +
                             Model::tight_floor(host_row, base_dist,
                                                weights[i]),
-                        base_bound))
+                        base_bound)) {
+            GNCG_COUNT(kBrPrunesPerNode);
             return;
+          }
 
           BranchSearch<Model> search;
           search.game = &game;

@@ -3,6 +3,7 @@
 #include "core/transposition.hpp"
 #include "graph/dijkstra.hpp"
 #include "support/arena.hpp"
+#include "support/instrument.hpp"
 #include "support/parallel.hpp"
 
 namespace gncg {
@@ -91,6 +92,7 @@ void DeviationEngine::add_buy(int u, int v) {
   if (!existed) {
     link(u, v);
     ++epoch_;
+    GNCG_COUNT(kEngineEpochBumps);
   }
 }
 
@@ -101,6 +103,7 @@ void DeviationEngine::remove_buy(int u, int v) {
   if (!profile_.has_edge(u, v)) {
     unlink(u, v);
     ++epoch_;
+    GNCG_COUNT(kEngineEpochBumps);
   }
 }
 
@@ -141,11 +144,13 @@ void DeviationEngine::set_profile(StrategyProfile profile) {
   rebuild_adjacency();
   profile_hash_ = zobrist_profile_hash(profile_);
   ++epoch_;
+  GNCG_COUNT(kEngineEpochBumps);
 }
 
 const DeviationEngine::AgentCache& DeviationEngine::ensure(int u) {
   AgentCache& cache = caches_[idx(u)];
   if (cache.epoch != epoch_) {
+    GNCG_COUNT(kEngineCacheMisses);
     arena_sssp(cache.dist, game_->node_count(), u, dial_bound_,
                [&](int y, auto&& visit) {
                  for (const auto& nb : adjacency_.neighbors(y))
@@ -155,6 +160,8 @@ const DeviationEngine::AgentCache& DeviationEngine::ensure(int u) {
     for (double d : cache.dist) total += d;
     cache.dist_sum = total;
     cache.epoch = epoch_;
+  } else {
+    GNCG_COUNT(kEngineCacheHits);
   }
   return cache;
 }

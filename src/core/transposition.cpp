@@ -1,5 +1,6 @@
 #include "core/transposition.hpp"
 
+#include "support/instrument.hpp"
 #include "support/rng.hpp"
 
 namespace gncg {
@@ -33,11 +34,14 @@ std::uint64_t zobrist_profile_hash(const StrategyProfile& profile) {
 
 std::size_t TranspositionTable::find(std::uint64_t hash,
                                      const StrategyProfile& profile) const {
+  GNCG_COUNT(kTtProbes);
   const auto it = buckets_.find(hash);
   if (it == buckets_.end()) return npos;
   for (std::size_t slot : it->second) {
+    GNCG_COUNT(kTtConfirms);
     if (entries_[slot].profile == profile) return slot;
     ++collisions_;
+    GNCG_COUNT(kTtCollisions);
   }
   return npos;
 }

@@ -2,6 +2,8 @@
 
 #include <numeric>
 
+#include "support/instrument.hpp"
+
 namespace gncg {
 
 namespace {
@@ -51,6 +53,7 @@ void CsrAdjacency::relocate_grow(std::size_t ui) {
   cap_[ui] = new_cap;
   dead_ += static_cast<std::size_t>(old_cap);
   ++relocations_;
+  GNCG_COUNT(kEngineCsrRelocations);
   if (dead_ * kCompactionDenominator >
       entries_.size() * kCompactionNumerator) {
     compact();
@@ -77,6 +80,7 @@ void CsrAdjacency::compact() {
   entries_.swap(scratch_);
   dead_ = 0;
   ++compactions_;
+  GNCG_COUNT(kEngineCsrCompactions);
 }
 
 void CsrAdjacency::begin_rebuild(int n) {

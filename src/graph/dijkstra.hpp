@@ -13,7 +13,6 @@
 #pragma once
 
 #include <algorithm>
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -21,6 +20,7 @@
 #include <vector>
 
 #include "graph/weighted_graph.hpp"
+#include "support/instrument.hpp"
 
 namespace gncg {
 
@@ -46,20 +46,17 @@ using MinHeap =
 inline constexpr std::size_t kShrinkFactor = 4;
 inline constexpr std::size_t kShrinkFloor = 256;
 
-/// Process-wide count of buffer shrinks actually taken (release_excess
-/// firing, dial ring-array downsizing).  Relaxed: a telemetry counter for
-/// arena_stats(), never a synchronization point.
-inline std::atomic<std::uint64_t>& shrink_event_counter() {
-  static std::atomic<std::uint64_t> counter{0};
-  return counter;
-}
+// Shrinks taken (release_excess firing, dial ring-array downsizing) are
+// counted per-worker through instrument::Counter::kArenaShrinkEvents --
+// no process-wide atomic on the reuse path.  arena_stats() reports the
+// cross-worker sum (zero in GNCG_INSTRUMENT=OFF builds).
 
 template <class T>
 void release_excess(std::vector<T>& v, std::size_t needed) {
   if (v.capacity() > kShrinkFactor * std::max(needed, kShrinkFloor)) {
     std::vector<T>().swap(v);
     v.reserve(needed);
-    shrink_event_counter().fetch_add(1, std::memory_order_relaxed);
+    GNCG_COUNT(kArenaShrinkEvents);
   }
 }
 
@@ -74,6 +71,10 @@ void dijkstra_over(int n, int source, NeighborFn&& neighbor_fn,
                    std::vector<double>& dist,
                    std::vector<int>* parent = nullptr) {
   GNCG_CHECK(source >= 0 && source < n, "source out of range");
+  GNCG_COUNT(kSsspHeapRuns);
+  // Counter discipline for hot kernels: accumulate into stack locals, flush
+  // to the thread-local block once per run (the locals vanish under OFF).
+  GNCG_IF_INSTRUMENT(std::uint64_t pops = 0; std::uint64_t relaxations = 0;)
   dist.assign(static_cast<std::size_t>(n), kInf);
   if (parent != nullptr) parent->assign(static_cast<std::size_t>(n), -1);
   detail::MinHeap heap;
@@ -82,17 +83,21 @@ void dijkstra_over(int n, int source, NeighborFn&& neighbor_fn,
   while (!heap.empty()) {
     const auto [d, u] = heap.top();
     heap.pop();
+    GNCG_IF_INSTRUMENT(++pops;)
     if (d > dist[static_cast<std::size_t>(u)]) continue;  // stale entry
     neighbor_fn(u, [&](int v, double w) {
       GNCG_DASSERT(w >= 0.0);
       const double candidate = d + w;
       if (candidate < dist[static_cast<std::size_t>(v)]) {
+        GNCG_IF_INSTRUMENT(++relaxations;)
         dist[static_cast<std::size_t>(v)] = candidate;
         if (parent != nullptr) (*parent)[static_cast<std::size_t>(v)] = u;
         heap.emplace(candidate, v);
       }
     });
   }
+  GNCG_COUNT_N(kSsspHeapPops, pops);
+  GNCG_COUNT_N(kSsspHeapRelaxations, relaxations);
 }
 
 /// Reusable Dijkstra workspace: the distance vector and the heap's backing
@@ -114,6 +119,8 @@ class DijkstraBuffers {
   void run_into(std::vector<double>& dist, int n, int source,
                 NeighborFn&& neighbor_fn) {
     GNCG_CHECK(source >= 0 && source < n, "source out of range");
+    GNCG_COUNT(kSsspHeapRuns);
+    GNCG_IF_INSTRUMENT(std::uint64_t pops = 0; std::uint64_t relaxations = 0;)
     // Shrink before reuse: dist needs exactly n slots; the heap's need is
     // estimated by the previous run's peak (stable workloads keep a stable
     // peak, so steady-state runs never shrink-then-regrow).
@@ -126,16 +133,20 @@ class DijkstraBuffers {
     push(0.0, source);
     while (!heap_.empty()) {
       const auto [d, u] = pop();
+      GNCG_IF_INSTRUMENT(++pops;)
       if (d > dist[static_cast<std::size_t>(u)]) continue;  // stale entry
       neighbor_fn(u, [&](int v, double w) {
         GNCG_DASSERT(w >= 0.0);
         const double candidate = d + w;
         if (candidate < dist[static_cast<std::size_t>(v)]) {
+          GNCG_IF_INSTRUMENT(++relaxations;)
           dist[static_cast<std::size_t>(v)] = candidate;
           push(candidate, v);
         }
       });
     }
+    GNCG_COUNT_N(kSsspHeapPops, pops);
+    GNCG_COUNT_N(kSsspHeapRelaxations, relaxations);
   }
 
   /// Runs Dijkstra into the internally owned distance vector and returns it.
@@ -201,6 +212,9 @@ class DialBuffers {
                 NeighborFn&& neighbor_fn) {
     GNCG_CHECK(source >= 0 && source < n, "source out of range");
     GNCG_CHECK(max_weight >= 0, "dial weight bound must be non-negative");
+    GNCG_COUNT(kSsspDialRuns);
+    GNCG_IF_INSTRUMENT(std::uint64_t pops = 0; std::uint64_t relaxations = 0;
+                       std::uint64_t ring_scans = 0;)
     detail::release_excess(dist, static_cast<std::size_t>(n));
     dist.assign(static_cast<std::size_t>(n), kInf);
     const std::size_t rings = static_cast<std::size_t>(max_weight) + 1;
@@ -210,7 +224,7 @@ class DialBuffers {
                buckets_.size() > 64) {
       buckets_.resize(rings);
       buckets_.shrink_to_fit();
-      detail::shrink_event_counter().fetch_add(1, std::memory_order_relaxed);
+      GNCG_COUNT(kArenaShrinkEvents);
     }
     dist[static_cast<std::size_t>(source)] = 0.0;
     buckets_[0].push_back(source);
@@ -221,6 +235,7 @@ class DialBuffers {
     for (long long d = 0; pending > 0; ++d) {
       auto& ring = buckets_[static_cast<std::size_t>(d) % rings];
       const double sweep = static_cast<double>(d);
+      GNCG_IF_INSTRUMENT(++ring_scans;)
       // The ring may grow mid-drain (zero-weight relaxations land here and
       // are processed in this same sweep), so re-check size() each step.
       for (std::size_t i = 0; i < ring.size(); ++i) {
@@ -232,6 +247,7 @@ class DialBuffers {
           const double candidate = sweep + w;
           const std::size_t yi = static_cast<std::size_t>(y);
           if (candidate < dist[yi]) {
+            GNCG_IF_INSTRUMENT(++relaxations;)
             dist[yi] = candidate;
             buckets_[static_cast<std::size_t>(d + static_cast<long long>(w)) %
                      rings]
@@ -240,9 +256,13 @@ class DialBuffers {
           }
         });
       }
+      GNCG_IF_INSTRUMENT(pops += ring.size();)
       pending -= ring.size();
       ring.clear();  // keeps ring capacity: zero steady-state allocation
     }
+    GNCG_COUNT_N(kSsspDialPops, pops);
+    GNCG_COUNT_N(kSsspDialRelaxations, relaxations);
+    GNCG_COUNT_N(kSsspDialRingScans, ring_scans);
   }
 
   /// Runs into the internally owned distance vector; same aliasing caveats

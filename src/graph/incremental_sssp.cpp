@@ -18,6 +18,7 @@ void IncrementalSssp::reset(const std::vector<double>& dist) {
 
 void IncrementalSssp::rollback(Checkpoint mark) {
   GNCG_DASSERT(mark <= log_.size());
+  GNCG_COUNT_N(kSsspRollbackEntries, log_.size() - mark);
   while (log_.size() > mark) {
     const auto& [node, old_dist] = log_.back();
     dist_[static_cast<std::size_t>(node)] = old_dist;

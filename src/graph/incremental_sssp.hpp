@@ -61,6 +61,8 @@ class IncrementalSssp {
     const std::size_t vi = static_cast<std::size_t>(v);
     GNCG_DASSERT(vi < dist_.size());
     if (!(cand < dist_[vi])) return;
+    GNCG_COUNT(kSsspRepairs);
+    GNCG_IF_INSTRUMENT(std::uint64_t relaxations = 1;)
     log_.emplace_back(v, dist_[vi]);
     dist_[vi] = cand;
     heap_.clear();
@@ -73,6 +75,7 @@ class IncrementalSssp {
         const double candidate = d + w;
         const std::size_t yi = static_cast<std::size_t>(y);
         if (candidate < dist_[yi]) {
+          GNCG_IF_INSTRUMENT(++relaxations;)
           log_.emplace_back(y, dist_[yi]);
           dist_[yi] = candidate;
           push(candidate, y);
@@ -80,6 +83,7 @@ class IncrementalSssp {
       });
     }
     if (log_.size() > log_peak_) log_peak_ = log_.size();
+    GNCG_COUNT_N(kSsspRepairRelaxations, relaxations);
   }
 
   /// Restores every distance overwritten since `mark`, newest first (a node

@@ -3,6 +3,8 @@
 #include <memory>
 #include <mutex>
 
+#include "support/instrument.hpp"
+
 namespace gncg {
 
 std::size_t ScratchArena::footprint_bytes() const {
@@ -32,10 +34,19 @@ namespace {
 /// meaningful after a pool resize.  Leaked deliberately (never destroyed)
 /// so worker threads that outlive main()'s statics can still touch their
 /// arena during teardown.
+///
+/// Peaks are per-arena (worker-sharded, sampled on query): each entry
+/// tracks its own arena's footprint high-water mark, and arena_stats()
+/// reports the sum of the per-arena peaks.  The sum-of-peaks is an upper
+/// bound on the true simultaneous peak, but unlike a single global
+/// high-water mark it attributes memory to the worker that reserved it.
 struct ArenaRegistry {
+  struct Entry {
+    std::unique_ptr<ScratchArena> arena;
+    std::size_t peak_footprint_bytes = 0;
+  };
   std::mutex mu;
-  std::vector<std::unique_ptr<ScratchArena>> arenas;
-  std::size_t peak_footprint_bytes = 0;
+  std::vector<Entry> arenas;
 };
 
 ArenaRegistry& registry() {
@@ -48,7 +59,7 @@ ScratchArena* make_registered_arena() {
   ScratchArena* raw = arena.get();
   ArenaRegistry& reg = registry();
   std::lock_guard<std::mutex> lock(reg.mu);
-  reg.arenas.push_back(std::move(arena));
+  reg.arenas.push_back(ArenaRegistry::Entry{std::move(arena), 0});
   return raw;
 }
 
@@ -64,13 +75,15 @@ ArenaStats arena_stats() {
   std::lock_guard<std::mutex> lock(reg.mu);
   ArenaStats stats;
   stats.arenas = reg.arenas.size();
-  for (const auto& arena : reg.arenas)
-    stats.footprint_bytes += arena->footprint_bytes();
-  if (stats.footprint_bytes > reg.peak_footprint_bytes)
-    reg.peak_footprint_bytes = stats.footprint_bytes;
-  stats.peak_footprint_bytes = reg.peak_footprint_bytes;
+  for (auto& entry : reg.arenas) {
+    const std::size_t footprint = entry.arena->footprint_bytes();
+    stats.footprint_bytes += footprint;
+    if (footprint > entry.peak_footprint_bytes)
+      entry.peak_footprint_bytes = footprint;
+    stats.peak_footprint_bytes += entry.peak_footprint_bytes;
+  }
   stats.shrink_events =
-      detail::shrink_event_counter().load(std::memory_order_relaxed);
+      instrument::counter_total(instrument::Counter::kArenaShrinkEvents);
   return stats;
 }
 

@@ -120,12 +120,15 @@ ScratchArena& worker_arena();
 struct ArenaStats {
   std::size_t arenas = 0;
   std::size_t footprint_bytes = 0;
-  /// High-water mark of footprint_bytes across arena_stats() calls (the
-  /// registry samples on query, so bracket a workload with two calls to
-  /// observe its peak).
+  /// Sum of per-arena footprint high-water marks (each arena's peak is
+  /// sampled on arena_stats() calls, so bracket a workload with two calls
+  /// to observe its peak).  An upper bound on the simultaneous peak, but
+  /// attributable per worker.
   std::size_t peak_footprint_bytes = 0;
-  /// Buffer shrinks taken process-wide (detail::shrink_event_counter):
-  /// release_excess firings plus dial ring-array downsizings.
+  /// Buffer shrinks taken process-wide: release_excess firings plus dial
+  /// ring-array downsizings, summed over the per-worker
+  /// instrument::Counter::kArenaShrinkEvents slots (0 when
+  /// GNCG_INSTRUMENT=OFF).
   std::uint64_t shrink_events = 0;
 };
 ArenaStats arena_stats();

@@ -4,6 +4,8 @@
 #include <condition_variable>
 #include <cstdlib>
 
+#include "support/instrument.hpp"
+
 namespace gncg {
 
 namespace {
@@ -156,9 +158,14 @@ void run_on_workers(std::size_t threads,
     for (std::size_t tid = 0; tid < threads; ++tid) body(tid);
     return;
   }
+  GNCG_COUNT(kPoolRegions);
   std::exception_ptr first_error;
   std::mutex error_mutex;
   const std::function<void(std::size_t)> guarded = [&](std::size_t tid) {
+    // Per-worker busy span: one "parallel_region" slice per worker per
+    // region, so a trace shows pool occupancy directly.
+    GNCG_SPAN("parallel_region", "pool");
+    GNCG_COUNT(kPoolTasks);
     try {
       body(tid);
     } catch (...) {
@@ -168,6 +175,15 @@ void run_on_workers(std::size_t threads,
   };
   ThreadPool::instance().run(threads, guarded);
   if (first_error) std::rethrow_exception(first_error);
+}
+
+NestedSerialGuard::NestedSerialGuard()
+    : was_inside_(t_inside_pool_worker) {
+  t_inside_pool_worker = true;
+}
+
+NestedSerialGuard::~NestedSerialGuard() {
+  t_inside_pool_worker = was_inside_;
 }
 
 }  // namespace detail

@@ -41,6 +41,23 @@ void run_on_workers(std::size_t threads,
 /// True when the calling thread is executing inside a parallel region.
 bool inside_parallel_region();
 
+/// RAII pin: while alive, every parallel region started by this thread
+/// degrades to serial in-caller execution (the nested-region path), exactly
+/// as if the thread were a pool worker.  The sweep runner wraps each job
+/// with one when collecting per-job metrics, so all of a job's kernel work
+/// executes -- and is counted -- on the job's one thread regardless of the
+/// runner's thread count.
+class NestedSerialGuard {
+ public:
+  NestedSerialGuard();
+  ~NestedSerialGuard();
+  NestedSerialGuard(const NestedSerialGuard&) = delete;
+  NestedSerialGuard& operator=(const NestedSerialGuard&) = delete;
+
+ private:
+  bool was_inside_;
+};
+
 /// Work items below this count run serially: pool dispatch costs more than
 /// the work itself for tiny kernels (n-source APSP on toy graphs etc.).
 inline constexpr std::size_t kSerialCutoff = 32;

@@ -4,10 +4,12 @@
 #include <cstdio>
 #include <fstream>
 #include <mutex>
+#include <optional>
 #include <ostream>
 #include <sstream>
 
 #include "support/assert.hpp"
+#include "support/instrument.hpp"
 #include "support/parallel.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
@@ -19,6 +21,7 @@ namespace {
 
 constexpr const char* kRecordSchema = "gncg-sweep-1";
 constexpr const char* kJournalSchema = "gncg-sweep-journal-1";
+constexpr const char* kMetricsSchema = "gncg-sweep-metrics-1";
 
 std::string hex16(std::uint64_t value) {
   char buf[20];
@@ -177,6 +180,38 @@ std::string sweep_journal_header(std::uint64_t fingerprint,
   return writer.str();
 }
 
+std::string sweep_metrics_json(const SweepPoint& point,
+                               const instrument::CounterArray& counters) {
+  JsonWriter writer;
+  writer.begin_object();
+  writer.key("schema").string(kMetricsSchema);
+  writer.key("scenario").string(point.scenario);
+  writer.key("point").number(point.point_index);
+  writer.key("host").string(point.host);
+  writer.key("n").number(point.n);
+  writer.key("seed").number(point.seed);
+  writer.key("stream").string(hex16(point.rng_stream()));
+  writer.key("counters").begin_object();
+  for (std::size_t i = 0; i < instrument::kCounterCount; ++i)
+    writer.key(instrument::counter_name(static_cast<instrument::Counter>(i)))
+        .number(counters[i]);
+  writer.end_object();
+  writer.end_object();
+  return writer.str();
+}
+
+std::string sweep_metrics_header(std::uint64_t fingerprint,
+                                 std::size_t job_count) {
+  JsonWriter writer;
+  writer.begin_object();
+  writer.key("schema").string(kMetricsSchema);
+  writer.key("fingerprint").string(hex16(fingerprint));
+  writer.key("jobs").number(static_cast<std::uint64_t>(job_count));
+  writer.key("instrumented").boolean(instrument::compiled_in());
+  writer.end_object();
+  return writer.str();
+}
+
 SweepReport run_sweep(const SweepPlan& plan,
                       const SweepRunnerOptions& options) {
   return run_sweep(plan, options, ScenarioRegistry::instance());
@@ -232,7 +267,22 @@ SweepReport run_sweep(const SweepPlan& plan, const SweepRunnerOptions& options,
   for (std::size_t i = 0; i < points.size(); ++i)
     if (!restored[i]) pending.push_back(i);
 
-  std::mutex sink_mutex;  // journal + progress stream
+  // Per-job kernel metrics: header up front, one record per executed job
+  // appended under the sink mutex.  Records are deterministic (jobs are
+  // pinned, see below), so sorting the lines of two metrics files of the
+  // same plan yields identical bytes at any thread count.
+  const bool collect_metrics = !options.metrics_path.empty();
+  std::ofstream metrics;
+  if (collect_metrics) {
+    metrics.open(options.metrics_path, std::ios::trunc);
+    GNCG_CHECK(metrics.is_open(),
+               "cannot open sweep metrics file " << options.metrics_path);
+    metrics << sweep_metrics_header(fingerprint, points.size()) << '\n';
+  }
+  const bool tracing = !options.trace_path.empty();
+  if (tracing) instrument::start_tracing();
+
+  std::mutex sink_mutex;  // journal + metrics + progress stream
   const ThreadCountGuard thread_guard(options.threads);
   // serial_cutoff 2: each item is an entire job (possibly seconds of work),
   // so the small-kernel dispatch cutoff must not serialize small plans.
@@ -243,14 +293,35 @@ SweepReport run_sweep(const SweepPlan& plan, const SweepRunnerOptions& options,
         const SweepPoint& point = points[index];
         const Scenario& scenario = registry.at(point.scenario);
         Rng rng(point.rng_stream());
+        // Metrics mode pins the job to this thread (scenario-internal
+        // parallel regions degrade to serial), so the ThreadFrame delta
+        // captures exactly this job's kernel work -- thread-count
+        // invariant, including first-improvement branch behavior.
+        std::optional<detail::NestedSerialGuard> pin;
+        std::optional<instrument::ThreadFrame> frame;
+        if (collect_metrics) {
+          pin.emplace();
+          frame.emplace();
+        }
+        const instrument::Span job_span(
+            instrument::tracing_enabled()
+                ? point.scenario + " #" + std::to_string(point.point_index)
+                : std::string(),
+            "sweep_job");
         const Stopwatch job_timer;
         ScenarioResult result = scenario.run(point, rng);
         const double elapsed = job_timer.millis();
+        if (frame.has_value())
+          report.outcomes[index].counters = frame->delta();
 
         const std::string record = sweep_record_json(point, result);
         {
           const std::lock_guard<std::mutex> lock(sink_mutex);
           if (journal.is_open()) journal << record << '\n' << std::flush;
+          if (metrics.is_open())
+            metrics << sweep_metrics_json(point,
+                                          report.outcomes[index].counters)
+                    << '\n';
           if (options.progress != nullptr)
             *options.progress << "[sweep] " << point.scenario << " #"
                               << point.point_index << " host=" << point.host
@@ -263,6 +334,13 @@ SweepReport run_sweep(const SweepPlan& plan, const SweepRunnerOptions& options,
         report.outcomes[index].elapsed_ms = elapsed;
       },
       /*grain=*/1, /*serial_cutoff=*/2);
+
+  if (tracing) instrument::stop_tracing(options.trace_path);
+  if (collect_metrics) {
+    metrics.flush();
+    GNCG_CHECK(metrics.good(), "sweep metrics write to "
+                                   << options.metrics_path << " failed");
+  }
 
   // A failed append (disk full) would otherwise go unnoticed: the stream
   // sets badbit and silently swallows every later record.

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "support/instrument.hpp"
 #include "sweep/plan.hpp"
 #include "sweep/scenario.hpp"
 
@@ -46,6 +47,23 @@ struct SweepRunnerOptions {
 
   /// Per-completed-job progress notes to this stream (nullptr = silent).
   std::ostream* progress = nullptr;
+
+  /// Per-job kernel-counter JSONL path; empty disables collection.  When
+  /// set, every executed job is pinned to its one executing thread
+  /// (detail::NestedSerialGuard): scenario-internal parallel regions run
+  /// serially, so each job's counter deltas -- and therefore its metrics
+  /// record -- are byte-identical at any runner thread count (jobs, not
+  /// kernels, stay the unit of parallelism).  Counters are event counts
+  /// only; wall-clock never appears in the file (the sweep `*_ms` rule).
+  /// Restored (resumed) jobs did not execute here and get no record.
+  /// Under GNCG_INSTRUMENT=OFF builds every counter reads 0.
+  std::string metrics_path;
+
+  /// Chrome trace-event JSON path; empty disables tracing.  Records one
+  /// span per executed job plus per-worker pool busy spans; view in
+  /// chrome://tracing or ui.perfetto.dev.  Tracing never pins jobs --
+  /// the trace shows the real execution shape.
+  std::string trace_path;
 };
 
 /// One completed job with its (restored or freshly computed) result.
@@ -54,6 +72,9 @@ struct SweepOutcome {
   ScenarioResult result;
   double elapsed_ms = 0.0;    ///< 0 when restored from a journal
   bool from_journal = false;
+  /// Kernel-counter deltas attributed to this job (all zero unless
+  /// options.metrics_path enabled collection and the job executed here).
+  instrument::CounterArray counters{};
 };
 
 struct SweepReport {
@@ -79,6 +100,16 @@ std::string sweep_record_json(const SweepPoint& point,
 
 /// Journal header line for a plan fingerprint and job count.
 std::string sweep_journal_header(std::uint64_t fingerprint,
+                                 std::size_t job_count);
+
+/// The per-job metrics record: scenario/point/stream identity plus every
+/// kernel counter by name.  Deterministic bytes when the job was pinned
+/// (see SweepRunnerOptions::metrics_path).
+std::string sweep_metrics_json(const SweepPoint& point,
+                               const instrument::CounterArray& counters);
+
+/// Metrics file header line (schema "gncg-sweep-metrics-1").
+std::string sweep_metrics_header(std::uint64_t fingerprint,
                                  std::size_t job_count);
 
 }  // namespace gncg
