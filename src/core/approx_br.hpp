@@ -62,6 +62,26 @@ struct ApproxBrOptions {
   /// Certification goal: stop climbing once beta <= beta_target.  0 means
   /// "certify exactness or climb as far as allowed".
   double beta_target = 0.0;
+
+  /// Bounded-frontier repair cap (graph/incremental_sssp.hpp): with a
+  /// positive cap, tier-1 probes and the tier-2 restricted search truncate
+  /// their decrease-only repairs after `repair_cap` distance overwrites.
+  /// Truncated probes settle on a certified *underestimate* used only for
+  /// pruning/ranking; every adopted strategy is re-costed by full repairs,
+  /// so `cost` stays an achieved (canonical) cost and the certificates stay
+  /// admissible.  0 = exact repairs everywhere (the historical ladder,
+  /// bit-for-bit).
+  std::size_t repair_cap = 0;
+
+  /// Agent u's SSSP row in the *current built network* (including u's own
+  /// edges), e.g. DeviationEngine::distances_warm(u).  When set, the ladder
+  /// folds the current-network floor into its certificates: every new edge
+  /// (u,x) costs at least d_cur(x) - G where G = max_x (d_cur(x) - w(u,x)),
+  /// so node t sits at distance >= min(d_base(t), max(w_min, d_cur(t) - G))
+  /// in any deviation -- usually far tighter than the bare w_min floor on
+  /// near-equilibrium profiles.  nullptr = the PR 7 certificates unchanged.
+  /// The pointee must outlive the call.
+  const std::vector<double>* current_dist = nullptr;
 };
 
 /// Result of an approximate-BR ladder run.
@@ -88,6 +108,34 @@ ApproxBrResult approx_best_response_ladder(const Game& game,
 /// the environment (no copy), like exact_best_response.
 ApproxBrResult approx_best_response_ladder(const DeviationEngine& engine,
                                            int u,
+                                           const ApproxBrOptions& options = {});
+
+/// One agent's entry in a batched certification pass.
+struct CertifiedAgent {
+  int agent = -1;
+  /// The agent's cost in the profile being certified (the incumbent the
+  /// ladder ran against); eps_u = max(0, current_cost - result.lower_bound)
+  /// bounds the agent's achievable regret.
+  double current_cost = kInf;
+  ApproxBrResult result;
+};
+
+/// Batched near-equilibrium certification: runs the ladder for every agent
+/// in `agents` against the engine's current profile and returns one
+/// CertifiedAgent per entry, in input order.
+///
+/// Compared to a loop of cold approx_best_response_ladder calls this
+///  * shares one engine across the batch and lazily materializes exactly the
+///    sampled agents' current-network rows (a full warm pass would be O(n^2)
+///    memory at large n), seeding each agent's incumbent and current-network
+///    floor (ApproxBrOptions::current_dist) from its cached row;
+///  * processes agents in spatial-locality order (grid cell on euclidean
+///    hosts, host-distance-to-anchor otherwise) so consecutive ladders
+///    touch overlapping neighborhoods while the adjacency slab is hot.
+/// Per-agent options (budget, repair_cap, beta_target, allow_exact) come
+/// from `options`; incumbent and current_dist are overwritten per agent.
+std::vector<CertifiedAgent> certify_agents(DeviationEngine& engine,
+                                           const std::vector<int>& agents,
                                            const ApproxBrOptions& options = {});
 
 }  // namespace gncg

@@ -96,6 +96,13 @@ struct BestResponseResult {
   double cost = kInf;             ///< agent cost of that deviation
   bool improved = false;          ///< beat the incumbent bound strictly
   std::uint64_t evaluations = 0;  ///< number of candidate evaluations
+  /// True when the bounded-frontier mode (repair_cap > 0) truncated at
+  /// least one repair on the path to the returned optimum: `cost` is then a
+  /// certified *lower bound* on the true cost of `strategy` (and of the
+  /// restricted optimum), not an achieved cost.  Callers must re-cost the
+  /// strategy exactly before adopting it.  Always false when repair_cap
+  /// is 0, where `cost` is the exact (restricted) optimum.
+  bool truncated = false;
 };
 
 /// Options for the exact search.
@@ -117,6 +124,24 @@ struct BestResponseOptions {
   /// result is bit-identical to the unrestricted search (the differential
   /// gate in tests/test_approx_br.cpp).  The pointee must outlive the call.
   const std::vector<int>* restrict_targets = nullptr;
+
+  /// Bounded-frontier mode: cap on distance overwrites per incremental
+  /// repair inside the DFS (graph/incremental_sssp.hpp FrontierPolicy).
+  /// 0 = exact search (the historical behavior, bit-for-bit).  With a
+  /// positive cap, truncated branches are costed by the admissible floor
+  /// sum_t max(host(t), min(dist(t), F)) instead of the distance sum, so
+  /// the returned cost is a certified lower bound whenever
+  /// BestResponseResult::truncated is set (and still the exact optimum when
+  /// no repair on the winning path truncated).
+  std::size_t repair_cap = 0;
+
+  /// When non-null, seeds the search's base distance vector from this
+  /// precomputed SSSP row (the agent's distances in the *environment*,
+  /// i.e. without any of u's sole-owned edges) instead of running the base
+  /// Dijkstra.  The batched certifier shares one warmed row across the
+  /// ladder's tiers this way.  The pointee must match the environment
+  /// exactly (bitwise: it becomes the branch seed) and outlive the call.
+  const std::vector<double>* base_dist = nullptr;
 };
 
 /// Exact best response of agent u against the rest of profile `s`.

@@ -109,6 +109,19 @@ struct BranchSearch {
   BestResponseResult result;
   bool done = false;
 
+  /// Bounded-frontier mode (repair_cap > 0): every in-DFS repair honors the
+  /// cap, and `path_frontier` is the minimum frontier key over the
+  /// *truncated* insertions still on the DFS path (kInf when every repair on
+  /// the path ran exact).  The repair invariant composes along the path:
+  /// true(t) >= min(dist(t), path_frontier), because a node left deficient
+  /// by some truncated repair has its fixing relaxation chain blocked at a
+  /// key >= that repair's frontier >= path_frontier (keys along a shortest
+  /// path are nondecreasing under monotone fl-addition), while a node a
+  /// later repair did fix satisfies dist == true.  Saved/restored around
+  /// each descend step like the distance log.
+  std::size_t repair_cap = 0;
+  double path_frontier = kInf;
+
   double bound() const { return std::min(result.cost, base_bound); }
 
   /// A branch whose index can no longer win the first-improvement fold (a
@@ -130,14 +143,28 @@ struct BranchSearch {
     double edge_sum = 0.0;
     current.for_each(
         [&](int v) { edge_sum += (*weight_row)[static_cast<std::size_t>(v)]; });
-    const double cost =
-        game->alpha() * edge_sum + Model::distance_term(sssp->dist());
+    // With a live truncation on the path the maintained vector is only an
+    // upper bound, so the recorded value is the admissible floor
+    // sum_t max(host(t), min(dist(t), path_frontier)) -- a certified lower
+    // bound on the subset's true cost.  Without one, the vector is the exact
+    // fixpoint and the plain distance term keeps the cap-0 path bitwise
+    // identical (max(host, dist) could differ from dist in the last ulp).
+    double dist_term;
+    bool lower_bound_only = false;
+    if (repair_cap > 0 && path_frontier < kInf) {
+      dist_term = Model::tight_floor(*host_row, sssp->dist(), path_frontier);
+      lower_bound_only = true;
+    } else {
+      dist_term = Model::distance_term(sssp->dist());
+    }
+    const double cost = game->alpha() * edge_sum + dist_term;
     ++result.evaluations;
     GNCG_COUNT(kBrEvaluations);
     if (improves(cost, bound())) {
       result.cost = cost;
       result.strategy = current;
       result.improved = improves(cost, incumbent);
+      result.truncated = lower_bound_only;
       if (first_improvement && result.improved) done = true;
     }
   }
@@ -154,10 +181,17 @@ struct BranchSearch {
       GNCG_COUNT(kBrPrunesGlobal);
       return true;
     }
-    if (!improves(
-            edge_cost +
-                Model::tight_floor(*host_row, sssp->dist(), (*weights)[i]),
-            b)) {
+    // Under bounded repairs the maintained dist is an upper bound, so the
+    // per-node floor compensates with the path frontier: any true distance
+    // is >= min(dist(t), path_frontier), and a new edge still costs at
+    // least w_next.  With cap 0 the effective weight equals w_next and the
+    // computation is the historical one.
+    const double w_eff = repair_cap > 0
+                             ? std::min((*weights)[i], path_frontier)
+                             : (*weights)[i];
+    if (!improves(edge_cost +
+                      Model::tight_floor(*host_row, sssp->dist(), w_eff),
+                  b)) {
       GNCG_COUNT(kBrPrunesPerNode);
       return true;
     }
@@ -170,10 +204,19 @@ struct BranchSearch {
     current_weight += (*weights)[i];
     // The source's distance is 0 and never changes, so the repair needs
     // only the environment edges: no path improves through the source.
-    sssp->relax_insert((*candidates)[i], (*weights)[i],
-                       [this](int x, auto&& visit) {
-                         env->for_neighbors(x, visit);
-                       });
+    const auto environment_edges = [this](int x, auto&& visit) {
+      env->for_neighbors(x, visit);
+    };
+    if (repair_cap > 0) {
+      FrontierPolicy policy;
+      policy.node_cap = repair_cap;
+      const RepairOutcome outcome = sssp->relax_insert(
+          (*candidates)[i], (*weights)[i], policy, environment_edges);
+      if (outcome.truncated)
+        path_frontier = std::min(path_frontier, outcome.frontier_min);
+    } else {
+      sssp->relax_insert((*candidates)[i], (*weights)[i], environment_edges);
+    }
   }
 
   void remove(std::size_t i, IncrementalSssp::Checkpoint mark) {
@@ -191,10 +234,12 @@ struct BranchSearch {
       }
       if (pruned(i)) break;
       const IncrementalSssp::Checkpoint mark = sssp->checkpoint();
+      const double pf_mark = path_frontier;
       insert(i);
       evaluate();
       if (!done) descend(i + 1);
       remove(i, mark);
+      path_frontier = pf_mark;
     }
   }
 };
@@ -205,6 +250,7 @@ struct BranchOutcome {
   NodeSet strategy;
   bool improved = false;
   std::uint64_t evaluations = 0;
+  bool truncated = false;
 };
 
 /// The shared driver: empty-set evaluation, first-level fan-out over the
@@ -254,9 +300,14 @@ BestResponseResult run_search(const AgentEnvironment& env,
   // The one Dijkstra of the search: u's distances in the bare environment
   // (the empty-strategy network).  Every branch seeds its incremental
   // vector from this.  Integer-weight hosts take the bucket-queue kernel
-  // (bit-identical distances).
+  // (bit-identical distances).  A caller that already holds this exact row
+  // (the batched certifier sharing one warmed base across the ladder's
+  // tiers) passes it via options.base_dist and the search skips the kernel.
   std::vector<double>& base_dist = scratch.base_dist;
-  {
+  if (options.base_dist != nullptr) {
+    GNCG_DASSERT(options.base_dist->size() == static_cast<std::size_t>(n));
+    base_dist = *options.base_dist;
+  } else {
     ScratchArena& arena = worker_arena();
     const int dial_bound = game.host().dial_weight_bound();
     const auto environment_edges = [&](int x, auto&& visit) {
@@ -339,6 +390,7 @@ BestResponseResult run_search(const AgentEnvironment& env,
           search.incumbent = options.incumbent;
           search.first_improvement = options.first_improvement;
           search.branch = static_cast<int>(i);
+          search.repair_cap = options.repair_cap;
           if (options.first_improvement) search.winner = &winner;
           search.sssp = &worker_arena().incremental_sssp();
           search.sssp->reset(base_dist);
@@ -361,7 +413,8 @@ BestResponseResult run_search(const AgentEnvironment& env,
           }
           outcomes[i] = BranchOutcome{
               search.result.cost, std::move(search.result.strategy),
-              search.result.improved, search.result.evaluations};
+              search.result.improved, search.result.evaluations,
+              search.result.truncated};
         },
         /*grain=*/1, /*serial_cutoff=*/2);
 
@@ -375,12 +428,14 @@ BestResponseResult run_search(const AgentEnvironment& env,
           result.cost = outcomes[i].cost;
           result.strategy = std::move(outcomes[i].strategy);
           result.improved = true;
+          result.truncated = outcomes[i].truncated;
         }
       } else if (improves(outcomes[i].cost,
                           std::min(result.cost, options.incumbent))) {
         result.cost = outcomes[i].cost;
         result.strategy = std::move(outcomes[i].strategy);
         result.improved = improves(result.cost, options.incumbent);
+        result.truncated = outcomes[i].truncated;
       }
     }
   }

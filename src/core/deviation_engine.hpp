@@ -149,6 +149,14 @@ class DeviationEngine {
 
   double distance_cost_warm(int u) const;
   double agent_cost_warm(int u) const;
+
+  /// Warmed SSSP row of agent u in the built network (the vector behind
+  /// distance_cost_warm).  The batched certifier feeds this to the ladder's
+  /// current-network floor (ApproxBrOptions::current_dist) without paying a
+  /// fresh Dijkstra.  Invalidated by any mutation, like distances().
+  const std::vector<double>& distances_warm(int u) const {
+    return warmed(u).dist;
+  }
   SingleMoveResult best_single_move_warm(int u) const;
   SingleMoveResult best_addition_warm(int u) const;
   SingleMoveResult best_swap_warm(int u) const;

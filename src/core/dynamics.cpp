@@ -45,6 +45,7 @@ DynamicsResult run_dynamics(DeviationEngine& engine,
   config.fairness_bound = options.fairness_bound;
   config.softmax_tau = options.softmax_tau;
   config.approx_budget = options.approx_budget;
+  config.approx_repair_cap = options.approx_repair_cap;
   const auto rule = resolve_rule(options, config);
   const auto scheduler = resolve_scheduler(options, config);
 

@@ -82,6 +82,10 @@ struct DynamicsOptions {
   std::uint64_t fairness_bound = 0;
   double softmax_tau = 0.25;
   int approx_budget = 0;
+  /// Approx-ladder bounded-frontier repair cap (ApproxBrOptions::repair_cap);
+  /// 0 = exact repairs.  Applied moves stay strict better-responses either
+  /// way (the ladder re-costs truncated winners exactly).
+  std::size_t approx_repair_cap = 0;
 
   /// Record the full move trajectory into DynamicsResult::steps.  Disable
   /// for bulk restart sweeps that only consume aggregate statistics; note

@@ -98,7 +98,8 @@ class UmflRule final : public MoveRulePolicy {
 /// (beta, eps)-equilibrium certified by the ladder's escape bound.
 class ApproxLadderRule final : public MoveRulePolicy {
  public:
-  explicit ApproxLadderRule(int budget) : budget_(budget) {}
+  ApproxLadderRule(int budget, std::size_t repair_cap)
+      : budget_(budget), repair_cap_(repair_cap) {}
 
   std::string_view name() const override { return "approx_ladder"; }
   bool wants_full_warm() const override { return false; }
@@ -109,6 +110,11 @@ class ApproxLadderRule final : public MoveRulePolicy {
     ApproxBrOptions options;
     options.budget = budget_;
     options.incumbent = current;
+    options.repair_cap = repair_cap_;
+    // The warm row tightens the ladder's tier-1 certificate; a tier-1 exact
+    // claim (sound: lower_bound >= cost means nothing improves on it) then
+    // skips the restricted search without changing the proposal.
+    options.current_dist = &engine.distances_warm(u);
     const ApproxBrResult ladder = approx_best_response_ladder(engine, u,
                                                               options);
     proposal.old_cost = current;
@@ -123,6 +129,7 @@ class ApproxLadderRule final : public MoveRulePolicy {
 
  private:
   int budget_;
+  std::size_t repair_cap_;
 };
 
 // --- schedulers -----------------------------------------------------------
@@ -396,7 +403,8 @@ void register_builtin_policies(DynamicsPolicyRegistry& registry) {
     return std::make_unique<UmflRule>();
   });
   registry.add_rule("approx_ladder", [](const PolicyConfig& config) {
-    return std::make_unique<ApproxLadderRule>(config.approx_budget);
+    return std::make_unique<ApproxLadderRule>(config.approx_budget,
+                                              config.approx_repair_cap);
   });
   registry.add_scheduler("round_robin", [](const PolicyConfig& config) {
     return std::make_unique<OrderScheduler>(config.node_count,

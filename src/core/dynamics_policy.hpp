@@ -86,6 +86,8 @@ struct PolicyConfig {
   /// Approx-ladder move rule: candidate-shortlist size handed to the
   /// spatial oracle.  <= 0 picks the ladder's default.
   int approx_budget = 0;
+  /// Approx-ladder bounded-frontier repair cap; 0 = exact repairs.
+  std::size_t approx_repair_cap = 0;
 };
 
 /// Maps an activated agent to its proposal.  Stateless; const-callable from

@@ -121,11 +121,14 @@ class DijkstraBuffers {
     GNCG_CHECK(source >= 0 && source < n, "source out of range");
     GNCG_COUNT(kSsspHeapRuns);
     GNCG_IF_INSTRUMENT(std::uint64_t pops = 0; std::uint64_t relaxations = 0;)
-    // Shrink before reuse: dist needs exactly n slots; the heap's need is
-    // estimated by the previous run's peak (stable workloads keep a stable
-    // peak, so steady-state runs never shrink-then-regrow).
+    // Shrink before reuse: dist needs exactly n slots; the heap's need is a
+    // decaying peak estimate (previous run's peak, floored at half the prior
+    // estimate), so workloads that alternate run sizes keep their capacity
+    // instead of shrink-then-regrowing, while a genuine downshift still
+    // releases within a logarithmic number of runs.
     detail::release_excess(dist, static_cast<std::size_t>(n));
-    detail::release_excess(heap_, heap_peak_);
+    heap_need_ = std::max(heap_peak_, heap_need_ / 2);
+    detail::release_excess(heap_, heap_need_);
     heap_peak_ = 0;
     dist.assign(static_cast<std::size_t>(n), kInf);
     heap_.clear();
@@ -184,6 +187,7 @@ class DijkstraBuffers {
   std::vector<double> dist_;
   std::vector<detail::HeapEntry> heap_;
   std::size_t heap_peak_ = 0;  ///< high-water mark of the previous run
+  std::size_t heap_need_ = 0;  ///< decaying need estimate (shrink policy)
 };
 
 /// Bucket-queue ("dial") Dijkstra workspace for hosts whose finite weights

@@ -4,11 +4,16 @@ namespace gncg {
 
 void IncrementalSssp::reset(const std::vector<double>& dist) {
   // Same shrink policy as DijkstraBuffers: release capacities left over
-  // from a much larger previous search (log/heap needs are estimated by the
-  // previous search's peaks, so stable workloads never churn).
+  // from a much larger previous search.  Log/heap needs are *decaying peak
+  // estimates* -- the estimate is the previous search's peak, floored at
+  // half the prior estimate -- so a workload alternating small probes and
+  // large floods never shrink-then-regrows, while a genuine downshift
+  // still releases within a logarithmic number of resets.
+  log_need_ = std::max(log_peak_, log_need_ / 2);
+  heap_need_ = std::max(heap_peak_, heap_need_ / 2);
   detail::release_excess(dist_, dist.size());
-  detail::release_excess(log_, log_peak_);
-  detail::release_excess(heap_, heap_peak_);
+  detail::release_excess(log_, log_need_);
+  detail::release_excess(heap_, heap_need_);
   log_peak_ = 0;
   heap_peak_ = 0;
   dist_ = dist;

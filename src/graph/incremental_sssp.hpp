@@ -25,6 +25,23 @@
 // the naive one-Dijkstra-per-subset search (tests/test_incremental_sssp.cpp
 // and the differential fuzz in tests/test_best_response.cpp are the gates).
 //
+// Bounded-frontier mode (PR 9): `relax_insert` optionally takes a
+// FrontierPolicy that truncates the decrease-only propagation (node cap
+// and/or admissible radius).  A truncated repair leaves the maintained
+// vector a per-node *upper* bound on the true fixpoint (every stored value
+// is still the rounded length of a real path) and reports the minimum heap
+// key F left unexplored.  The truncation invariant callers build floors on:
+//
+//     true(y) >= min(dist(y), F)   for every node y,
+//
+// because valid pop keys are nondecreasing, so every relaxation the cut
+// frontier could still have produced writes a value >= F.  When the policy
+// never fires the bounded loop executes the exact same instruction sequence
+// as the unbounded one, so the vector is bitwise equal to the unbounded
+// repair (and hence to a fresh Dijkstra) -- the common case when a probe's
+// improvement is spatially local.  Rollback works identically in both
+// modes: every overwrite is logged before the bound is consulted.
+//
 // Not thread-safe; parallel searches own one instance per branch.
 #pragma once
 
@@ -35,6 +52,34 @@
 #include "graph/dijkstra.hpp"
 
 namespace gncg {
+
+/// Truncation policy for a bounded-frontier repair.  Default-constructed =
+/// unbounded (the exact repair).
+struct FrontierPolicy {
+  /// Maximum distance overwrites per repair; 0 = unbounded.  Checked at pop
+  /// time, so a repair performs at most node_cap + one adjacency list of
+  /// relaxations.
+  std::size_t node_cap = 0;
+  /// Admissible radius: the repair stops once the cheapest unexplored heap
+  /// key exceeds it (improvements past the radius are cut).  Derive it from
+  /// the inserted edge's weight plus a locality bound (e.g. the spatial
+  /// oracle's ring lower bound); kInf = unbounded.
+  double radius = kInf;
+
+  bool bounded() const { return node_cap > 0 || radius < kInf; }
+};
+
+/// Outcome of one (possibly bounded) relax_insert.
+struct RepairOutcome {
+  /// True when the frontier policy cut the propagation: dist() is then a
+  /// per-node upper bound and `frontier_min` carries the floor key.  False
+  /// means the repair ran to the exact fixpoint (bitwise equal to the
+  /// unbounded repair), the slack-0 case.
+  bool truncated = false;
+  /// Minimum heap key left unexplored at truncation (kInf when exact):
+  /// true(y) >= min(dist(y), frontier_min) for every node y.
+  double frontier_min = kInf;
+};
 
 class IncrementalSssp {
  public:
@@ -58,32 +103,20 @@ class IncrementalSssp {
   /// reason the new one doesn't).  Every overwritten distance is logged.
   template <class NeighborFn>
   void relax_insert(int v, double cand, NeighborFn&& neighbor_fn) {
-    const std::size_t vi = static_cast<std::size_t>(v);
-    GNCG_DASSERT(vi < dist_.size());
-    if (!(cand < dist_[vi])) return;
-    GNCG_COUNT(kSsspRepairs);
-    GNCG_IF_INSTRUMENT(std::uint64_t relaxations = 1;)
-    log_.emplace_back(v, dist_[vi]);
-    dist_[vi] = cand;
-    heap_.clear();
-    push(cand, v);
-    while (!heap_.empty()) {
-      const auto [d, x] = pop();
-      if (d > dist_[static_cast<std::size_t>(x)]) continue;  // stale entry
-      neighbor_fn(x, [&](int y, double w) {
-        GNCG_DASSERT(w >= 0.0);
-        const double candidate = d + w;
-        const std::size_t yi = static_cast<std::size_t>(y);
-        if (candidate < dist_[yi]) {
-          GNCG_IF_INSTRUMENT(++relaxations;)
-          log_.emplace_back(y, dist_[yi]);
-          dist_[yi] = candidate;
-          push(candidate, y);
-        }
-      });
-    }
-    if (log_.size() > log_peak_) log_peak_ = log_.size();
-    GNCG_COUNT_N(kSsspRepairRelaxations, relaxations);
+    relax_insert_impl<false>(v, cand, FrontierPolicy{}, neighbor_fn);
+  }
+
+  /// Bounded-frontier variant: the repair additionally honors `policy`,
+  /// truncating the propagation once the node cap or the admissible radius
+  /// is hit (see the file comment for the floor invariant).  With an
+  /// unbounded policy this is exactly relax_insert (same instruction
+  /// sequence, outcome never truncated).
+  template <class NeighborFn>
+  RepairOutcome relax_insert(int v, double cand, const FrontierPolicy& policy,
+                             NeighborFn&& neighbor_fn) {
+    if (!policy.bounded())
+      return relax_insert_impl<false>(v, cand, policy, neighbor_fn);
+    return relax_insert_impl<true>(v, cand, policy, neighbor_fn);
   }
 
   /// Restores every distance overwritten since `mark`, newest first (a node
@@ -97,6 +130,62 @@ class IncrementalSssp {
   }
 
  private:
+  /// Shared repair body.  `Bounded` is a compile-time switch so the exact
+  /// path carries no policy checks (identical machine code to the
+  /// pre-bounded kernel).  The cap/radius tests run at pop time against the
+  /// heap minimum, so `frontier_min` is exactly the cheapest improvement
+  /// left unexplored and the relaxation count overshoots the cap by at most
+  /// one adjacency list.
+  template <bool Bounded, class NeighborFn>
+  RepairOutcome relax_insert_impl(int v, double cand,
+                                  const FrontierPolicy& policy,
+                                  NeighborFn&& neighbor_fn) {
+    RepairOutcome outcome;
+    const std::size_t vi = static_cast<std::size_t>(v);
+    GNCG_DASSERT(vi < dist_.size());
+    if (!(cand < dist_[vi])) return outcome;
+    GNCG_COUNT(kSsspRepairs);
+    if constexpr (Bounded) GNCG_COUNT(kSsspBoundedRepairs);
+    GNCG_IF_INSTRUMENT(std::uint64_t relaxations = 1;)
+    [[maybe_unused]] std::size_t writes = 1;  // algorithmic cap, not metrics
+    log_.emplace_back(v, dist_[vi]);
+    dist_[vi] = cand;
+    heap_.clear();
+    push(cand, v);
+    while (!heap_.empty()) {
+      if constexpr (Bounded) {
+        // heap_[0] is the min entry (std::push_heap with greater<>).  A
+        // stale minimum only lowers frontier_min, which stays admissible.
+        const double top = heap_[0].first;
+        if (top > policy.radius ||
+            (policy.node_cap > 0 && writes >= policy.node_cap)) {
+          outcome.truncated = true;
+          outcome.frontier_min = top;
+          heap_.clear();
+          GNCG_COUNT(kSsspBoundedTruncations);
+          break;
+        }
+      }
+      const auto [d, x] = pop();
+      if (d > dist_[static_cast<std::size_t>(x)]) continue;  // stale entry
+      neighbor_fn(x, [&](int y, double w) {
+        GNCG_DASSERT(w >= 0.0);
+        const double candidate = d + w;
+        const std::size_t yi = static_cast<std::size_t>(y);
+        if (candidate < dist_[yi]) {
+          GNCG_IF_INSTRUMENT(++relaxations;)
+          if constexpr (Bounded) ++writes;
+          log_.emplace_back(y, dist_[yi]);
+          dist_[yi] = candidate;
+          push(candidate, y);
+        }
+      });
+    }
+    if (log_.size() > log_peak_) log_peak_ = log_.size();
+    GNCG_COUNT_N(kSsspRepairRelaxations, relaxations);
+    return outcome;
+  }
+
   void push(double d, int v) {
     heap_.emplace_back(d, v);
     if (heap_.size() > heap_peak_) heap_peak_ = heap_.size();
@@ -113,8 +202,14 @@ class IncrementalSssp {
   std::vector<double> dist_;
   std::vector<std::pair<int, double>> log_;
   std::vector<detail::HeapEntry> heap_;
-  std::size_t log_peak_ = 0;   ///< high-water marks of the previous search,
-  std::size_t heap_peak_ = 0;  ///< driving reset()'s shrink policy
+  std::size_t log_peak_ = 0;   ///< high-water marks of the previous search
+  std::size_t heap_peak_ = 0;
+  /// Decaying need estimates driving reset()'s shrink policy: the estimate
+  /// only halves per reset, so a workload alternating small and large
+  /// searches (the ladder's tier-1 probes vs tier-2 branch floods) keeps
+  /// its capacity instead of shrink-then-regrowing every other reset.
+  std::size_t log_need_ = 0;
+  std::size_t heap_need_ = 0;
 };
 
 }  // namespace gncg

@@ -72,6 +72,11 @@ class SpatialIndex {
   int cell_count() const { return static_cast<int>(cell_start_.size()) - 1; }
   int grid_dim() const { return gdim_; }
 
+  /// Flat grid-cell id of a point.  Exposed for spatial-locality ordering
+  /// (the batched certifier processes agents cell by cell so consecutive
+  /// ladder calls touch overlapping neighborhoods); pure and O(1).
+  int cell_of(int point) const;
+
   std::size_t footprint_bytes() const {
     return cell_start_.capacity() * sizeof(int) +
            cell_points_.capacity() * sizeof(int);
@@ -79,7 +84,6 @@ class SpatialIndex {
 
  private:
   int cell_coord(int point, int axis) const;
-  int cell_of(int point) const;
 
   const PointSet* points_;
   double p_;

@@ -25,6 +25,7 @@ std::size_t ScratchArena::footprint_bytes() const {
            sizeof(double);
   total += ladder_.in_cand.capacity() * sizeof(char);
   total += ladder_.sssp.footprint_bytes();
+  total += ladder_.probe_rank.capacity() * sizeof(std::pair<double, int>);
   return total;
 }
 

@@ -92,6 +92,9 @@ class ScratchArena {
     std::vector<double> weight_row; ///< buy weights by node id
     std::vector<char> in_cand;      ///< candidate membership by node id
     IncrementalSssp sssp;           ///< tier-1 greedy repair state
+    /// Bounded tier-1 probe ranking: (lower-bound estimate, candidate index)
+    /// pairs sorted ascending before full-repair commits.
+    std::vector<std::pair<double, int>> probe_rank;
   };
   LadderScratch& ladder() { return ladder_; }
 

@@ -51,6 +51,11 @@ const char* counter_name(Counter counter) {
     case Counter::kPoolRegions: return "pool_regions";
     case Counter::kPoolTasks: return "pool_tasks";
     case Counter::kArenaShrinkEvents: return "arena_shrink_events";
+    case Counter::kSsspBoundedRepairs: return "sssp_bounded_repairs";
+    case Counter::kSsspBoundedTruncations: return "sssp_bounded_truncations";
+    case Counter::kLadderBoundedProbes: return "ladder_bounded_probes";
+    case Counter::kLadderBatchCalls: return "ladder_batch_calls";
+    case Counter::kLadderBatchAgents: return "ladder_batch_agents";
     case Counter::kCount: break;
   }
   return "unknown";

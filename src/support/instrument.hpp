@@ -105,6 +105,15 @@ enum class Counter : int {
   kPoolTasks,         ///< per-worker region bodies executed
   kArenaShrinkEvents, ///< scratch-buffer shrinks taken (release_excess etc.)
 
+  // Bounded-frontier SSSP repair (graph/incremental_sssp.hpp) and the
+  // batched certifier (core/approx_br.cpp).  Appended for PR 9; the
+  // bounded counters stay 0 on every exact path (FrontierPolicy absent).
+  kSsspBoundedRepairs,     ///< relax_insert calls run under a frontier policy
+  kSsspBoundedTruncations, ///< bounded repairs cut short (estimate, not exact)
+  kLadderBoundedProbes,    ///< tier-1 probes settled on a truncated estimate
+  kLadderBatchCalls,       ///< certify_agents batch invocations
+  kLadderBatchAgents,      ///< agents certified through certify_agents
+
   kCount
 };
 

@@ -419,10 +419,13 @@ ScenarioResult run_approx_ne(const SweepPoint& point, Rng& rng) {
   const auto max_moves =
       static_cast<std::uint64_t>(point.extra_or("max_moves", 200.0));
   const int budget = static_cast<int>(point.extra_or("budget", 16.0));
-  const int certify_agents =
+  const int certify_count =
       static_cast<int>(point.extra_or("certify_agents", 64.0));
+  const auto repair_cap =
+      static_cast<std::size_t>(point.extra_or("repair_cap", 0.0));
+  const bool verify_unbounded = point.extra_or("verify_unbounded", 0.0) != 0.0;
   GNCG_CHECK(restarts >= 1 && max_moves >= 1 && budget >= 1 &&
-                 certify_agents >= 1,
+                 certify_count >= 1,
              "approx_ne needs restarts, max_moves, budget and "
              "certify_agents >= 1");
   GNCG_CHECK(point.host == "euclidean",
@@ -444,6 +447,7 @@ ScenarioResult run_approx_ne(const SweepPoint& point, Rng& rng) {
   restart_options.dynamics.scheduler = SchedulerKind::kRoundRobin;
   restart_options.dynamics.max_moves = max_moves;
   restart_options.dynamics.approx_budget = budget;
+  restart_options.dynamics.approx_repair_cap = repair_cap;
   restart_options.dynamics.detect_cycles = true;
   restart_options.dynamics.record_steps = false;
   const Stopwatch dynamics_timer;
@@ -459,34 +463,40 @@ ScenarioResult run_approx_ne(const SweepPoint& point, Rng& rng) {
   }
   GNCG_CHECK(certified_run != nullptr, "approx_ne ran no restart");
 
-  // Certify the first run's reached profile: for each sampled agent
-  // (evenly spaced ids, the br_dynamics convention), the ladder's lower
-  // bound LB_u on the unrestricted best response gives
-  //   beta_u = cost_u / LB_u,   eps_u = cost_u - LB_u.
+  // Certify the first run's reached profile through the batched certifier:
+  // one warmed engine shared across the sampled agents (evenly spaced ids,
+  // the br_dynamics convention), each ladder seeded with the agent's cached
+  // current-network row.  The ladder's lower bound LB_u on the unrestricted
+  // best response gives beta_u = cost_u / LB_u, eps_u = cost_u - LB_u.
   const Stopwatch certify_timer;
   DeviationEngine engine(game, certified_run->result.final_profile);
-  const int per = std::min(certify_agents, point.n);
+  const int per = std::min(certify_count, point.n);
+  std::vector<int> agent_ids;
+  agent_ids.reserve(static_cast<std::size_t>(per));
+  for (int i = 0; i < per; ++i)
+    agent_ids.push_back(
+        static_cast<int>((static_cast<long long>(i) * point.n) / per));
+  ApproxBrOptions certify_options;
+  certify_options.budget = budget;
+  certify_options.repair_cap = repair_cap;
+  const std::vector<CertifiedAgent> certified =
+      certify_agents(engine, agent_ids, certify_options);
   double max_beta = 1.0;
   double beta_sum = 0.0;
   double max_eps = 0.0;
   int improving = 0;
   int certified_exact = 0;
   int tier2 = 0;
-  for (int i = 0; i < per; ++i) {
-    const int u =
-        static_cast<int>((static_cast<long long>(i) * point.n) / per);
-    ApproxBrOptions options;
-    options.budget = budget;
-    options.incumbent = engine.agent_cost(u);
-    const ApproxBrResult ladder = approx_best_response_ladder(engine, u,
-                                                              options);
+  int verified = 0;
+  for (const CertifiedAgent& ca : certified) {
+    const ApproxBrResult& ladder = ca.result;
     const double beta_u =
-        ladder.lower_bound > 0.0 && options.incumbent < kInf
-            ? options.incumbent / ladder.lower_bound
+        ladder.lower_bound > 0.0 && ca.current_cost < kInf
+            ? ca.current_cost / ladder.lower_bound
             : 1.0;
     const double eps_u =
-        options.incumbent < kInf && ladder.lower_bound < kInf
-            ? std::max(0.0, options.incumbent - ladder.lower_bound)
+        ca.current_cost < kInf && ladder.lower_bound < kInf
+            ? std::max(0.0, ca.current_cost - ladder.lower_bound)
             : 0.0;
     max_beta = std::max(max_beta, beta_u);
     beta_sum += beta_u;
@@ -494,6 +504,43 @@ ScenarioResult run_approx_ne(const SweepPoint& point, Rng& rng) {
     if (ladder.improved) ++improving;
     if (ladder.exact) ++certified_exact;
     if (ladder.tier >= 2) ++tier2;
+
+    // Differential gate (verify_unbounded=1): every certified agent is
+    // re-run with the cap off.  Both ladders' lower bounds under-bound the
+    // true optimum and both costs upper-bound it, so the cross inequalities
+    // must hold; and wherever the bounded ladder claimed exactness the
+    // unbounded ladder must achieve the byte-equal cost (both then equal
+    // the unrestricted best-response cost) -- any violation means a broken
+    // truncation certificate.
+    if (verify_unbounded && repair_cap > 0) {
+      ApproxBrOptions unbounded = certify_options;
+      unbounded.repair_cap = 0;
+      unbounded.incumbent = ca.current_cost;
+      unbounded.current_dist = &engine.distances(ca.agent);
+      const ApproxBrResult reference =
+          approx_best_response_ladder(engine, ca.agent, unbounded);
+      const double tol =
+          kImproveEps *
+          std::max(1.0, std::min(std::abs(ladder.cost),
+                                 std::abs(reference.cost)));
+      GNCG_CHECK(ladder.lower_bound <= reference.cost + tol,
+                 "bounded lower bound " << ladder.lower_bound
+                                        << " exceeds the unbounded cost "
+                                        << reference.cost << " for agent "
+                                        << ca.agent);
+      GNCG_CHECK(reference.lower_bound <= ladder.cost + tol,
+                 "unbounded lower bound " << reference.lower_bound
+                                          << " exceeds the bounded cost "
+                                          << ladder.cost << " for agent "
+                                          << ca.agent);
+      if (ladder.exact) {
+        GNCG_CHECK(reference.cost == ladder.cost,
+                   "bounded ladder claimed exact with cost "
+                       << ladder.cost << " but the unbounded ladder achieved "
+                       << reference.cost << " for agent " << ca.agent);
+      }
+      ++verified;
+    }
   }
   const double certify_ms = certify_timer.millis();
 
@@ -508,6 +555,8 @@ ScenarioResult run_approx_ne(const SweepPoint& point, Rng& rng) {
   ScenarioRow row;
   row.metric("restarts", restarts)
       .metric("budget", budget)
+      .metric("repair_cap", static_cast<double>(repair_cap))
+      .metric("verified_unbounded", verified)
       .metric("converged", static_cast<double>(report.converged))
       .metric("total_moves", total_moves)
       .metric("certified_agents", per)
@@ -614,7 +663,12 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
           {"restarts", 2.0, "dynamics restarts"},
           {"max_moves", 200.0, "move budget per restart"},
           {"budget", 16.0, "spatial candidate budget per agent"},
-          {"certify_agents", 64.0, "agents certified (evenly spaced)"}},
+          {"certify_agents", 64.0, "agents certified (evenly spaced)"},
+          {"repair_cap", 0.0,
+           "bounded-frontier repair cap per SSSP repair (0 = exact)"},
+          {"verify_unbounded", 0.0,
+           "re-run certified agents with cap 0, cross-check lower bounds "
+           "and byte-equal exact costs (differential gate; 0 = off)"}},
       run_approx_ne, sweep_host_of));
 }
 

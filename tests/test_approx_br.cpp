@@ -254,6 +254,119 @@ TEST(ApproxLadder, CertificatesAreSoundAgainstNaiveExact) {
   }
 }
 
+TEST(ApproxLadder, BoundedRepairsKeepCertificatesSound) {
+  // With a tiny repair cap the tier-1 probes truncate constantly; the
+  // ladder must still return a real strategy's canonical cost, an
+  // admissible lower bound, and truthful exactness -- and when it does
+  // claim exactness, its cost must bitwise-equal the unbounded ladder's
+  // (which the cap-0 differential gates tie to the naive optimum).
+  Rng rng(127);
+  for (int trial = 0; trial < 18; ++trial) {
+    const int n = 6 + (trial % 5);
+    const double alpha = rng.uniform_real(0.2, 4.0);
+    const double p = (trial % 3 == 0) ? 1.0 : (trial % 3 == 1 ? 2.0
+                                                              : kPNormInf);
+    const Game game = random_euclidean_game(n, alpha, p, rng);
+    StrategyProfile profile = random_profile(game, rng);
+    force_mutual_buys(game, profile, n / 3, rng);
+    DeviationEngine engine(game, profile);
+    engine.warm_distances();
+    for (int u = 0; u < n; ++u) {
+      const auto naive = naive_exact_best_response(game, profile, u);
+      const AgentEnvironment env(game, profile, u);
+      const double exact_cost = env.cost_of(naive.strategy);
+      ApproxBrOptions bounded_options;
+      bounded_options.budget = 4;
+      bounded_options.repair_cap = 2;  // truncates almost every probe
+      bounded_options.incumbent = engine.agent_cost(u);
+      bounded_options.current_dist = &engine.distances_warm(u);
+      const auto bounded = approx_best_response_ladder(engine, u,
+                                                       bounded_options);
+      const double scale = std::max(1.0, std::abs(exact_cost));
+      // Achieved cost is a real strategy's canonical cost (never a
+      // truncated estimate) and upper-bounds the exact optimum.
+      EXPECT_EQ(bounded.cost, env.cost_of(bounded.strategy))
+          << "trial " << trial << " agent " << u;
+      EXPECT_GE(bounded.cost, exact_cost - 1e-12 * scale);
+      // Lower bound stays admissible and never exceeds the achieved cost.
+      EXPECT_LE(bounded.lower_bound, exact_cost + 1e-12 * scale)
+          << "trial " << trial << " agent " << u;
+      EXPECT_LE(bounded.lower_bound, bounded.cost + 1e-12 * scale);
+      EXPECT_GE(bounded.beta, 1.0);
+      if (bounded.exact) {
+        ApproxBrOptions unbounded_options = bounded_options;
+        unbounded_options.repair_cap = 0;
+        const auto unbounded = approx_best_response_ladder(engine, u,
+                                                           unbounded_options);
+        EXPECT_EQ(bounded.cost, unbounded.cost)
+            << "trial " << trial << " agent " << u;
+        EXPECT_NEAR(bounded.cost, exact_cost, 1e-9 * scale)
+            << "trial " << trial << " agent " << u;
+      }
+    }
+  }
+}
+
+TEST(ApproxLadder, RepairCapZeroIsBitwiseIdentity) {
+  // repair_cap = 0 (and no current-network rows) must reproduce the
+  // historical ladder bit for bit -- same strategy, cost, certificates.
+  Rng rng(131);
+  const int n = 14;
+  const Game game = random_euclidean_game(n, 1.2, 2.0, rng);
+  StrategyProfile profile = random_profile(game, rng);
+  force_mutual_buys(game, profile, n / 3, rng);
+  DeviationEngine engine(game, profile);
+  for (int u = 0; u < n; ++u) {
+    ApproxBrOptions defaults;
+    defaults.budget = 5;
+    defaults.incumbent = engine.agent_cost(u);
+    ApproxBrOptions cap0 = defaults;
+    cap0.repair_cap = 0;
+    const auto a = approx_best_response_ladder(engine, u, defaults);
+    const auto b = approx_best_response_ladder(engine, u, cap0);
+    EXPECT_TRUE(a.strategy == b.strategy) << "agent " << u;
+    EXPECT_EQ(a.cost, b.cost);
+    EXPECT_EQ(a.lower_bound, b.lower_bound);
+    EXPECT_EQ(a.tier, b.tier);
+    EXPECT_EQ(a.exact, b.exact);
+  }
+}
+
+TEST(ApproxLadder, CertifyAgentsMatchesPerAgentWarmLadder) {
+  // The batch certifier reorders work for spatial locality but must return
+  // per-agent results identical to individually invoking the warm ladder
+  // with the same options, in the caller's input order.
+  Rng rng(137);
+  const int n = 40;
+  const Game game = random_euclidean_game(n, 2.0, 2.0, rng);
+  const StrategyProfile profile = random_profile(game, rng);
+  const std::vector<int> agents{7, 31, 2, 19, 11};
+
+  ApproxBrOptions options;
+  options.budget = 5;
+  options.repair_cap = 64;
+  DeviationEngine batch_engine(game, profile);
+  const std::vector<CertifiedAgent> certified =
+      certify_agents(batch_engine, agents, options);
+  ASSERT_EQ(certified.size(), agents.size());
+
+  DeviationEngine engine(game, profile);
+  engine.warm_distances();
+  for (std::size_t i = 0; i < agents.size(); ++i) {
+    const int u = agents[i];
+    EXPECT_EQ(certified[i].agent, u) << "input order must be preserved";
+    ApproxBrOptions per = options;
+    per.incumbent = engine.agent_cost(u);
+    per.current_dist = &engine.distances_warm(u);
+    const auto solo = approx_best_response_ladder(engine, u, per);
+    EXPECT_EQ(certified[i].current_cost, per.incumbent);
+    EXPECT_TRUE(certified[i].result.strategy == solo.strategy) << "u=" << u;
+    EXPECT_EQ(certified[i].result.cost, solo.cost);
+    EXPECT_EQ(certified[i].result.lower_bound, solo.lower_bound);
+    EXPECT_EQ(certified[i].result.exact, solo.exact);
+  }
+}
+
 TEST(ApproxLadder, FullBudgetIsCertifiedExact) {
   // With budget >= n-1 the shortlist covers every target: the escape bound
   // is vacuous (+inf), so tier 2 must certify exactness and match the naive

@@ -145,9 +145,11 @@ TEST(ShrinkPolicy, DijkstraBuffersReleaseBigRunCapacity) {
   EXPECT_GT(buffers.heap_capacity(),
             detail::kShrinkFactor * detail::kShrinkFloor);
 
-  // First small run: dist shrinks immediately; the heap's shrink estimate is
-  // the *previous* run's peak, so it releases on the run after that.
-  for (int round = 0; round < 2; ++round) {
+  // dist shrinks on the first small run; the heap's shrink estimate decays
+  // by halves from the big run's peak (max(last peak, estimate / 2)), so a
+  // genuine downshift releases after ~log2(big / small) runs instead of
+  // churning on alternating workloads.
+  for (int round = 0; round < 12; ++round) {
     const auto& dist = buffers.run(small, 0, [&](int u, auto&& visit) {
       star_neighbors(small, u, visit);
     });
@@ -216,13 +218,54 @@ TEST(ShrinkPolicy, IncrementalSsspResetReleasesBigRunState) {
   EXPECT_GT(big_footprint, static_cast<std::size_t>(big) * sizeof(double));
 
   // Re-targeting the workspace at a small engine releases the big-run
-  // capacity (dist immediately; log/heap via the previous-peak estimate on
-  // the following reset).
+  // capacity: dist immediately, log/heap through the decaying need estimate
+  // (halved per reset from the big run's peak), so the release lands within
+  // ~log2(big) resets of a sustained downshift.
   std::vector<double> small_base{0.0, 1.0, 2.0, 3.0};
-  sssp.reset(small_base);
-  sssp.reset(small_base);
+  for (int round = 0; round < 16; ++round) sssp.reset(small_base);
   EXPECT_LT(sssp.footprint_bytes(), big_footprint / 4);
   EXPECT_EQ(sssp.dist().size(), small_base.size());
+}
+
+TEST(ShrinkPolicy, AlternatingWorkloadsKeepCapacity) {
+  // The PR 8 policy shrank from the *last* run's peak alone, so a workload
+  // alternating small probes and large floods (the bounded ladder's probe /
+  // commit pattern) released and re-grew its buffers every other call --
+  // 923 arena_shrink_events per bench_large_geo run.  The decaying estimate
+  // must keep the large capacity across interleaved small runs.
+  DijkstraBuffers buffers;
+  const int big = 6000, small = 8;
+  buffers.run(big, 0,
+              [&](int u, auto&& visit) { star_neighbors(big, u, visit); });
+  const std::size_t big_heap_cap = buffers.heap_capacity();
+  for (int round = 0; round < 6; ++round) {
+    buffers.run(small, 0,
+                [&](int u, auto&& visit) { star_neighbors(small, u, visit); });
+    buffers.run(big, 0,
+                [&](int u, auto&& visit) { star_neighbors(big, u, visit); });
+  }
+  EXPECT_EQ(buffers.heap_capacity(), big_heap_cap);
+
+  IncrementalSssp sssp;
+  std::vector<double> base(static_cast<std::size_t>(big), 1.0);
+  base[0] = 0.0;
+  const auto flood = [&](IncrementalSssp& s) {
+    const auto mark = s.checkpoint();
+    s.relax_insert(1, 0.25, [&](int u, auto&& visit) {
+      if (u == 1)
+        for (int v = 2; v < big; ++v) visit(v, 0.25);
+    });
+    s.rollback(mark);
+  };
+  sssp.reset(base);
+  flood(sssp);
+  const std::size_t big_footprint = sssp.footprint_bytes();
+  for (int round = 0; round < 6; ++round) {
+    sssp.reset(base);  // no flood: peak stays tiny this round
+    sssp.reset(base);
+    flood(sssp);
+  }
+  EXPECT_EQ(sssp.footprint_bytes(), big_footprint);
 }
 
 }  // namespace

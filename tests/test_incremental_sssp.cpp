@@ -128,6 +128,113 @@ TEST(IncrementalSssp, RollbackRestoresExactVectors) {
   }
 }
 
+TEST(IncrementalSssp, BoundedSlackZeroIsBitwiseExact) {
+  // A policy that never fires (huge node cap, infinite radius) must take
+  // exactly the unbounded code path's decisions: same dist vector bitwise,
+  // no truncation reported, and still equal to a fresh Dijkstra.
+  Rng rng(43);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int n = 8 + static_cast<int>(rng.uniform_below(24));
+    const Adjacency adj = random_graph(n, 0.15, rng, trial % 3 != 0);
+    const auto env_fn = [&](int x, auto&& visit) {
+      for (const auto& nb : adj[static_cast<std::size_t>(x)])
+        visit(nb.to, nb.weight);
+    };
+
+    IncrementalSssp bounded, unbounded;
+    const std::vector<double> base = fresh_dist(adj, 0, {});
+    bounded.reset(base);
+    unbounded.reset(base);
+    FrontierPolicy slack0;
+    slack0.node_cap = static_cast<std::size_t>(n) * 16;
+
+    std::vector<std::pair<int, double>> inserted;
+    for (int step = 0; step < 6; ++step) {
+      const int v =
+          1 + static_cast<int>(rng.uniform_below(
+                  static_cast<std::uint64_t>(n - 1)));
+      const double w = rng.uniform_real(0.1, 6.0);
+      inserted.emplace_back(v, w);
+      const RepairOutcome outcome =
+          bounded.relax_insert(v, w, slack0, env_fn);
+      unbounded.relax_insert(v, w, env_fn);
+      EXPECT_FALSE(outcome.truncated);
+      expect_bitwise_equal(bounded.dist(), unbounded.dist(),
+                           "bounded vs unbounded");
+      expect_bitwise_equal(bounded.dist(), fresh_dist(adj, 0, inserted),
+                           "bounded vs fresh");
+    }
+  }
+}
+
+TEST(IncrementalSssp, TruncatedEstimatesStayAdmissible) {
+  // Bounded-frontier invariant under composition: across a stack of
+  // (possibly truncated) repairs, let PF be the minimum frontier_min over
+  // every truncated repair still live.  Every maintained label is an upper
+  // bound on the true distance, and true(y) >= min(dist(y), PF) for every
+  // node y -- exactly the path-frontier rule br_search composes along a DFS
+  // path.  Checked under randomized insert/rollback interleavings against
+  // fresh Dijkstras over the live insertion set.
+  Rng rng(47);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int n = 16 + static_cast<int>(rng.uniform_below(32));
+    const Adjacency adj = random_graph(n, 0.2, rng, trial % 2 == 0);
+    const auto env_fn = [&](int x, auto&& visit) {
+      for (const auto& nb : adj[static_cast<std::size_t>(x)])
+        visit(nb.to, nb.weight);
+    };
+
+    IncrementalSssp sssp;
+    sssp.reset(fresh_dist(adj, 0, {}));
+
+    struct Frame {
+      IncrementalSssp::Checkpoint mark;
+      std::vector<double> snapshot;
+      std::vector<std::pair<int, double>> live;
+      double pf;
+    };
+    std::vector<Frame> stack;
+    std::vector<std::pair<int, double>> live;
+    double pf = kInf;  // min frontier over live truncated repairs
+    for (int step = 0; step < 24; ++step) {
+      if (!stack.empty() && rng.uniform_below(3) == 0) {
+        sssp.rollback(stack.back().mark);
+        expect_bitwise_equal(sssp.dist(), stack.back().snapshot,
+                             "after rollback");
+        live = stack.back().live;
+        pf = stack.back().pf;
+        stack.pop_back();
+        continue;
+      }
+      stack.push_back({sssp.checkpoint(), sssp.dist(), live, pf});
+      const int v =
+          1 + static_cast<int>(rng.uniform_below(
+                  static_cast<std::uint64_t>(n - 1)));
+      const double w = rng.uniform_real(0.1, 4.0);
+      live.emplace_back(v, w);
+      FrontierPolicy tight;
+      // Tiny caps so truncation actually happens; occasionally a radius cut.
+      tight.node_cap = 1 + rng.uniform_below(3);
+      if (rng.uniform_below(4) == 0) tight.radius = rng.uniform_real(0.5, 6.0);
+      const RepairOutcome outcome =
+          sssp.relax_insert(v, w, tight, env_fn);
+      if (outcome.truncated) pf = std::min(pf, outcome.frontier_min);
+
+      const std::vector<double> truth = fresh_dist(adj, 0, live);
+      for (std::size_t t = 0; t < truth.size(); ++t) {
+        // Upper bound: the maintained label never undershoots the truth.
+        EXPECT_GE(sssp.dist()[t], truth[t]) << "label below truth at " << t;
+        // Admissible floor: min(dist, PF) never exceeds the truth.
+        EXPECT_LE(std::min(sssp.dist()[t], pf), truth[t])
+            << "floor above truth at " << t;
+      }
+      // With no live truncation the maintained vector is exact.
+      if (pf == kInf)
+        expect_bitwise_equal(sssp.dist(), truth, "untruncated stack");
+    }
+  }
+}
+
 TEST(IncrementalSssp, NonImprovingInsertIsNoOp) {
   Rng rng(41);
   const Adjacency adj = random_graph(12, 0.4, rng, true);
