@@ -228,6 +228,12 @@ ApproxBrResult ladder_over(const AgentEnvironment& env,
       for (std::size_t i = 0; i < cand.size(); ++i) {
         const int v = cand[i];
         if (current.contains(v)) continue;
+        // Adaptive radius: truncate in the candidate's own scale (frontier
+        // keys start at the inserted edge's weight, so any scale >= 1
+        // leaves room to propagate) with the write cap as backstop.
+        policy.radius = options.repair_radius_scale > 0.0
+                            ? options.repair_radius_scale * cand_w[i]
+                            : kInf;
         const IncrementalSssp::Checkpoint mark = sssp.checkpoint();
         const RepairOutcome probe =
             sssp.relax_insert(v, cand_w[i], policy, environment_edges);

@@ -73,6 +73,18 @@ struct ApproxBrOptions {
   /// bit-for-bit).
   std::size_t repair_cap = 0;
 
+  /// Adaptive repair radius for bounded tier-1 probes: probing candidate
+  /// edge (u, v) of weight w truncates its repair once the cheapest
+  /// unexplored frontier key exceeds `repair_radius_scale * w` -- a
+  /// locality bound in the candidate's own scale (a weight-w edge mostly
+  /// improves nodes within O(w) of its endpoint), where the write cap alone
+  /// is blind to geometry.  The cap stays on as the worst-case backstop.
+  /// Only consulted in bounded mode (repair_cap > 0), so the cap-0 exact
+  /// ladder is untouched; truncated estimates still only rank probes and
+  /// every adopted strategy is re-costed by full repairs.  0 disables the
+  /// radius (write-cap-only truncation).
+  double repair_radius_scale = 4.0;
+
   /// Agent u's SSSP row in the *current built network* (including u's own
   /// edges), e.g. DeviationEngine::distances_warm(u).  When set, the ladder
   /// folds the current-network floor into its certificates: every new edge

@@ -1,5 +1,8 @@
 #include "core/deviation_engine.hpp"
 
+#include <algorithm>
+#include <utility>
+
 #include "core/transposition.hpp"
 #include "graph/dijkstra.hpp"
 #include "support/arena.hpp"
@@ -118,6 +121,60 @@ void DeviationEngine::set_strategy(int u, NodeSet strategy) {
   strategy.for_each([&](int v) {
     if (!old.contains(v)) add_buy(u, v);
   });
+}
+
+bool DeviationEngine::replace_strategy_edges(int u, const NodeSet& next) {
+  GNCG_CHECK(next.universe() == game_->node_count(),
+             "strategy universe mismatch");
+  GNCG_CHECK(!next.contains(u), "strategy may not contain the agent");
+  bool changed = false;
+  const NodeSet old = profile_.strategy(u);
+  old.for_each([&](int v) {
+    if (next.contains(v)) return;
+    profile_.remove_buy(u, v);
+    profile_hash_ ^= zobrist_buy_key(u, v);
+    if (!profile_.has_edge(u, v)) {
+      unlink(u, v);
+      changed = true;
+    }
+  });
+  next.for_each([&](int v) {
+    if (old.contains(v)) return;
+    GNCG_CHECK(game_->can_buy(u, v), "engine add_buy of a forbidden edge");
+    const bool existed = profile_.has_edge(u, v);
+    profile_.add_buy(u, v);
+    profile_hash_ ^= zobrist_buy_key(u, v);
+    if (!existed) {
+      link(u, v);
+      changed = true;
+    }
+  });
+  return changed;
+}
+
+void DeviationEngine::set_strategies(
+    const std::vector<std::pair<int, NodeSet>>& moves) {
+  for (std::size_t i = 0; i < moves.size(); ++i)
+    for (std::size_t j = i + 1; j < moves.size(); ++j)
+      GNCG_CHECK(moves[i].first != moves[j].first,
+                 "set_strategies batch repeats agent " << moves[i].first);
+  bool changed = false;
+  for (const auto& [u, next] : moves)
+    changed = replace_strategy_edges(u, next) || changed;
+  if (changed) {
+    ++epoch_;
+    GNCG_COUNT(kEngineEpochBumps);
+  }
+}
+
+void DeviationEngine::move_conflict_set(int u, const NodeSet& next,
+                                        std::vector<int>& out) const {
+  out.clear();
+  out.push_back(u);
+  profile_.strategy(u).for_each([&](int v) { out.push_back(v); });
+  next.for_each([&](int v) { out.push_back(v); });
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
 }
 
 void DeviationEngine::apply_move(int u, const SingleMove& move) {

@@ -61,6 +61,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/best_response.hpp"
@@ -104,6 +105,21 @@ class DeviationEngine {
   void remove_buy(int u, int v);
   void set_strategy(int u, NodeSet strategy);
   void apply_move(int u, const SingleMove& move);
+
+  /// Batched apply for round-commit dynamics (the parallel-MGM scheduler):
+  /// replaces each listed agent's strategy in input order, bumping the
+  /// topology epoch at most once for the whole batch instead of once per
+  /// changed edge.  Agents must be distinct; the resulting profile,
+  /// adjacency and Zobrist hash equal a sequence of set_strategy calls.
+  void set_strategies(const std::vector<std::pair<int, NodeSet>>& moves);
+
+  /// Conservative conflict set of "u plays `next`": u itself plus every
+  /// endpoint of u's current and proposed strategies -- the nodes whose
+  /// incident built edges (and hence SSSP rows) the move may touch.  Two
+  /// moves with disjoint conflict sets commute: neither edits an edge the
+  /// other reads or writes.  Appends ids to `out` sorted and deduplicated.
+  void move_conflict_set(int u, const NodeSet& next,
+                         std::vector<int>& out) const;
 
   /// Replaces the whole profile (full rebuild; for dynamics restarts).
   void set_profile(StrategyProfile profile);
@@ -190,6 +206,11 @@ class DeviationEngine {
   /// Inserts / removes the undirected adjacency entry for (a, b).
   void link(int a, int b);
   void unlink(int a, int b);
+
+  /// set_strategy body without the per-edge epoch bumps: updates ownership,
+  /// hash and adjacency, and returns whether the built topology changed
+  /// (the caller decides how many epoch bumps the batch pays).
+  bool replace_strategy_edges(int u, const NodeSet& next);
 
   /// alpha-free total weight of (S_u \ {remove}) ∪ {add} summed in
   /// increasing-target order (exactly the naive NodeSet::for_each order, so

@@ -46,6 +46,7 @@ DynamicsResult run_dynamics(DeviationEngine& engine,
   config.softmax_tau = options.softmax_tau;
   config.approx_budget = options.approx_budget;
   config.approx_repair_cap = options.approx_repair_cap;
+  config.mgm_shards = options.mgm_shards;
   const auto rule = resolve_rule(options, config);
   const auto scheduler = resolve_scheduler(options, config);
 
@@ -55,27 +56,58 @@ DynamicsResult run_dynamics(DeviationEngine& engine,
     visited.insert(engine.profile_hash(), engine.profile(), 0);
   if (options.observer != nullptr) options.observer->on_run_start(engine);
 
-  for (;;) {
-    auto activation = scheduler->next(engine, *rule, rng);
-    if (!activation.has_value()) {
+  // Round-commit loop: the scheduler returns a batch of activations (one
+  // per round for sequential schedulers, a non-conflicting set under
+  // parallel_mgm) that commits atomically -- a single engine epoch bump for
+  // multi-move batches -- with revisit detection at round granularity.  For
+  // single-activation rounds this is the historical per-move loop, move for
+  // move and epoch bump for epoch bump.
+  std::uint64_t round_index = 0;
+  std::vector<std::pair<int, NodeSet>> batch;
+  for (bool done = false; !done;) {
+    std::vector<Activation> round = scheduler->next_round(engine, *rule, rng);
+    if (round.empty()) {
       result.converged = true;
       break;
     }
-    const int agent = activation->agent;
-    Proposal& proposal = activation->proposal;
-    DynamicsStep step;
-    step.agent = agent;
-    step.old_strategy = engine.profile().strategy(agent);
-    step.new_strategy = proposal.strategy;
-    step.old_cost = proposal.old_cost;
-    step.new_cost = proposal.new_cost;
-    engine.set_strategy(agent, std::move(proposal.strategy));
-    ++result.moves;
-    if (step.old_cost < kInf)
-      result.step_gains.add(step.old_cost - step.new_cost);
+    ++round_index;
+
+    // Record the steps against the round's start profile, then commit.
+    std::vector<DynamicsStep> steps;
+    steps.reserve(round.size());
+    for (Activation& activation : round) {
+      DynamicsStep step;
+      step.agent = activation.agent;
+      step.old_strategy = engine.profile().strategy(activation.agent);
+      step.new_strategy = activation.proposal.strategy;
+      step.old_cost = activation.proposal.old_cost;
+      step.new_cost = activation.proposal.new_cost;
+      step.round = round_index;
+      steps.push_back(std::move(step));
+    }
+    if (round.size() == 1) {
+      engine.set_strategy(round[0].agent,
+                          std::move(round[0].proposal.strategy));
+    } else {
+      batch.clear();
+      for (Activation& activation : round)
+        batch.emplace_back(activation.agent,
+                           std::move(activation.proposal.strategy));
+      engine.set_strategies(batch);
+    }
+
+    result.max_round_commits = std::max(result.max_round_commits,
+                                        steps.size());
+    for (DynamicsStep& step : steps) {
+      ++result.moves;
+      if (step.old_cost < kInf)
+        result.step_gains.add(step.old_cost - step.new_cost);
+      if (options.observer != nullptr)
+        options.observer->on_step(step, result.moves);
+      if (options.record_steps) result.steps.push_back(std::move(step));
+    }
     if (options.observer != nullptr)
-      options.observer->on_step(step, result.moves);
-    if (options.record_steps) result.steps.push_back(std::move(step));
+      options.observer->on_round_end(round_index, steps.size());
 
     if (options.detect_cycles) {
       // O(1) incremental fingerprint; a hit is confirmed by exact profile
@@ -91,7 +123,7 @@ DynamicsResult run_dynamics(DeviationEngine& engine,
       }
       visited.insert(hash, engine.profile(), result.moves);
     }
-    if (result.moves >= options.max_moves) break;
+    done = result.moves >= options.max_moves;
   }
 
   result.rounds = scheduler->rounds();

@@ -1,5 +1,5 @@
-// The dynamics kernel: sequential improving-move processes and their
-// convergence, over pluggable policies.
+// The dynamics kernel: improving-move processes and their convergence, over
+// pluggable policies.
 //
 // The paper shows none of its models has the Finite Improvement Property
 // (Corollary 1, Theorems 14 and 17): improving-move sequences can cycle, so
@@ -12,6 +12,12 @@
 // transposition table (core/transposition.hpp), with exact profile
 // comparison confirming every hash hit so a collision can never report a
 // false cycle.
+//
+// The kernel commits in *rounds*: sequential schedulers yield one
+// activation per round (the historical per-move loop, unchanged move for
+// move), while the parallel_mgm scheduler yields a batch of non-conflicting
+// moves that commits atomically, with revisit detection at round
+// granularity.
 //
 // Restart orchestration (parallel multi-start sweeps over this kernel)
 // lives in core/restarts.hpp; start-profile generators in
@@ -37,6 +43,12 @@ struct DynamicsStep {
   NodeSet new_strategy;
   double old_cost = 0.0;
   double new_cost = 0.0;
+  /// 1-based commit round the move belonged to.  Sequential schedulers
+  /// commit one move per round (round == move index); the parallel-MGM
+  /// scheduler commits whole batches of non-conflicting moves, all tagged
+  /// with the same round and all improving against the round's start
+  /// profile (costs are round-start costs, not sequential-replay costs).
+  std::uint64_t round = 0;
 };
 
 struct DynamicsResult;
@@ -49,8 +61,9 @@ struct DynamicsResult;
 /// Lifetime contract: the observer must outlive the run_dynamics call it is
 /// passed to; the kernel never retains it afterwards.  Callbacks arrive on
 /// the calling thread, strictly ordered (on_run_start, then one on_step per
-/// applied move, then on_run_end).  The engine reference passed to
-/// on_run_start is only valid during the callback.
+/// applied move with on_round_end closing each commit round, then
+/// on_run_end).  The engine reference passed to on_run_start is only valid
+/// during the callback.
 class StepObserver {
  public:
   virtual ~StepObserver() = default;
@@ -60,6 +73,15 @@ class StepObserver {
 
   /// Called after step `move_index` (1-based) was applied to the engine.
   virtual void on_step(const DynamicsStep& step, std::uint64_t move_index) = 0;
+
+  /// Called after a commit round's moves were all applied (and their
+  /// on_step callbacks delivered).  `committed` is the batch size: always 1
+  /// for sequential schedulers, >= 1 under parallel_mgm.
+  virtual void on_round_end(std::uint64_t round_index,
+                            std::size_t committed) {
+    (void)round_index;
+    (void)committed;
+  }
 
   /// Called once with the finished result (cycle/convergence flags set).
   virtual void on_run_end(const DynamicsResult& result) { (void)result; }
@@ -86,6 +108,9 @@ struct DynamicsOptions {
   /// 0 = exact repairs.  Applied moves stay strict better-responses either
   /// way (the ladder re-costs truncated winners exactly).
   std::size_t approx_repair_cap = 0;
+  /// Parallel-MGM scheduler: agent shards per round (PolicyConfig); <= 0
+  /// picks the default, 1 degenerates to the sequential max_gain step.
+  int mgm_shards = 0;
 
   /// Record the full move trajectory into DynamicsResult::steps.  Disable
   /// for bulk restart sweeps that only consume aggregate statistics; note
@@ -105,6 +130,9 @@ struct DynamicsResult {
   std::size_t cycle_length = 0;  ///< number of moves in the cycle
   std::uint64_t moves = 0;
   std::uint64_t rounds = 0;
+  /// Largest number of moves committed in one round: 1 for sequential
+  /// schedulers, the achieved round parallelism under parallel_mgm.
+  std::size_t max_round_commits = 0;
   /// Confirmed transposition-hash collisions during cycle detection
   /// (distinct profiles sharing a hash -- resolved exactly, never trusted).
   std::uint64_t hash_collisions = 0;
@@ -118,7 +146,10 @@ struct DynamicsResult {
   /// The moves forming the detected cycle (empty when none).  The cycle's
   /// start profile equals `final_profile` (the repeated state), so
   /// `verify_improvement_cycle(game, final_profile, cycle_steps(), ...)`
-  /// certifies it.  Requires record_steps.
+  /// certifies it.  Requires record_steps.  Note the replay verifier is a
+  /// *sequential* strict-improvement check: under parallel_mgm (where a
+  /// step's costs are round-start costs and revisits are detected at round
+  /// granularity) a detected cycle is a round-cycle and need not certify.
   std::vector<DynamicsStep> cycle_steps() const {
     if (!cycle_found || steps.size() < cycle_start) return {};
     return {steps.begin() + static_cast<std::ptrdiff_t>(cycle_start),

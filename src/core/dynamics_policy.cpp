@@ -8,6 +8,7 @@
 #include "core/approx_br.hpp"
 #include "core/best_response.hpp"
 #include "core/facility_location.hpp"
+#include "support/instrument.hpp"
 #include "support/parallel.hpp"
 
 namespace gncg {
@@ -389,6 +390,102 @@ class SoftmaxGainScheduler final : public SchedulerPolicy {
   std::uint64_t steps_ = 0;
 };
 
+/// Sharded parallel MGM (maximum-gain messaging): one round proposes every
+/// agent concurrently against the same warm profile (per-index slots, so
+/// the batch is independent of thread count), each contiguous agent shard
+/// nominates its max-gain improving agent (ties to the smallest id, the
+/// gain-scheduler contract), and a deterministic greedy maximal independent
+/// set of the nominees -- processed by (gain desc, id asc), conflict =
+/// overlapping conservative touch sets {u} ∪ old(u) ∪ new(u) -- commits
+/// together.  The top-ranked nominee always commits, so every round with an
+/// improving agent makes progress; with 1 shard the round is exactly the
+/// sequential max_gain step.  All selection logic is serial over the
+/// proposal slots: thread count changes throughput, never results.
+class ParallelMgmScheduler final : public SchedulerPolicy {
+ public:
+  ParallelMgmScheduler(int n, int shards)
+      : n_(n),
+        shards_(shards > 0 ? std::min(shards, std::max(n, 1))
+                           : std::max(1, n / 16)) {}
+
+  std::string_view name() const override { return "parallel_mgm"; }
+
+  std::vector<Activation> next_round(DeviationEngine& engine,
+                                     const MoveRulePolicy& rule,
+                                     Rng&) override {
+    std::vector<Proposal> proposals = propose_all(engine, rule, n_);
+    GNCG_COUNT_N(kMgmProposals, static_cast<std::uint64_t>(n_));
+
+    // Shard nomination over the slots (serial; deterministic).
+    std::vector<BestProposal> nominees;
+    for (int s = 0; s < shards_; ++s) {
+      const int lo = static_cast<int>(
+          static_cast<std::int64_t>(n_) * s / shards_);
+      const int hi = static_cast<int>(
+          static_cast<std::int64_t>(n_) * (s + 1) / shards_);
+      BestProposal best;
+      for (int u = lo; u < hi; ++u) {
+        Proposal& p = proposals[static_cast<std::size_t>(u)];
+        if (!p.improving) continue;
+        const double gain = p.gain();
+        if (best.agent < 0 || gain > best.gain ||
+            (gain == best.gain && u < best.agent)) {
+          best.agent = u;
+          best.gain = gain;
+          best.proposal = std::move(p);
+        }
+      }
+      if (best.agent >= 0) nominees.push_back(std::move(best));
+    }
+    if (nominees.empty()) return {};  // no improving agent anywhere
+    ++rounds_;
+    GNCG_COUNT(kMgmRounds);
+
+    // Greedy maximal independent set by (gain desc, id asc): the first
+    // nominee always survives, later ones only when their touch set is
+    // disjoint from everything already claimed.
+    std::sort(nominees.begin(), nominees.end(),
+              [](const BestProposal& a, const BestProposal& b) {
+                if (a.gain != b.gain) return a.gain > b.gain;
+                return a.agent < b.agent;
+              });
+    NodeSet claimed(n_);
+    std::vector<int> touch;
+    std::vector<Activation> committed;
+    for (auto& nominee : nominees) {
+      engine.move_conflict_set(nominee.agent, nominee.proposal.strategy,
+                               touch);
+      bool conflict = false;
+      for (int t : touch) conflict = conflict || claimed.contains(t);
+      if (conflict) {
+        GNCG_COUNT(kMgmConflictDrops);
+        continue;
+      }
+      for (int t : touch) claimed.insert(t);
+      committed.push_back(
+          Activation{nominee.agent, std::move(nominee.proposal)});
+    }
+    GNCG_COUNT_N(kMgmCommits,
+                 static_cast<std::uint64_t>(committed.size()));
+
+    // Commit in ascending agent id: the order is deterministic and -- the
+    // committed moves being pairwise non-conflicting -- equivalent to any
+    // other order of the same batch.
+    std::sort(committed.begin(), committed.end(),
+              [](const Activation& a, const Activation& b) {
+                return a.agent < b.agent;
+              });
+    return committed;
+  }
+
+  std::uint64_t rounds() const override { return rounds_; }
+
+ private:
+  int n_;
+  int shards_;
+  std::uint64_t rounds_ = 0;
+};
+
 void register_builtin_policies(DynamicsPolicyRegistry& registry) {
   registry.add_rule("best_response", [](const PolicyConfig&) {
     return std::make_unique<BestResponseRule>();
@@ -425,9 +522,29 @@ void register_builtin_policies(DynamicsPolicyRegistry& registry) {
     return std::make_unique<SoftmaxGainScheduler>(config.node_count,
                                                   config.softmax_tau);
   });
+  registry.add_scheduler("parallel_mgm", [](const PolicyConfig& config) {
+    return std::make_unique<ParallelMgmScheduler>(config.node_count,
+                                                  config.mgm_shards);
+  });
 }
 
 }  // namespace
+
+std::optional<Activation> SchedulerPolicy::next(DeviationEngine&,
+                                                const MoveRulePolicy&, Rng&) {
+  GNCG_CHECK(false, "scheduler '" << name()
+                                  << "' is round-based; drive it through "
+                                     "next_round (the dynamics kernel does)");
+}
+
+std::vector<Activation> SchedulerPolicy::next_round(DeviationEngine& engine,
+                                                    const MoveRulePolicy& rule,
+                                                    Rng& rng) {
+  std::vector<Activation> round;
+  if (auto activation = next(engine, rule, rng))
+    round.push_back(std::move(*activation));
+  return round;
+}
 
 Proposal propose(DeviationEngine& engine, const MoveRulePolicy& rule, int u) {
   // Single-move scans read every agent's cached vector; the other rules
@@ -522,6 +639,7 @@ std::string_view scheduler_name(SchedulerKind kind) {
     case SchedulerKind::kMaxGain: return "max_gain";
     case SchedulerKind::kFairnessBounded: return "fairness_bounded";
     case SchedulerKind::kSoftmaxGain: return "softmax_gain";
+    case SchedulerKind::kParallelMgm: return "parallel_mgm";
   }
   GNCG_CHECK(false, "unknown SchedulerKind");
 }

@@ -53,6 +53,7 @@ enum class SchedulerKind {
   kMaxGain,          ///< activate the agent with the largest cost improvement
   kFairnessBounded,  ///< max-gain, but no improving agent waits > bound steps
   kSoftmaxGain,      ///< sample an improving agent ~ softmax of its gain
+  kParallelMgm,      ///< sharded MGM rounds: non-conflicting winners commit
 };
 
 /// A proposed deviation for one agent: the strategy and the resulting cost.
@@ -88,6 +89,11 @@ struct PolicyConfig {
   int approx_budget = 0;
   /// Approx-ladder bounded-frontier repair cap; 0 = exact repairs.
   std::size_t approx_repair_cap = 0;
+  /// Parallel-MGM scheduler: number of agent shards per round (each shard
+  /// nominates its max-gain improving agent; non-conflicting nominees
+  /// commit together).  <= 0 picks the default max(1, node_count / 16);
+  /// 1 degenerates to the sequential max_gain step.
+  int mgm_shards = 0;
 };
 
 /// Maps an activated agent to its proposal.  Stateless; const-callable from
@@ -114,9 +120,12 @@ class MoveRulePolicy {
 /// call propose_warm directly).
 Proposal propose(DeviationEngine& engine, const MoveRulePolicy& rule, int u);
 
-/// Decides which agent moves next.  Stateful per run; `next` is called once
-/// per kernel step and the returned proposal is applied by the kernel
-/// before the following call.
+/// Decides which agent moves next.  Stateful per run.  The kernel drives
+/// schedulers through `next_round`: the batch of activations to commit
+/// together (an empty batch certifies convergence), applied by the kernel
+/// in the returned order before the following call.  Sequential schedulers
+/// override `next` (one activation per round, via the default adapter);
+/// round-based ones (parallel_mgm) override `next_round` directly.
 class SchedulerPolicy {
  public:
   virtual ~SchedulerPolicy() = default;
@@ -124,13 +133,22 @@ class SchedulerPolicy {
   virtual std::string_view name() const = 0;
 
   /// The next improving activation, or nullopt when no agent can improve
-  /// (convergence).  All randomness must come from `rng`.
+  /// (convergence).  All randomness must come from `rng`.  Round-based
+  /// schedulers that only implement next_round contract-fail here.
   virtual std::optional<Activation> next(DeviationEngine& engine,
-                                         const MoveRulePolicy& rule,
-                                         Rng& rng) = 0;
+                                         const MoveRulePolicy& rule, Rng& rng);
 
-  /// Completed activation rounds (order-based schedulers) or selection
-  /// steps (gain-based ones) -- the DynamicsResult::rounds value.
+  /// The activations committed this round, in commit order; empty means no
+  /// agent can improve (convergence).  Agents are distinct within a round
+  /// and every proposal was improving against the round's start profile.
+  /// Default: adapts `next` into single-activation rounds, so sequential
+  /// scheduler behavior under the round kernel is unchanged move for move.
+  virtual std::vector<Activation> next_round(DeviationEngine& engine,
+                                             const MoveRulePolicy& rule,
+                                             Rng& rng);
+
+  /// Completed activation rounds (order-based schedulers), selection steps
+  /// (gain-based ones) or MGM rounds -- the DynamicsResult::rounds value.
   virtual std::uint64_t rounds() const = 0;
 };
 

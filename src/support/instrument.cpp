@@ -56,6 +56,10 @@ const char* counter_name(Counter counter) {
     case Counter::kLadderBoundedProbes: return "ladder_bounded_probes";
     case Counter::kLadderBatchCalls: return "ladder_batch_calls";
     case Counter::kLadderBatchAgents: return "ladder_batch_agents";
+    case Counter::kMgmRounds: return "mgm_rounds";
+    case Counter::kMgmProposals: return "mgm_proposals";
+    case Counter::kMgmConflictDrops: return "mgm_conflict_drops";
+    case Counter::kMgmCommits: return "mgm_commits";
     case Counter::kCount: break;
   }
   return "unknown";

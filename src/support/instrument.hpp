@@ -114,6 +114,14 @@ enum class Counter : int {
   kLadderBatchCalls,       ///< certify_agents batch invocations
   kLadderBatchAgents,      ///< agents certified through certify_agents
 
+  // Parallel-MGM round scheduler (core/dynamics_policy.cpp).  Appended for
+  // PR 10; all four are deterministic event counts (per-index proposal
+  // slots, serial winner fold), identical at any thread count.
+  kMgmRounds,         ///< MGM rounds executed (propose + select + commit)
+  kMgmProposals,      ///< agent proposals evaluated across rounds
+  kMgmConflictDrops,  ///< shard winners dropped by conflict-set overlap
+  kMgmCommits,        ///< moves committed (winners surviving selection)
+
   kCount
 };
 

@@ -404,6 +404,83 @@ ScenarioResult run_fip_probe(const SweepPoint& point, Rng& rng) {
   return result;
 }
 
+// --- parallel_mgm ---------------------------------------------------------
+
+/// Round-based sharded MGM vs the sequential schedulers on identical
+/// restart streams: does committing a conflict-free batch per round reach
+/// equilibria in fewer rounds, and at what move overhead?  One row per
+/// scheduler x rule combo; the MGM rows additionally report the achieved
+/// round parallelism (mean commits per round, max batch).
+ScenarioResult run_parallel_mgm(const SweepPoint& point, Rng& rng) {
+  const int restarts = static_cast<int>(point.extra_or("restarts", 8.0));
+  const auto max_moves =
+      static_cast<std::uint64_t>(point.extra_or("max_moves", 2000.0));
+  const int rules = axis_prefix(point, "rules", 1.0, 3);
+  const int shards = static_cast<int>(point.extra_or("shards", 0.0));
+  GNCG_CHECK(restarts >= 1 && max_moves >= 1,
+             "parallel_mgm needs restarts >= 1 and max_moves >= 1");
+
+  const Game game(make_sweep_host(point, rng), point.alpha);
+  // One base seed across schedulers: every row faces the identical
+  // start-profile streams, so rows compare round semantics, not luck.
+  const std::uint64_t base_seed = rng();
+  constexpr SchedulerKind kCompared[] = {SchedulerKind::kParallelMgm,
+                                         SchedulerKind::kMaxGain,
+                                         SchedulerKind::kRoundRobin};
+
+  ScenarioResult result;
+  for (const SchedulerKind scheduler : kCompared) {
+    for (int ri = 0; ri < rules; ++ri) {
+      RestartOptions restart_options;
+      restart_options.restarts = restarts;
+      restart_options.seed = base_seed;
+      restart_options.label = "parallel_mgm";
+      restart_options.dynamics.scheduler = scheduler;
+      restart_options.dynamics.rule = kRuleAxis[ri];
+      restart_options.dynamics.max_moves = max_moves;
+      restart_options.dynamics.mgm_shards = shards;
+      restart_options.dynamics.detect_cycles = true;
+      restart_options.dynamics.record_steps = false;
+      const Stopwatch timer;
+      const RestartReport report = run_restarts(game, restart_options);
+
+      SampleStats rounds_to_convergence;
+      std::uint64_t total_moves = 0;
+      std::uint64_t total_rounds = 0;
+      std::size_t max_batch = 0;
+      for (const RestartRun& run : report.runs) {
+        if (run.result.converged)
+          rounds_to_convergence.add(
+              static_cast<double>(run.result.rounds));
+        total_moves += run.result.moves;
+        total_rounds += run.result.rounds;
+        max_batch = std::max(max_batch, run.result.max_round_commits);
+      }
+
+      ScenarioRow row;
+      row.metric("restarts", restarts)
+          .metric("converged", static_cast<double>(report.converged))
+          .metric("cycles", static_cast<double>(report.cycles_found))
+          .metric("mean_moves", report.moves_to_convergence.count() > 0
+                                    ? report.moves_to_convergence.mean()
+                                    : 0.0)
+          .metric("mean_rounds", rounds_to_convergence.count() > 0
+                                     ? rounds_to_convergence.mean()
+                                     : 0.0)
+          .metric("commits_per_round",
+                  total_rounds > 0 ? static_cast<double>(total_moves) /
+                                         static_cast<double>(total_rounds)
+                                   : 0.0)
+          .metric("max_round_commits", static_cast<double>(max_batch))
+          .metric("elapsed_ms", timer.millis())
+          .tag("scheduler", std::string(scheduler_name(scheduler)))
+          .tag("rule", std::string(move_rule_name(kRuleAxis[ri])));
+      result.rows.push_back(std::move(row));
+    }
+  }
+  return result;
+}
+
 // --- approx_ne ------------------------------------------------------------
 
 /// Large-n geometric tier: approximate-better-response dynamics under the
@@ -652,6 +729,19 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
           {"max_moves", 600.0, "move budget per restart"},
           {"schedulers", 2.0, "scheduler-axis prefix length (1-5)"}},
       run_fip_probe, sweep_host_of));
+  registry.add(std::make_shared<FunctionScenario>(
+      "parallel_mgm",
+      "round-based sharded MGM dynamics vs the sequential max_gain / "
+      "round_robin schedulers on identical restart streams; one row per "
+      "scheduler x rule combo with rounds-to-convergence and achieved "
+      "round parallelism",
+      std::vector<std::string>{"dense", "lazy", "euclidean", "tree"},
+      std::vector<ScenarioParam>{
+          {"restarts", 8.0, "dynamics restarts per combo"},
+          {"max_moves", 2000.0, "move budget per restart"},
+          {"rules", 1.0, "move-rule-axis prefix length (1-3)"},
+          {"shards", 0.0, "MGM agent shards per round (0 = auto n/16)"}},
+      run_parallel_mgm, sweep_host_of));
   registry.add(std::make_shared<FunctionScenario>(
       "approx_ne",
       "large-n geometric tier: approx-ladder restart dynamics over the "

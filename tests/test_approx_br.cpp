@@ -307,6 +307,59 @@ TEST(ApproxLadder, BoundedRepairsKeepCertificatesSound) {
   }
 }
 
+TEST(ApproxLadder, AdaptiveRadiusAloneKeepsCertificatesSound) {
+  // Make the candidate-weight-derived radius the *only* live truncation
+  // criterion (huge write cap): estimates may coarsen, but achieved costs
+  // stay canonical, bounds stay admissible, and exactness stays truthful.
+  // With the radius disabled the same huge cap never fires, which must
+  // reproduce the unbounded ladder bit for bit (the never-truncates
+  // identity of the bounded kernel).
+  Rng rng(137);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int n = 6 + (trial % 5);
+    const double alpha = rng.uniform_real(0.2, 4.0);
+    const Game game = random_euclidean_game(n, alpha, 2.0, rng);
+    StrategyProfile profile = random_profile(game, rng);
+    force_mutual_buys(game, profile, n / 3, rng);
+    DeviationEngine engine(game, profile);
+    engine.warm_distances();
+    for (int u = 0; u < n; ++u) {
+      const auto naive = naive_exact_best_response(game, profile, u);
+      const AgentEnvironment env(game, profile, u);
+      const double exact_cost = env.cost_of(naive.strategy);
+      const double scale = std::max(1.0, std::abs(exact_cost));
+
+      ApproxBrOptions radius_only;
+      radius_only.budget = 4;
+      radius_only.repair_cap = 1u << 20;  // backstop cap that never fires
+      radius_only.repair_radius_scale = 1.5;  // tight: truncates often
+      radius_only.incumbent = engine.agent_cost(u);
+      radius_only.current_dist = &engine.distances_warm(u);
+      const auto bounded = approx_best_response_ladder(engine, u,
+                                                       radius_only);
+      EXPECT_EQ(bounded.cost, env.cost_of(bounded.strategy))
+          << "trial " << trial << " agent " << u;
+      EXPECT_GE(bounded.cost, exact_cost - 1e-12 * scale);
+      EXPECT_LE(bounded.lower_bound, exact_cost + 1e-12 * scale)
+          << "trial " << trial << " agent " << u;
+      EXPECT_LE(bounded.lower_bound, bounded.cost + 1e-12 * scale);
+
+      ApproxBrOptions no_radius = radius_only;
+      no_radius.repair_radius_scale = 0.0;  // nothing can truncate
+      ApproxBrOptions unbounded = radius_only;
+      unbounded.repair_cap = 0;
+      unbounded.repair_radius_scale = 0.0;
+      const auto a = approx_best_response_ladder(engine, u, no_radius);
+      const auto b = approx_best_response_ladder(engine, u, unbounded);
+      EXPECT_TRUE(a.strategy == b.strategy)
+          << "trial " << trial << " agent " << u;
+      EXPECT_EQ(a.cost, b.cost);
+      EXPECT_EQ(a.lower_bound, b.lower_bound);
+      EXPECT_EQ(a.exact, b.exact);
+    }
+  }
+}
+
 TEST(ApproxLadder, RepairCapZeroIsBitwiseIdentity) {
   // repair_cap = 0 (and no current-network rows) must reproduce the
   // historical ladder bit for bit -- same strategy, cost, certificates.

@@ -13,7 +13,10 @@
 // sequences (add_buy / remove_buy / set_strategy / apply_move).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "core/best_response.hpp"
 #include "core/cost.hpp"
@@ -266,6 +269,61 @@ TEST(DeviationEngine, DistanceCachesSurviveOwnershipOnlyMutations) {
   engine.apply_move(target, {MoveType::kDelete, owner, -1});
   EXPECT_DOUBLE_EQ(engine.distance_cost(target), before);
   EXPECT_TRUE(engine.profile() == profile);
+}
+
+TEST(DeviationEngine, BatchedSetStrategiesMatchesSequentialSetStrategy) {
+  // The round-commit batch apply must land on the same profile, hash,
+  // adjacency and costs as a sequence of set_strategy calls -- only the
+  // epoch accounting is batched (at most one bump per batch).
+  Rng rng(809);
+  for (int round = 0; round < 8; ++round) {
+    const int n = 5 + static_cast<int>(rng.uniform_below(4));
+    const Game game = random_game(round % 3, n, rng);
+    const StrategyProfile profile = random_profile(game, rng, 0.3);
+    DeviationEngine batched(game, profile);
+    DeviationEngine sequential(game, profile);
+
+    std::vector<std::pair<int, NodeSet>> batch;
+    for (int u = 0; u < n; ++u) {
+      if (!rng.bernoulli(0.5)) continue;
+      NodeSet next(n);
+      for (int t = 0; t < n; ++t)
+        if (t != u && game.can_buy(u, t) && rng.bernoulli(0.3))
+          next.insert(t);
+      batch.emplace_back(u, std::move(next));
+    }
+    batched.set_strategies(batch);
+    for (const auto& [u, next] : batch) sequential.set_strategy(u, next);
+
+    EXPECT_TRUE(batched.profile() == sequential.profile()) << round;
+    EXPECT_EQ(batched.profile_hash(), sequential.profile_hash()) << round;
+    for (int u = 0; u < n; ++u)
+      EXPECT_EQ(batched.distance_cost(u), sequential.distance_cost(u))
+          << "round " << round << " agent " << u;
+  }
+}
+
+TEST(DeviationEngine, MoveConflictSetCoversTouchedEndpoints) {
+  Rng rng(811);
+  const Game game = random_game(0, 7, rng);
+  const StrategyProfile profile = random_profile(game, rng, 0.3);
+  DeviationEngine engine(game, profile);
+  const int u = 2;
+  NodeSet next(7);
+  next.insert(0);
+  next.insert(5);
+  std::vector<int> conflict;
+  engine.move_conflict_set(u, next, conflict);
+  // Sorted, deduplicated, and exactly {u} ∪ old ∪ new.
+  EXPECT_TRUE(std::is_sorted(conflict.begin(), conflict.end()));
+  EXPECT_EQ(std::adjacent_find(conflict.begin(), conflict.end()),
+            conflict.end());
+  std::vector<int> expected{u, 0, 5};
+  profile.strategy(u).for_each([&](int v) { expected.push_back(v); });
+  std::sort(expected.begin(), expected.end());
+  expected.erase(std::unique(expected.begin(), expected.end()),
+                 expected.end());
+  EXPECT_EQ(conflict, expected);
 }
 
 }  // namespace

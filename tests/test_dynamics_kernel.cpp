@@ -175,8 +175,8 @@ TEST(Transposition, HashedRevisitAgreesWithExactComparison) {
 TEST(PolicyRegistry, BuiltinsAreRegistered) {
   const auto& registry = DynamicsPolicyRegistry::instance();
   const auto schedulers = registry.scheduler_names();
-  for (const char* expected : {"fairness_bounded", "max_gain", "random_order",
-                               "round_robin", "softmax_gain"})
+  for (const char* expected : {"fairness_bounded", "max_gain", "parallel_mgm",
+                               "random_order", "round_robin", "softmax_gain"})
     EXPECT_NE(std::find(schedulers.begin(), schedulers.end(), expected),
               schedulers.end())
         << expected;
@@ -308,6 +308,177 @@ TEST(Schedulers, SoftmaxIsSeedDeterministic) {
   const auto b = run_dynamics(game, random_profile(game, start_b), options);
   EXPECT_EQ(a.moves, b.moves);
   EXPECT_TRUE(a.final_profile == b.final_profile);
+}
+
+// --- parallel MGM round kernel --------------------------------------------
+
+/// Conservative touch set of one recorded step: {agent} ∪ old ∪ new (the
+/// same approximation the scheduler's conflict graph uses).
+std::vector<int> step_touch_set(const DynamicsStep& step) {
+  std::vector<int> touch{step.agent};
+  step.old_strategy.for_each([&](int v) { touch.push_back(v); });
+  step.new_strategy.for_each([&](int v) { touch.push_back(v); });
+  std::sort(touch.begin(), touch.end());
+  touch.erase(std::unique(touch.begin(), touch.end()), touch.end());
+  return touch;
+}
+
+TEST(ParallelMgm, ConvergesToNashOnUnitHostHighAlpha) {
+  Rng rng(4051);
+  const Game game(HostGraph::unit(6), 4.0);
+  DynamicsOptions options;
+  options.scheduler = SchedulerKind::kParallelMgm;
+  options.max_moves = 3000;
+  options.seed = 7;
+  const auto run = run_dynamics(game, random_profile(game, rng), options);
+  EXPECT_TRUE(run.converged);
+  // Convergence certificate is the same as the sequential schedulers': the
+  // final (empty) round proposed every agent against the final profile.
+  EXPECT_TRUE(is_nash_equilibrium(game, run.final_profile));
+}
+
+TEST(ParallelMgm, CommittedRoundsHaveDisjointConflictSets) {
+  Rng rng(4053);
+  const Game game(random_one_two_host(24, 0.5, rng), 1.5);
+  DynamicsOptions options;
+  options.rule = MoveRule::kBestSingleMove;
+  options.scheduler = SchedulerKind::kParallelMgm;
+  options.mgm_shards = 8;
+  options.max_moves = 600;
+  options.seed = 3;
+  const auto run = run_dynamics(game, random_profile(game, rng), options);
+  ASSERT_GT(run.moves, 0u);
+
+  std::size_t max_batch = 0;
+  for (std::size_t i = 0; i < run.steps.size();) {
+    const std::uint64_t round = run.steps[i].round;
+    ASSERT_GE(round, 1u);
+    std::vector<int> claimed;
+    std::size_t batch = 0;
+    int last_agent = -1;
+    for (; i < run.steps.size() && run.steps[i].round == round; ++i, ++batch) {
+      const DynamicsStep& step = run.steps[i];
+      // Commit order within a round is ascending agent id.
+      EXPECT_GT(step.agent, last_agent) << "round " << round;
+      last_agent = step.agent;
+      // Every committed move improves against the round's start profile.
+      EXPECT_LT(step.new_cost, step.old_cost) << "round " << round;
+      // Independence: the step's touch set is disjoint from every other
+      // committed move's in the same round.
+      for (int t : step_touch_set(step)) {
+        EXPECT_FALSE(std::binary_search(claimed.begin(), claimed.end(), t))
+            << "round " << round << " agent " << step.agent
+            << " touches already-claimed node " << t;
+        claimed.insert(std::lower_bound(claimed.begin(), claimed.end(), t),
+                       t);
+      }
+    }
+    max_batch = std::max(max_batch, batch);
+  }
+  EXPECT_EQ(max_batch, run.max_round_commits);
+  // With 8 shards on 24 agents some round must have committed in parallel,
+  // otherwise this test exercises nothing.
+  EXPECT_GT(max_batch, 1u);
+}
+
+TEST(ParallelMgm, OneShardDegeneratesToSequentialMaxGain) {
+  Rng host_rng(4057);
+  const Game game(random_one_two_host(12, 0.5, host_rng), 1.5);
+  Rng start_a(4061), start_b(4061);
+  const StrategyProfile start = random_profile(game, start_a);
+  const StrategyProfile start_copy = random_profile(game, start_b);
+
+  DynamicsOptions mgm;
+  mgm.rule = MoveRule::kBestSingleMove;
+  mgm.scheduler = SchedulerKind::kParallelMgm;
+  mgm.mgm_shards = 1;
+  mgm.max_moves = 800;
+  mgm.seed = 17;
+  const auto mgm_run = run_dynamics(game, start, mgm);
+
+  DynamicsOptions max_gain = mgm;
+  max_gain.scheduler = SchedulerKind::kMaxGain;
+  max_gain.mgm_shards = 0;
+  const auto ref_run = run_dynamics(game, start_copy, max_gain);
+
+  // One shard nominates the global max-gain agent with the gain-scheduler
+  // tie-break: the runs must be identical move for move.
+  EXPECT_EQ(mgm_run.converged, ref_run.converged);
+  EXPECT_EQ(mgm_run.cycle_found, ref_run.cycle_found);
+  EXPECT_EQ(mgm_run.moves, ref_run.moves);
+  EXPECT_EQ(mgm_run.rounds, ref_run.rounds);
+  EXPECT_EQ(mgm_run.max_round_commits, 1u);
+  ASSERT_EQ(mgm_run.steps.size(), ref_run.steps.size());
+  for (std::size_t i = 0; i < mgm_run.steps.size(); ++i) {
+    EXPECT_EQ(mgm_run.steps[i].agent, ref_run.steps[i].agent) << i;
+    EXPECT_TRUE(mgm_run.steps[i].new_strategy ==
+                ref_run.steps[i].new_strategy)
+        << i;
+    EXPECT_EQ(mgm_run.steps[i].new_cost, ref_run.steps[i].new_cost) << i;
+  }
+  EXPECT_TRUE(mgm_run.final_profile == ref_run.final_profile);
+}
+
+/// Observer checking the round-callback contract: round indices increase by
+/// one, batch sizes are >= 1 and sum to the move count.
+class RoundObserver final : public StepObserver {
+ public:
+  void on_step(const DynamicsStep& step, std::uint64_t) override {
+    EXPECT_EQ(step.round, rounds_seen + 1);
+  }
+  void on_round_end(std::uint64_t round_index,
+                    std::size_t committed) override {
+    EXPECT_EQ(round_index, rounds_seen + 1);
+    EXPECT_GE(committed, 1u);
+    ++rounds_seen;
+    total_committed += committed;
+  }
+
+  std::uint64_t rounds_seen = 0;
+  std::size_t total_committed = 0;
+};
+
+TEST(ParallelMgm, ObserverSeesRoundBatches) {
+  Rng rng(4063);
+  const Game game(random_one_two_host(24, 0.5, rng), 1.5);
+  RoundObserver observer;
+  DynamicsOptions options;
+  options.rule = MoveRule::kBestSingleMove;
+  options.scheduler = SchedulerKind::kParallelMgm;
+  options.mgm_shards = 8;
+  options.max_moves = 600;
+  options.observer = &observer;
+  const auto run = run_dynamics(game, random_profile(game, rng), options);
+  EXPECT_EQ(observer.total_committed, run.moves);
+  EXPECT_GE(observer.rounds_seen, 1u);
+}
+
+TEST(ParallelMgm, ByteIdenticalAcrossThreadCounts) {
+  const ThreadGuard guard;
+  Rng rng(4067);
+  const Game game(random_one_two_host(24, 0.5, rng), 1.5);
+
+  RestartOptions options;
+  options.restarts = 24;
+  options.seed = 13;
+  options.label = "test_parallel_mgm";
+  options.dynamics.rule = MoveRule::kBestSingleMove;
+  options.dynamics.scheduler = SchedulerKind::kParallelMgm;
+  options.dynamics.mgm_shards = 8;
+  options.dynamics.max_moves = 400;
+
+  set_default_thread_count(1);
+  const RestartReport serial = run_restarts(game, options);
+  set_default_thread_count(8);
+  const RestartReport parallel = run_restarts(game, options);
+
+  ASSERT_EQ(serial.runs.size(), parallel.runs.size());
+  for (std::size_t i = 0; i < serial.runs.size(); ++i)
+    EXPECT_EQ(run_bytes(serial.runs[i]), run_bytes(parallel.runs[i]))
+        << "restart " << i;
+  EXPECT_EQ(serial.converged, parallel.converged);
+  EXPECT_EQ(serial.moves_to_convergence.sum(),
+            parallel.moves_to_convergence.sum());
 }
 
 // --- restart driver determinism (acceptance) ------------------------------
